@@ -1,0 +1,48 @@
+"""Figure 5: probability that a node is compromised or crashed by time t.
+
+The paper plots P[S_t = C or S_t = crash] under the all-WAIT policy for
+p_A in {0.1, 0.05, 0.025, 0.01}.  The benchmark regenerates the four curves
+and checks their ordering (larger p_A fails faster) and monotonicity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import NodeParameters, failure_probability_curve
+
+P_A_VALUES = (0.1, 0.05, 0.025, 0.01)
+HORIZON = 100
+
+
+def _compute_curves():
+    return {
+        p_a: failure_probability_curve(
+            NodeParameters(p_a=p_a, p_u=1e-9, p_c1=1e-5, p_c2=1e-3), HORIZON
+        )
+        for p_a in P_A_VALUES
+    }
+
+
+def test_fig05_compromise_probability(benchmark, table_printer):
+    curves = benchmark(_compute_curves)
+
+    sample_points = [10, 20, 40, 60, 80, 100]
+    table_printer(
+        "Figure 5: P[compromised or crashed by t] (no recoveries)",
+        ["t"] + [f"p_A={p}" for p in P_A_VALUES],
+        [
+            [t] + [f"{curves[p][t - 1]:.3f}" for p in P_A_VALUES]
+            for t in sample_points
+        ],
+    )
+
+    for p_a in P_A_VALUES:
+        curve = curves[p_a]
+        assert np.all(np.diff(curve) >= -1e-12), "curves must be monotone"
+        assert curve[-1] <= 1.0 + 1e-9
+    # Ordering: higher attack probability fails faster at every time point.
+    for faster, slower in zip(P_A_VALUES, P_A_VALUES[1:]):
+        assert np.all(curves[faster] >= curves[slower] - 1e-12)
+    # With p_A = 0.1 the node is almost surely failed within 60 steps (as in Fig. 5).
+    assert curves[0.1][59] > 0.99

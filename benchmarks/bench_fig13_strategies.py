@@ -1,0 +1,65 @@
+"""Figure 13: the replication strategy pi(a=1|s) and the recovery threshold.
+
+The paper illustrates (a) the system controller's strategy — the probability
+of adding a node as a function of the expected number of healthy nodes — for
+Delta_R = inf, N1 = 6, f = 1, and (b) the node controllers' recovery
+strategy, a single belief threshold alpha* ~ 0.76.
+
+The benchmark computes both: the replication strategy via Algorithm 2 and
+the recovery threshold via belief-space value iteration, prints them, and
+checks the structural properties (non-increasing add probability below a
+threshold region; recovery threshold strictly inside (0, 1)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BetaBinomialObservationModel, BinomialSystemModel, NodeParameters
+from repro.solvers import (
+    RecoveryPOMDP,
+    belief_value_iteration,
+    solve_replication_lagrangian,
+    solve_replication_lp,
+)
+
+SMAX = 13
+F = 1
+
+
+def _compute():
+    model = BinomialSystemModel(
+        smax=SMAX,
+        f=F,
+        per_node_failure_probability=0.3,
+        regeneration_probability=0.01,
+        epsilon_a=0.92,
+    )
+    lp = solve_replication_lp(model)
+    lagrangian = solve_replication_lagrangian(model)
+    pomdp = RecoveryPOMDP(
+        NodeParameters(p_a=0.1, p_u=0.02), BetaBinomialObservationModel(), discount=0.95
+    )
+    recovery = belief_value_iteration(pomdp, grid_size=101, max_iterations=500)
+    return model, lp, lagrangian, recovery
+
+
+def test_fig13_strategies(benchmark, table_printer):
+    model, lp, lagrangian, recovery = benchmark.pedantic(_compute, rounds=1, iterations=1)
+
+    mixture_probs = [lagrangian.strategy.add_probability(s) for s in range(model.num_states)]
+    table_printer(
+        "Figure 13a: replication strategy pi(add | s) (Theorem 2 mixture)",
+        ["s (healthy nodes)", "pi(add | s)"],
+        [[s, f"{p:.2f}"] for s, p in enumerate(mixture_probs)],
+    )
+    print(f"LP availability: {lp.availability:.3f}, LP expected nodes: {lp.expected_cost:.2f}")
+    print(f"Figure 13b: recovery threshold alpha* = {recovery.threshold():.2f}")
+
+    # 13a: the mixture is non-increasing in s and adds for small s.
+    assert all(a >= b - 1e-9 for a, b in zip(mixture_probs, mixture_probs[1:]))
+    assert mixture_probs[0] == 1.0
+    assert mixture_probs[-1] == 0.0
+    # 13b: the recovery strategy has an interior threshold (the paper finds 0.76).
+    threshold = recovery.threshold()
+    assert 0.05 < threshold < 0.95

@@ -1,0 +1,69 @@
+"""Figure 16: example transition function f_S of the replication CMDP.
+
+The paper plots f_S(s' | s, a=0) for s in {0, 10, 20} on a 20-node system.
+This benchmark builds the same kernel (both the analytical binomial variant
+and an empirical variant estimated from emulation traces), prints the three
+rows, and checks the structural properties that Theorem 2's assumptions
+need: row-stochasticity, positivity, and first-order stochastic dominance in
+the current state (tail-sum monotonicity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BinomialSystemModel, EmpiricalSystemModel, NodeParameters
+from repro.emulation import EmulationConfig, EmulationEnvironment, tolerance_policy
+
+SMAX = 20
+
+
+def _compute():
+    analytical = BinomialSystemModel(
+        smax=SMAX,
+        f=3,
+        per_node_failure_probability=0.15,
+        regeneration_probability=0.05,
+        epsilon_a=0.9,
+    )
+    config = EmulationConfig(
+        initial_nodes=6, horizon=150, node_params=NodeParameters(p_a=0.1), max_nodes=13
+    )
+    environment = EmulationEnvironment(config, tolerance_policy(), seed=0)
+    environment.run()
+    empirical = EmpiricalSystemModel(
+        environment.system_state_transitions(), smax=13, f=2
+    )
+    return analytical, empirical
+
+
+def test_fig16_fs_transition(benchmark, table_printer):
+    analytical, empirical = benchmark.pedantic(_compute, rounds=1, iterations=1)
+
+    sample_states = (0, 10, 20)
+    rows = []
+    for s in sample_states:
+        pmf = analytical.transition[0, s]
+        top = np.argsort(pmf)[::-1][:4]
+        rows.append(
+            [s] + [f"s'={s_next}: {pmf[s_next]:.3f}" for s_next in sorted(top)]
+        )
+    table_printer(
+        "Figure 16: f_S(s' | s, a=0) — most likely successor states",
+        ["s", "1", "2", "3", "4"],
+        rows,
+    )
+    print(
+        "empirical f_S fitted from",
+        empirical.num_observed_transitions,
+        "emulation transitions",
+    )
+
+    assert np.allclose(analytical.transition.sum(axis=2), 1.0)
+    assert analytical.satisfies_assumption_b()
+    assert analytical.satisfies_assumption_c()
+    assert np.allclose(empirical.transition.sum(axis=2), 1.0)
+    # Larger current state shifts the successor distribution upward (FOSD).
+    mean_from_0 = float(analytical.transition[0, 0] @ analytical.states)
+    mean_from_20 = float(analytical.transition[0, 20] @ analytical.states)
+    assert mean_from_20 > mean_from_0

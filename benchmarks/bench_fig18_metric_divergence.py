@@ -1,0 +1,63 @@
+"""Figure 18 / Appendix H: KL divergence of candidate detection metrics.
+
+The paper collects hundreds of infrastructure metrics and ranks them by the
+KL divergence between their distributions with and without intrusions,
+finding that priority-weighted IDS alerts carry by far the most information.
+This benchmark generates synthetic traces for the same six metrics shown in
+Fig. 18 (alerts, failed logins, new processes, TCP connections, blocks
+written, blocks read), computes the divergence report, and checks that the
+alert metric ranks first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import metric_divergence_report
+from repro.emulation import CONTAINER_CATALOG, SnortLikeIDS
+
+
+def _generate_metric_samples(num_samples: int = 1500, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    ids = SnortLikeIDS(CONTAINER_CATALOG[0])
+    alerts_healthy = [ids.sample_alerts(False, rng) for _ in range(num_samples)]
+    alerts_intrusion = [ids.sample_alerts(True, rng) for _ in range(num_samples)]
+    return {
+        "alerts_weighted_by_priority": (alerts_healthy, alerts_intrusion),
+        "new_failed_login_attempts": (
+            rng.poisson(1.0, num_samples),
+            rng.poisson(3.0, num_samples),
+        ),
+        "new_processes": (
+            rng.normal(50, 15, num_samples),
+            rng.normal(55, 15, num_samples),
+        ),
+        "new_tcp_connections": (
+            rng.normal(30, 10, num_samples),
+            rng.normal(33, 10, num_samples),
+        ),
+        "blocks_written_to_disk": (
+            rng.poisson(8.0, num_samples),
+            rng.poisson(11.0, num_samples),
+        ),
+        "blocks_read_from_disk": (
+            rng.poisson(10.0, num_samples),
+            rng.poisson(10.0, num_samples),
+        ),
+    }
+
+
+def test_fig18_metric_divergence(benchmark, table_printer):
+    report = benchmark(lambda: metric_divergence_report(_generate_metric_samples()))
+
+    ranked = sorted(report.items(), key=lambda item: item[1], reverse=True)
+    table_printer(
+        "Figure 18: D_KL(Z_O|H || Z_O|C) per candidate metric",
+        ["metric", "KL divergence"],
+        [[name, f"{value:.3f}"] for name, value in ranked],
+    )
+
+    # IDS alerts are the most informative metric, as in Appendix H.
+    assert ranked[0][0] == "alerts_weighted_by_priority"
+    # Metrics whose distribution barely changes rank near the bottom.
+    assert report["blocks_read_from_disk"] < report["alerts_weighted_by_priority"] / 3

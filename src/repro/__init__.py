@@ -1,0 +1,33 @@
+"""repro: reproduction of "Intrusion Tolerance for Networked Systems through
+Two-Level Feedback Control" (Hammar & Stadler, DSN 2024).
+
+The package is organised as:
+
+* :mod:`repro.core` -- the TOLERANCE contribution: node/observation/belief
+  models, the two control problems, threshold strategies, controllers,
+  reliability analysis, metrics and the integrated architecture;
+* :mod:`repro.solvers` -- Algorithm 1 (parametric threshold optimization with
+  CEM/DE/SPSA/BO), Algorithm 2 (occupancy-measure LP), incremental pruning,
+  value/policy iteration and the PPO baseline;
+* :mod:`repro.consensus` -- the substrates: reconfigurable MinBFT, clients,
+  Raft, the simulated authenticated network, signatures, and the USIG;
+* :mod:`repro.emulation` -- the evaluation testbed: containers, IDS,
+  attacker, background services, the emulation environment and the
+  intrusion-trace dataset.
+
+Quickstart::
+
+    from repro.core import NodeParameters, BetaBinomialObservationModel
+    from repro.solvers import CrossEntropyMethod, solve_recovery_problem
+
+    params = NodeParameters(p_a=0.1, delta_r=float("inf"))
+    model = BetaBinomialObservationModel()
+    solution = solve_recovery_problem(params, model, CrossEntropyMethod(), seed=0)
+    print(solution.strategy.thresholds, solution.estimated_cost)
+"""
+
+from . import consensus, core, emulation, solvers
+
+__version__ = "1.0.0"
+
+__all__ = ["consensus", "core", "emulation", "solvers", "__version__"]

@@ -1,0 +1,73 @@
+"""Consensus substrates: reconfigurable MinBFT, clients, Raft, and the
+simulated authenticated network they run on.
+
+* :mod:`~repro.consensus.minbft` — the intrusion-tolerant replication
+  protocol used by the TOLERANCE application domain (Appendix G, Fig. 17).
+* :mod:`~repro.consensus.client` — clients that wait for ``f + 1`` matching
+  replies, plus the closed-loop workload driver of Figure 10.
+* :mod:`~repro.consensus.raft` — the crash-tolerant substrate hosting the
+  system controller.
+* :mod:`~repro.consensus.network`, :mod:`~repro.consensus.crypto`,
+  :mod:`~repro.consensus.usig` — the simulated network, signatures, and the
+  trusted USIG component of the hybrid failure model.
+"""
+
+from .client import ClientWorkload, CompletedRequest, MinBFTClient
+from .crypto import KeyPair, KeyRegistry, Signature, digest
+from .messages import (
+    Checkpoint,
+    ClientRequest,
+    Commit,
+    EvictRequest,
+    JoinRequest,
+    NewView,
+    Prepare,
+    ReconfigurationReply,
+    Reply,
+    StateTransferRequest,
+    StateTransferResponse,
+    ViewChange,
+)
+from .minbft import ByzantineBehavior, MinBFTCluster, MinBFTConfig, MinBFTReplica
+from .network import Envelope, NetworkConfig, SimulatedNetwork
+from .raft import LogEntry, RaftCluster, RaftNode, RaftRole
+from .state_machine import KeyValueStateMachine, OperationResult
+from .usig import USIG, UniqueIdentifier, USIGVerifier
+
+__all__ = [
+    "ByzantineBehavior",
+    "Checkpoint",
+    "ClientRequest",
+    "ClientWorkload",
+    "Commit",
+    "CompletedRequest",
+    "Envelope",
+    "EvictRequest",
+    "JoinRequest",
+    "KeyPair",
+    "KeyRegistry",
+    "KeyValueStateMachine",
+    "LogEntry",
+    "MinBFTClient",
+    "MinBFTCluster",
+    "MinBFTConfig",
+    "MinBFTReplica",
+    "NetworkConfig",
+    "NewView",
+    "OperationResult",
+    "Prepare",
+    "RaftCluster",
+    "RaftNode",
+    "RaftRole",
+    "ReconfigurationReply",
+    "Reply",
+    "Signature",
+    "SimulatedNetwork",
+    "StateTransferRequest",
+    "StateTransferResponse",
+    "USIG",
+    "USIGVerifier",
+    "UniqueIdentifier",
+    "ViewChange",
+    "digest",
+]

@@ -1,0 +1,165 @@
+"""MinBFT client: issues signed requests and waits for ``f + 1`` matching replies.
+
+Clients in the paper send each request to all replicas and accept the result
+once ``f + 1`` replicas return identical replies with valid signatures
+(Section VII-B): since at most ``f`` replicas are faulty, at least one of the
+matching replies comes from a healthy replica, so the result is correct.
+The :class:`MinBFTClient` below implements that rule on top of the simulated
+network and also records per-request latency, which the throughput benchmark
+of Figure 10 uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .crypto import KeyRegistry
+from .messages import ClientRequest, Reply
+from .minbft import MinBFTCluster
+
+__all__ = ["CompletedRequest", "MinBFTClient", "ClientWorkload"]
+
+
+@dataclass
+class CompletedRequest:
+    """A request that gathered a quorum of matching replies."""
+
+    request: ClientRequest
+    result: object
+    submitted_at: int
+    completed_at: int
+
+    @property
+    def latency(self) -> int:
+        return self.completed_at - self.submitted_at
+
+
+class MinBFTClient:
+    """A client of the replicated service."""
+
+    def __init__(self, client_id: str, cluster: MinBFTCluster) -> None:
+        self.process_id = client_id
+        self.client_id = client_id
+        self.cluster = cluster
+        self._key = cluster.registry.get_or_create(client_id)
+        self._request_counter = itertools.count(1)
+        self._reply_votes: dict[int, dict[str, set[str]]] = defaultdict(lambda: defaultdict(set))
+        self._reply_values: dict[tuple[int, str], object] = {}
+        self._pending: dict[int, tuple[ClientRequest, int]] = {}
+        self.completed: dict[int, CompletedRequest] = {}
+        cluster.network.register(self)
+
+    # -- network interface ---------------------------------------------------------
+    def on_message(self, sender: str, payload: object, tick: int) -> None:
+        if not isinstance(payload, Reply):
+            return
+        if payload.client_id != self.client_id:
+            return
+        request_id = payload.request_id
+        if request_id in self.completed or request_id not in self._pending:
+            return
+        result_key = repr(payload.result)
+        self._reply_votes[request_id][result_key].add(sender)
+        self._reply_values[(request_id, result_key)] = payload.result
+        quorum = self.cluster.f + 1
+        if len(self._reply_votes[request_id][result_key]) >= quorum:
+            request, submitted_at = self._pending.pop(request_id)
+            self.completed[request_id] = CompletedRequest(
+                request=request,
+                result=self._reply_values[(request_id, result_key)],
+                submitted_at=submitted_at,
+                completed_at=tick,
+            )
+
+    # -- request submission -----------------------------------------------------------
+    def _build_request(self, operation: str, key: str, value: object | None) -> ClientRequest:
+        request_id = next(self._request_counter)
+        unsigned = ClientRequest(
+            client_id=self.client_id,
+            request_id=request_id,
+            operation=operation,
+            key=key,
+            value=value,
+        )
+        signature = self._key.sign(unsigned.payload())
+        return ClientRequest(
+            client_id=self.client_id,
+            request_id=request_id,
+            operation=operation,
+            key=key,
+            value=value,
+            signature=signature,
+        )
+
+    def submit(self, operation: str, key: str, value: object | None = None) -> int:
+        """Send a request to all replicas; returns the request id."""
+        request = self._build_request(operation, key, value)
+        self._pending[request.request_id] = (request, self.cluster.network.tick)
+        for replica_id in self.cluster.membership:
+            self.cluster.network.send(self.client_id, replica_id, request)
+        return request.request_id
+
+    def write(self, key: str, value: object) -> int:
+        return self.submit("write", key, value)
+
+    def read(self, key: str) -> int:
+        return self.submit("read", key)
+
+    # -- blocking helpers ---------------------------------------------------------------
+    def await_request(self, request_id: int, max_ticks: int = 200) -> CompletedRequest | None:
+        """Drive the cluster until the request completes or the budget runs out."""
+        for _ in range(max_ticks):
+            if request_id in self.completed:
+                return self.completed[request_id]
+            self.cluster.run(ticks=1)
+        return self.completed.get(request_id)
+
+    def write_and_wait(self, key: str, value: object, max_ticks: int = 200) -> CompletedRequest | None:
+        return self.await_request(self.write(key, value), max_ticks)
+
+    def read_and_wait(self, key: str, max_ticks: int = 200) -> CompletedRequest | None:
+        return self.await_request(self.read(key), max_ticks)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+
+class ClientWorkload:
+    """Closed-loop workload driver used by the throughput benchmark (Fig. 10).
+
+    Each of ``num_clients`` clients keeps exactly one request outstanding; as
+    soon as a request completes the client submits the next one.  Throughput
+    is the number of completed requests divided by the number of simulated
+    ticks (scaled by the tick duration to obtain requests per second).
+    """
+
+    def __init__(self, cluster: MinBFTCluster, num_clients: int = 1) -> None:
+        self.cluster = cluster
+        self.clients = [MinBFTClient(f"client-{i}", cluster) for i in range(num_clients)]
+
+    def run(self, total_ticks: int, tick_seconds: float = 0.01) -> dict[str, float]:
+        """Run the closed-loop workload; returns throughput and latency stats."""
+        outstanding: dict[str, int] = {}
+        for client in self.clients:
+            outstanding[client.client_id] = client.write("x", 0)
+        completed = 0
+        latencies: list[int] = []
+        for _ in range(total_ticks):
+            self.cluster.run(ticks=1)
+            for client in self.clients:
+                request_id = outstanding[client.client_id]
+                finished = client.completed.get(request_id)
+                if finished is not None:
+                    completed += 1
+                    latencies.append(finished.latency)
+                    outstanding[client.client_id] = client.write("x", completed)
+        elapsed_seconds = max(total_ticks * tick_seconds, 1e-9)
+        return {
+            "completed_requests": float(completed),
+            "throughput_rps": completed / elapsed_seconds,
+            "mean_latency_ticks": float(sum(latencies) / len(latencies)) if latencies else 0.0,
+            "ticks": float(total_ticks),
+        }

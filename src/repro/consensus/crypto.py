@@ -1,0 +1,91 @@
+"""Cryptographic primitives for the consensus substrate.
+
+The paper's implementation signs client requests and protocol messages with
+RSA-1024 and relies on the assumption that the attacker cannot forge
+signatures (Proposition 1a).  For the simulation we provide HMAC-based
+signatures with per-key secrets managed by a :class:`KeyRegistry`: they give
+the same *interface* guarantees (only the holder of the signing secret can
+produce a valid signature; anyone with the registry can verify) without the
+cost of real public-key cryptography.  The registry also doubles as the
+trusted PKI that an authenticated network provides.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import secrets
+from dataclasses import dataclass
+
+__all__ = ["Signature", "KeyPair", "KeyRegistry", "digest"]
+
+
+def _canonical(payload: object) -> bytes:
+    """Deterministic byte serialization of a payload for hashing/signing."""
+    return json.dumps(payload, sort_keys=True, default=repr).encode("utf-8")
+
+
+def digest(payload: object) -> str:
+    """SHA-256 digest of an arbitrary (JSON-serializable) payload."""
+    return hashlib.sha256(_canonical(payload)).hexdigest()
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature: the signer identity plus the authentication tag."""
+
+    signer: str
+    tag: str
+
+
+class KeyPair:
+    """Signing key of one principal (replica, client, or controller)."""
+
+    def __init__(self, owner: str, secret: bytes | None = None) -> None:
+        self.owner = owner
+        self._secret = secret if secret is not None else secrets.token_bytes(32)
+
+    def sign(self, payload: object) -> Signature:
+        tag = hmac.new(self._secret, _canonical(payload), hashlib.sha256).hexdigest()
+        return Signature(signer=self.owner, tag=tag)
+
+    def verify(self, payload: object, signature: Signature) -> bool:
+        if signature.signer != self.owner:
+            return False
+        expected = hmac.new(self._secret, _canonical(payload), hashlib.sha256).hexdigest()
+        return hmac.compare_digest(expected, signature.tag)
+
+
+class KeyRegistry:
+    """Registry of key pairs; models the PKI shared by all correct processes.
+
+    A compromised replica can sign messages with *its own* key (Byzantine
+    behaviour), but it cannot forge another principal's signature because it
+    never learns other principals' secrets — which is exactly assumption (a)
+    of Proposition 1.
+    """
+
+    def __init__(self) -> None:
+        self._keys: dict[str, KeyPair] = {}
+
+    def create(self, owner: str) -> KeyPair:
+        if owner in self._keys:
+            raise ValueError(f"key for {owner!r} already exists")
+        key = KeyPair(owner)
+        self._keys[owner] = key
+        return key
+
+    def get_or_create(self, owner: str) -> KeyPair:
+        if owner not in self._keys:
+            self._keys[owner] = KeyPair(owner)
+        return self._keys[owner]
+
+    def verify(self, payload: object, signature: Signature) -> bool:
+        key = self._keys.get(signature.signer)
+        if key is None:
+            return False
+        return key.verify(payload, signature)
+
+    def known_principals(self) -> list[str]:
+        return sorted(self._keys)

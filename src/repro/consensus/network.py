@@ -1,0 +1,207 @@
+"""Simulated authenticated network for the consensus substrates.
+
+The paper assumes an authenticated, reliable, partially synchronous network
+(Proposition 1b, 1e).  This module provides a discrete-time message-passing
+simulation with:
+
+* per-link latency (in ticks) and optional jitter,
+* optional packet loss (to emulate the 0.05 % / 0.1 % NETEM loss of the
+  testbed) with automatic retransmission to preserve the reliable-link
+  abstraction when requested,
+* network partitions (to exercise the partially synchronous model: messages
+  between partitioned nodes are delayed until the partition heals),
+* authenticated channels: every message carries its true sender identity,
+  which receivers can trust (the paper's authenticated-link assumption).
+
+Processes register with the network and expose an ``on_message`` callback.
+The simulation advances in ticks via :meth:`SimulatedNetwork.step`; the
+convenience :meth:`run` advances until no messages are in flight or a tick
+budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol
+
+import numpy as np
+
+__all__ = ["NetworkConfig", "Envelope", "Process", "SimulatedNetwork"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Configuration of the simulated network.
+
+    Attributes:
+        base_delay: Minimum delivery delay in ticks.
+        jitter: Maximum additional random delay in ticks.
+        loss_probability: Probability that a transmission attempt is lost.
+        reliable: When ``True`` lost messages are retransmitted until they
+            are delivered (reliable links, Prop. 1b); when ``False`` losses
+            are permanent (used to test liveness under lossy links).
+        max_retransmissions: Bound on retransmissions in reliable mode.
+    """
+
+    base_delay: int = 1
+    jitter: int = 0
+    loss_probability: float = 0.0
+    reliable: bool = True
+    max_retransmissions: int = 16
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0 or self.jitter < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError("loss_probability must lie in [0, 1)")
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight: authenticated sender, destination, payload."""
+
+    sender: str
+    destination: str
+    payload: object
+    sent_at: int
+    delivery_tick: int
+
+
+class Process(Protocol):
+    """Interface of a process attached to the network."""
+
+    process_id: str
+
+    def on_message(self, sender: str, payload: object, tick: int) -> None:
+        """Handle a delivered message."""
+        ...
+
+
+class SimulatedNetwork:
+    """Discrete-time message-passing network with authenticated channels."""
+
+    def __init__(self, config: NetworkConfig | None = None, seed: int | None = None) -> None:
+        self.config = config if config is not None else NetworkConfig()
+        self._rng = np.random.default_rng(seed)
+        self._processes: dict[str, Process] = {}
+        self._queue: list[tuple[int, int, Envelope]] = []
+        self._counter = itertools.count()
+        self._partitions: list[set[str]] = []
+        self._crashed: set[str] = set()
+        self.tick = 0
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -- membership --------------------------------------------------------------
+    def register(self, process: Process) -> None:
+        """Attach a process to the network; its id must be unique."""
+        if process.process_id in self._processes:
+            raise ValueError(f"process {process.process_id!r} already registered")
+        self._processes[process.process_id] = process
+
+    def unregister(self, process_id: str) -> None:
+        self._processes.pop(process_id, None)
+        self._crashed.discard(process_id)
+
+    def processes(self) -> list[str]:
+        return sorted(self._processes)
+
+    # -- failures ----------------------------------------------------------------
+    def crash(self, process_id: str) -> None:
+        """Crash a process: it no longer receives messages."""
+        self._crashed.add(process_id)
+
+    def restart(self, process_id: str) -> None:
+        self._crashed.discard(process_id)
+
+    def is_crashed(self, process_id: str) -> bool:
+        return process_id in self._crashed
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Partition the network: only processes in the same group communicate."""
+        self._partitions = [set(group) for group in groups]
+
+    def heal_partition(self) -> None:
+        self._partitions = []
+
+    def _connected(self, a: str, b: str) -> bool:
+        if not self._partitions:
+            return True
+        for group in self._partitions:
+            if a in group and b in group:
+                return True
+        return False
+
+    # -- sending -----------------------------------------------------------------
+    def send(self, sender: str, destination: str, payload: object) -> None:
+        """Send an authenticated message; delivery obeys delay/loss/partitions."""
+        if destination not in self._processes:
+            return
+        self.messages_sent += 1
+        attempts = 1
+        if self.config.loss_probability > 0.0:
+            while self._rng.random() < self.config.loss_probability:
+                if not self.config.reliable or attempts >= self.config.max_retransmissions:
+                    self.messages_dropped += 1
+                    return
+                attempts += 1
+        delay = self.config.base_delay
+        if self.config.jitter > 0:
+            delay += int(self._rng.integers(0, self.config.jitter + 1))
+        # Retransmissions add one base delay each.
+        delay += (attempts - 1) * self.config.base_delay
+        envelope = Envelope(
+            sender=sender,
+            destination=destination,
+            payload=payload,
+            sent_at=self.tick,
+            delivery_tick=self.tick + max(delay, 1),
+        )
+        heapq.heappush(self._queue, (envelope.delivery_tick, next(self._counter), envelope))
+
+    def broadcast(self, sender: str, payload: object, include_self: bool = False) -> None:
+        """Send ``payload`` to every registered process (optionally the sender too)."""
+        for destination in self._processes:
+            if destination == sender and not include_self:
+                continue
+            self.send(sender, destination, payload)
+
+    # -- time --------------------------------------------------------------------
+    def pending_messages(self) -> int:
+        return len(self._queue)
+
+    def step(self) -> int:
+        """Advance one tick, delivering all messages due at the new tick."""
+        self.tick += 1
+        delivered = 0
+        while self._queue and self._queue[0][0] <= self.tick:
+            _, _, envelope = heapq.heappop(self._queue)
+            if not self._connected(envelope.sender, envelope.destination):
+                # Delay the message until the partition heals.
+                heapq.heappush(
+                    self._queue,
+                    (self.tick + 1, next(self._counter), envelope),
+                )
+                # Avoid spinning forever within this tick.
+                if self._queue[0][0] <= self.tick:
+                    break
+                continue
+            process = self._processes.get(envelope.destination)
+            if process is None or envelope.destination in self._crashed:
+                self.messages_dropped += 1
+                continue
+            process.on_message(envelope.sender, envelope.payload, self.tick)
+            self.messages_delivered += 1
+            delivered += 1
+        return delivered
+
+    def run(self, max_ticks: int = 1000) -> int:
+        """Advance until the network is quiescent or the tick budget runs out."""
+        ticks = 0
+        while self._queue and ticks < max_ticks:
+            self.step()
+            ticks += 1
+        return ticks

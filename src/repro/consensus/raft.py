@@ -1,0 +1,376 @@
+"""Raft: the crash-tolerant substrate of the system controller (Section IV).
+
+The TOLERANCE system controller "can be deployed on a standard crash-tolerant
+system, e.g., a RAFT-based system", which is the justification for treating
+its crash probability as negligible.  This module implements the core of
+Raft — leader election with randomized timeouts and log replication with
+majority commit — over the simulated network, sufficient to (a) demonstrate
+that the controller survives minority crashes and (b) serve as the durable
+log in which the system controller records its decisions.
+
+The implementation follows the Raft paper's state machine but runs in the
+discrete-tick model of :class:`~repro.consensus.network.SimulatedNetwork`.
+Byzantine behaviour is out of scope by design: the privileged domain fails
+only by crashing (hybrid failure model).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .network import SimulatedNetwork
+
+__all__ = ["RaftRole", "LogEntry", "RaftNode", "RaftCluster"]
+
+
+class RaftRole(enum.Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One entry of the replicated log: a term and an opaque command."""
+
+    term: int
+    command: object
+
+
+@dataclass(frozen=True)
+class RequestVote:
+    term: int
+    candidate_id: str
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclass(frozen=True)
+class RequestVoteReply:
+    term: int
+    vote_granted: bool
+    voter_id: str
+
+
+@dataclass(frozen=True)
+class AppendEntries:
+    term: int
+    leader_id: str
+    prev_log_index: int
+    prev_log_term: int
+    entries: tuple[LogEntry, ...]
+    leader_commit: int
+
+
+@dataclass(frozen=True)
+class AppendEntriesReply:
+    term: int
+    success: bool
+    follower_id: str
+    match_index: int
+
+
+class RaftNode:
+    """One Raft server."""
+
+    def __init__(
+        self,
+        node_id: str,
+        peers: list[str],
+        network: SimulatedNetwork,
+        election_timeout_range: tuple[int, int] = (10, 20),
+        heartbeat_interval: int = 3,
+        seed: int | None = None,
+    ) -> None:
+        self.process_id = node_id
+        self.node_id = node_id
+        self.peers = [p for p in peers if p != node_id]
+        self.network = network
+        self.role = RaftRole.FOLLOWER
+        self.current_term = 0
+        self.voted_for: str | None = None
+        self.log: list[LogEntry] = []
+        self.commit_index = 0
+        self.last_applied = 0
+        self.applied_commands: list[object] = []
+        self._rng = np.random.default_rng(seed if seed is not None else abs(hash(node_id)) % (2 ** 32))
+        self._election_timeout_range = election_timeout_range
+        self._heartbeat_interval = heartbeat_interval
+        self._ticks_since_heartbeat = 0
+        self._ticks_as_leader = 0
+        self._votes_received: set[str] = set()
+        self._next_index: dict[str, int] = {}
+        self._match_index: dict[str, int] = {}
+        self._reset_election_timeout()
+        network.register(self)
+
+    # -- helpers --------------------------------------------------------------------
+    def _reset_election_timeout(self) -> None:
+        low, high = self._election_timeout_range
+        self._election_timeout = int(self._rng.integers(low, high + 1))
+        self._ticks_since_heartbeat = 0
+
+    @property
+    def cluster_size(self) -> int:
+        return len(self.peers) + 1
+
+    @property
+    def majority(self) -> int:
+        return self.cluster_size // 2 + 1
+
+    def last_log_index(self) -> int:
+        return len(self.log)
+
+    def last_log_term(self) -> int:
+        return self.log[-1].term if self.log else 0
+
+    # -- timers ---------------------------------------------------------------------
+    def on_tick(self, tick: int) -> None:
+        del tick
+        if self.network.is_crashed(self.node_id):
+            return
+        if self.role is RaftRole.LEADER:
+            self._ticks_as_leader += 1
+            if self._ticks_as_leader >= self._heartbeat_interval:
+                self._send_append_entries()
+                self._ticks_as_leader = 0
+            return
+        self._ticks_since_heartbeat += 1
+        if self._ticks_since_heartbeat >= self._election_timeout:
+            self._start_election()
+
+    def _start_election(self) -> None:
+        self.role = RaftRole.CANDIDATE
+        self.current_term += 1
+        self.voted_for = self.node_id
+        self._votes_received = {self.node_id}
+        self._reset_election_timeout()
+        message = RequestVote(
+            term=self.current_term,
+            candidate_id=self.node_id,
+            last_log_index=self.last_log_index(),
+            last_log_term=self.last_log_term(),
+        )
+        for peer in self.peers:
+            self.network.send(self.node_id, peer, message)
+        if self._votes_received_count() >= self.majority:
+            self._become_leader()
+
+    def _votes_received_count(self) -> int:
+        return len(self._votes_received)
+
+    def _become_leader(self) -> None:
+        self.role = RaftRole.LEADER
+        self._next_index = {peer: self.last_log_index() + 1 for peer in self.peers}
+        self._match_index = {peer: 0 for peer in self.peers}
+        self._ticks_as_leader = self._heartbeat_interval  # send a heartbeat immediately
+        self._send_append_entries()
+
+    # -- message handling ---------------------------------------------------------------
+    def on_message(self, sender: str, payload: object, tick: int) -> None:
+        del tick
+        if isinstance(payload, RequestVote):
+            self._handle_request_vote(payload)
+        elif isinstance(payload, RequestVoteReply):
+            self._handle_vote_reply(payload)
+        elif isinstance(payload, AppendEntries):
+            self._handle_append_entries(payload)
+        elif isinstance(payload, AppendEntriesReply):
+            self._handle_append_reply(payload)
+
+    def _maybe_step_down(self, term: int) -> None:
+        if term > self.current_term:
+            self.current_term = term
+            self.role = RaftRole.FOLLOWER
+            self.voted_for = None
+
+    def _handle_request_vote(self, message: RequestVote) -> None:
+        self._maybe_step_down(message.term)
+        grant = False
+        if message.term >= self.current_term and self.voted_for in (None, message.candidate_id):
+            log_ok = (message.last_log_term, message.last_log_index) >= (
+                self.last_log_term(),
+                self.last_log_index(),
+            )
+            if log_ok:
+                grant = True
+                self.voted_for = message.candidate_id
+                self._reset_election_timeout()
+        reply = RequestVoteReply(
+            term=self.current_term, vote_granted=grant, voter_id=self.node_id
+        )
+        self.network.send(self.node_id, message.candidate_id, reply)
+
+    def _handle_vote_reply(self, message: RequestVoteReply) -> None:
+        self._maybe_step_down(message.term)
+        if self.role is not RaftRole.CANDIDATE or message.term != self.current_term:
+            return
+        if message.vote_granted:
+            self._votes_received.add(message.voter_id)
+            if self._votes_received_count() >= self.majority:
+                self._become_leader()
+
+    def _handle_append_entries(self, message: AppendEntries) -> None:
+        self._maybe_step_down(message.term)
+        if message.term < self.current_term:
+            reply = AppendEntriesReply(self.current_term, False, self.node_id, 0)
+            self.network.send(self.node_id, message.leader_id, reply)
+            return
+        self.role = RaftRole.FOLLOWER
+        self._reset_election_timeout()
+        # Consistency check on the previous entry.
+        if message.prev_log_index > 0:
+            if (
+                len(self.log) < message.prev_log_index
+                or self.log[message.prev_log_index - 1].term != message.prev_log_term
+            ):
+                reply = AppendEntriesReply(self.current_term, False, self.node_id, 0)
+                self.network.send(self.node_id, message.leader_id, reply)
+                return
+        # Append new entries, truncating conflicts.
+        index = message.prev_log_index
+        for entry in message.entries:
+            if len(self.log) > index and self.log[index].term != entry.term:
+                self.log = self.log[:index]
+            if len(self.log) <= index:
+                self.log.append(entry)
+            index += 1
+        if message.leader_commit > self.commit_index:
+            self.commit_index = min(message.leader_commit, len(self.log))
+            self._apply_committed()
+        reply = AppendEntriesReply(self.current_term, True, self.node_id, len(self.log))
+        self.network.send(self.node_id, message.leader_id, reply)
+
+    def _handle_append_reply(self, message: AppendEntriesReply) -> None:
+        self._maybe_step_down(message.term)
+        if self.role is not RaftRole.LEADER:
+            return
+        if message.success:
+            self._match_index[message.follower_id] = message.match_index
+            self._next_index[message.follower_id] = message.match_index + 1
+            self._advance_commit_index()
+        else:
+            self._next_index[message.follower_id] = max(
+                1, self._next_index.get(message.follower_id, 1) - 1
+            )
+
+    def _advance_commit_index(self) -> None:
+        for candidate in range(len(self.log), self.commit_index, -1):
+            if self.log[candidate - 1].term != self.current_term:
+                continue
+            replicas = 1 + sum(
+                1 for peer in self.peers if self._match_index.get(peer, 0) >= candidate
+            )
+            if replicas >= self.majority:
+                self.commit_index = candidate
+                self._apply_committed()
+                break
+
+    def _apply_committed(self) -> None:
+        while self.last_applied < self.commit_index:
+            self.last_applied += 1
+            self.applied_commands.append(self.log[self.last_applied - 1].command)
+
+    # -- client interface ------------------------------------------------------------------
+    def propose(self, command: object) -> bool:
+        """Append a command to the log (leader only); returns acceptance."""
+        if self.role is not RaftRole.LEADER:
+            return False
+        self.log.append(LogEntry(term=self.current_term, command=command))
+        self._send_append_entries()
+        return True
+
+    def _send_append_entries(self) -> None:
+        for peer in self.peers:
+            next_index = self._next_index.get(peer, 1)
+            prev_log_index = next_index - 1
+            prev_log_term = (
+                self.log[prev_log_index - 1].term if prev_log_index > 0 and self.log else 0
+            )
+            entries = tuple(self.log[prev_log_index:])
+            message = AppendEntries(
+                term=self.current_term,
+                leader_id=self.node_id,
+                prev_log_index=prev_log_index,
+                prev_log_term=prev_log_term,
+                entries=entries,
+                leader_commit=self.commit_index,
+            )
+            self.network.send(self.node_id, peer, message)
+
+
+class RaftCluster:
+    """A Raft cluster hosting the (crash-tolerant) system controller."""
+
+    def __init__(
+        self,
+        num_nodes: int = 3,
+        network: SimulatedNetwork | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("a Raft cluster needs at least one node")
+        self.network = network if network is not None else SimulatedNetwork(seed=seed)
+        node_ids = [f"raft-{i}" for i in range(num_nodes)]
+        self.nodes = {
+            node_id: RaftNode(
+                node_id,
+                node_ids,
+                self.network,
+                seed=None if seed is None else seed + index,
+            )
+            for index, node_id in enumerate(node_ids)
+        }
+
+    def run(self, ticks: int = 50) -> None:
+        for _ in range(ticks):
+            self.network.step()
+            for node in self.nodes.values():
+                node.on_tick(self.network.tick)
+
+    def elect_leader(self, max_ticks: int = 500) -> str | None:
+        """Run until a leader emerges; returns its id."""
+        for _ in range(max_ticks):
+            self.run(ticks=1)
+            leader = self.leader()
+            if leader is not None:
+                return leader
+        return None
+
+    def leader(self) -> str | None:
+        leaders = [
+            node_id
+            for node_id, node in self.nodes.items()
+            if node.role is RaftRole.LEADER and not self.network.is_crashed(node_id)
+        ]
+        if not leaders:
+            return None
+        # With crashed leaders excluded, the node with the highest term wins.
+        return max(leaders, key=lambda node_id: self.nodes[node_id].current_term)
+
+    def propose(self, command: object, max_ticks: int = 200) -> bool:
+        """Propose a command through the current leader and wait for commit."""
+        leader_id = self.leader() or self.elect_leader()
+        if leader_id is None:
+            return False
+        leader = self.nodes[leader_id]
+        if not leader.propose(command):
+            return False
+        target_index = leader.last_log_index()
+        for _ in range(max_ticks):
+            self.run(ticks=1)
+            if leader.commit_index >= target_index:
+                return True
+        return False
+
+    def crash(self, node_id: str) -> None:
+        self.network.crash(node_id)
+
+    def restart(self, node_id: str) -> None:
+        self.network.restart(node_id)
+
+    def committed_commands(self) -> dict[str, list[object]]:
+        return {node_id: list(node.applied_commands) for node_id, node in self.nodes.items()}

@@ -1,0 +1,94 @@
+"""The replicated service: a deterministic key-value state machine.
+
+The paper's testbed replicates a web service offering two deterministic
+operations: a *read* that returns the current state and a *write* that
+updates it (Section VII-B).  The consensus layer is agnostic to the service
+semantics as long as operations are deterministic, which is what
+:class:`KeyValueStateMachine` provides.  Replicas apply committed requests
+in sequence-number order; equality of state digests across replicas is the
+safety check used by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .crypto import digest
+from .messages import ClientRequest
+
+__all__ = ["OperationResult", "KeyValueStateMachine"]
+
+
+@dataclass(frozen=True)
+class OperationResult:
+    """Result of applying one operation to the state machine."""
+
+    success: bool
+    value: object | None
+    sequence: int
+
+
+class KeyValueStateMachine:
+    """Deterministic key-value store replicated by MinBFT.
+
+    Operations:
+        * ``write(key, value)`` -- store ``value`` under ``key``;
+        * ``read(key)`` -- return the value stored under ``key`` (or ``None``).
+
+    The machine tracks the sequence of applied request identifiers so that
+    safety (identical request sequences on all healthy replicas) can be
+    audited, and exposes snapshot/restore for state transfer.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[str, object] = {}
+        self._applied: list[tuple[str, int]] = []
+        self._last_sequence = 0
+
+    # -- execution -----------------------------------------------------------------
+    def apply(self, request: ClientRequest, sequence: int) -> OperationResult:
+        """Apply a committed request at ``sequence``; idempotent per request id."""
+        if request.identifier in set(self._applied):
+            # Duplicate delivery (e.g. after a view change): return the stored value.
+            value = self._store.get(request.key)
+            return OperationResult(success=True, value=value, sequence=sequence)
+        if request.operation == "write":
+            self._store[request.key] = request.value
+            result_value: object | None = request.value
+        elif request.operation == "read":
+            result_value = self._store.get(request.key)
+        else:
+            return OperationResult(success=False, value=None, sequence=sequence)
+        self._applied.append(request.identifier)
+        self._last_sequence = sequence
+        return OperationResult(success=True, value=result_value, sequence=sequence)
+
+    # -- introspection ----------------------------------------------------------------
+    @property
+    def last_sequence(self) -> int:
+        return self._last_sequence
+
+    def executed_requests(self) -> tuple[tuple[str, int], ...]:
+        """Identifiers of applied requests, in execution order (safety audits)."""
+        return tuple(self._applied)
+
+    def read(self, key: str) -> object | None:
+        return self._store.get(key)
+
+    def state_digest(self) -> str:
+        """Digest of the full state; equal digests imply equal states."""
+        return digest({"store": sorted(self._store.items(), key=lambda kv: kv[0]),
+                       "applied": self._applied})
+
+    # -- state transfer -----------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "store": dict(self._store),
+            "applied": list(self._applied),
+            "last_sequence": self._last_sequence,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self._store = dict(snapshot["store"])
+        self._applied = [tuple(item) for item in snapshot["applied"]]
+        self._last_sequence = int(snapshot["last_sequence"])

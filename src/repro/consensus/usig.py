@@ -1,0 +1,105 @@
+"""USIG: the Unique Sequential Identifier Generator trusted component.
+
+MinBFT tolerates ``f = (N - 1) / 2`` Byzantine replicas — instead of the
+``(N - 1) / 3`` of PBFT — by equipping every replica with a small trusted
+service that assigns *unique, monotonically increasing* counter values to
+messages and certifies the assignment.  A compromised replica can refuse to
+use its USIG, but it cannot equivocate: it cannot assign the same counter
+value to two different messages, and it cannot skip values unnoticed.
+
+In the TOLERANCE architecture the USIG lives in the privileged domain
+(provided by the virtualization layer), so it fails only by crashing — the
+hybrid failure model.  This module simulates the service: the tamper-proof
+property is modelled by keeping the counter and the signing secret inside
+the :class:`USIG` object, which the Byzantine-behaviour code in the
+emulation never touches directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .crypto import KeyPair, KeyRegistry, Signature, digest
+
+__all__ = ["UniqueIdentifier", "USIG", "USIGVerifier"]
+
+
+@dataclass(frozen=True)
+class UniqueIdentifier:
+    """Certificate binding a counter value to a message digest (the "UI")."""
+
+    replica_id: str
+    counter: int
+    message_digest: str
+    signature: Signature
+
+
+class USIG:
+    """Trusted monotonic counter service of one replica."""
+
+    def __init__(self, replica_id: str, registry: KeyRegistry) -> None:
+        self.replica_id = replica_id
+        self._key: KeyPair = registry.get_or_create(f"usig:{replica_id}")
+        self._counter = 0
+
+    @property
+    def counter(self) -> int:
+        """Value of the last assigned counter (0 when none assigned yet)."""
+        return self._counter
+
+    def create_ui(self, message: object) -> UniqueIdentifier:
+        """Assign the next counter value to ``message`` and certify it."""
+        self._counter += 1
+        message_digest = digest(message)
+        payload = {
+            "replica": self.replica_id,
+            "counter": self._counter,
+            "digest": message_digest,
+        }
+        signature = self._key.sign(payload)
+        return UniqueIdentifier(
+            replica_id=self.replica_id,
+            counter=self._counter,
+            message_digest=message_digest,
+            signature=signature,
+        )
+
+
+class USIGVerifier:
+    """Verifier of UIs produced by any replica's USIG.
+
+    Besides signature verification, the verifier tracks the highest counter
+    value seen per replica and enforces the FIFO property: a correct receiver
+    only accepts counter values in strictly increasing order without gaps,
+    which is what prevents equivocation and message reordering.
+    """
+
+    def __init__(self, registry: KeyRegistry) -> None:
+        self._registry = registry
+        self._last_seen: dict[str, int] = {}
+
+    def verify(self, message: object, ui: UniqueIdentifier, enforce_order: bool = True) -> bool:
+        payload = {
+            "replica": ui.replica_id,
+            "counter": ui.counter,
+            "digest": ui.message_digest,
+        }
+        if ui.signature.signer != f"usig:{ui.replica_id}":
+            return False
+        if not self._registry.verify(payload, ui.signature):
+            return False
+        if digest(message) != ui.message_digest:
+            return False
+        if enforce_order:
+            expected = self._last_seen.get(ui.replica_id, 0) + 1
+            if ui.counter != expected:
+                return False
+            self._last_seen[ui.replica_id] = ui.counter
+        return True
+
+    def last_counter(self, replica_id: str) -> int:
+        return self._last_seen.get(replica_id, 0)
+
+    def reset(self, replica_id: str, counter: int = 0) -> None:
+        """Reset the expected counter (used after state transfer / view change)."""
+        self._last_seen[replica_id] = counter

@@ -1,0 +1,154 @@
+"""Core library: the TOLERANCE two-level control architecture.
+
+The local level (intrusion recovery, Problem 1) lives in
+:mod:`~repro.core.node_model`, :mod:`~repro.core.observation`,
+:mod:`~repro.core.belief`, :mod:`~repro.core.costs`,
+:mod:`~repro.core.strategies` and :mod:`~repro.core.node_controller`;
+the global level (replication control, Problem 2) in
+:mod:`~repro.core.system_model` and :mod:`~repro.core.system_controller`.
+:mod:`~repro.core.architecture` wires both levels onto the consensus and
+emulation substrates.
+"""
+
+from .architecture import ArchitectureReport, ToleranceArchitecture
+from .belief import (
+    BeliefFilter,
+    BeliefState,
+    belief_transition_distribution,
+    update_compromise_belief,
+)
+from .correctness import (
+    CorrectnessAuditor,
+    InvariantViolation,
+    check_safety,
+    check_validity,
+    tolerance_threshold,
+)
+from .costs import (
+    NodeCostFunction,
+    SystemCostFunction,
+    expected_node_cost,
+    lagrangian_system_cost,
+    node_cost,
+    system_cost,
+)
+from .metrics import (
+    EpisodeMetrics,
+    MetricsCollector,
+    confidence_interval,
+    metric_divergence_report,
+    summarize_runs,
+)
+from .node_controller import NodeController, NodeControllerState
+from .node_model import (
+    NODE_ACTIONS,
+    NODE_STATES,
+    NodeAction,
+    NodeParameters,
+    NodeState,
+    NodeTransitionModel,
+    expected_time_to_failure,
+    failure_probability_curve,
+    geometric_failure_pmf,
+)
+from .observation import (
+    BetaBinomialObservationModel,
+    DiscreteObservationModel,
+    EmpiricalObservationModel,
+    ObservationModel,
+    is_tp2,
+    kl_divergence,
+    poisson_observation_model,
+)
+from .reliability import (
+    ReliabilityAnalysis,
+    healthy_nodes_transition_matrix,
+    mean_time_to_failure,
+    reliability_function,
+)
+from .strategies import (
+    AdaptiveHeuristicReplicationStrategy,
+    BeliefPeriodicStrategy,
+    MixedReplicationStrategy,
+    MultiThresholdStrategy,
+    NeverAddStrategy,
+    NoRecoveryStrategy,
+    PeriodicStrategy,
+    RecoveryStrategy,
+    ReplicationStrategy,
+    ReplicationThresholdStrategy,
+    TabularReplicationStrategy,
+    ThresholdStrategy,
+)
+from .system_controller import SystemController, SystemControllerDecision
+from .system_model import (
+    BinomialSystemModel,
+    EmpiricalSystemModel,
+    SystemModel,
+    system_model_from_node_beliefs,
+)
+
+__all__ = [
+    "AdaptiveHeuristicReplicationStrategy",
+    "ArchitectureReport",
+    "BeliefFilter",
+    "BeliefPeriodicStrategy",
+    "BeliefState",
+    "BetaBinomialObservationModel",
+    "BinomialSystemModel",
+    "CorrectnessAuditor",
+    "DiscreteObservationModel",
+    "EmpiricalObservationModel",
+    "EmpiricalSystemModel",
+    "EpisodeMetrics",
+    "InvariantViolation",
+    "MetricsCollector",
+    "MixedReplicationStrategy",
+    "MultiThresholdStrategy",
+    "NODE_ACTIONS",
+    "NODE_STATES",
+    "NeverAddStrategy",
+    "NoRecoveryStrategy",
+    "NodeAction",
+    "NodeController",
+    "NodeControllerState",
+    "NodeCostFunction",
+    "NodeParameters",
+    "NodeState",
+    "NodeTransitionModel",
+    "ObservationModel",
+    "PeriodicStrategy",
+    "RecoveryStrategy",
+    "ReliabilityAnalysis",
+    "ReplicationStrategy",
+    "ReplicationThresholdStrategy",
+    "SystemController",
+    "SystemControllerDecision",
+    "SystemCostFunction",
+    "SystemModel",
+    "TabularReplicationStrategy",
+    "ThresholdStrategy",
+    "ToleranceArchitecture",
+    "belief_transition_distribution",
+    "check_safety",
+    "check_validity",
+    "confidence_interval",
+    "expected_node_cost",
+    "expected_time_to_failure",
+    "failure_probability_curve",
+    "geometric_failure_pmf",
+    "healthy_nodes_transition_matrix",
+    "is_tp2",
+    "kl_divergence",
+    "lagrangian_system_cost",
+    "mean_time_to_failure",
+    "metric_divergence_report",
+    "node_cost",
+    "poisson_observation_model",
+    "reliability_function",
+    "summarize_runs",
+    "system_cost",
+    "system_model_from_node_beliefs",
+    "tolerance_threshold",
+    "update_compromise_belief",
+]

@@ -1,0 +1,192 @@
+"""The TOLERANCE architecture: emulation + consensus + two-level control (Fig. 2).
+
+:class:`ToleranceArchitecture` wires all the pieces of the reproduction into
+one runnable system:
+
+* an :class:`~repro.emulation.environment.EmulationEnvironment` providing the
+  ground-truth node dynamics, IDS alerts, and the two control levels;
+* a :class:`~repro.consensus.minbft.MinBFTCluster` running the replicated
+  service, whose membership is kept in sync with the emulation: compromised
+  replicas behave Byzantine, recovered replicas get a fresh container and a
+  state transfer, crashed/evicted replicas are removed, added nodes join
+  through a reconfiguration;
+* a :class:`~repro.consensus.raft.RaftCluster` hosting the (crash-tolerant)
+  system controller, in whose replicated log every global decision is
+  recorded;
+* a :class:`~repro.consensus.client.MinBFTClient` workload exercising the
+  service so that safety/liveness can be audited end to end.
+
+This is the integration point the examples use; the per-experiment
+benchmarks mostly drive the individual components directly for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..consensus.client import MinBFTClient
+from ..consensus.minbft import ByzantineBehavior, MinBFTCluster, MinBFTConfig
+from ..consensus.raft import RaftCluster
+from ..emulation.environment import (
+    EmulationConfig,
+    EmulationEnvironment,
+    EvaluationPolicy,
+    tolerance_policy,
+)
+from ..emulation.services import ServiceWorkload
+from .correctness import check_safety, check_validity
+from .metrics import EpisodeMetrics
+from .node_model import NodeState
+from .observation import ObservationModel
+
+__all__ = ["ArchitectureReport", "ToleranceArchitecture"]
+
+
+@dataclass
+class ArchitectureReport:
+    """End-to-end result of one architecture run.
+
+    Attributes:
+        metrics: Intrusion tolerance metrics of the emulation layer.
+        safety_holds: Whether all live replicas executed consistent request
+            sequences (the Safety property of Section IV-A).
+        validity_holds: Whether every executed request was issued by a client.
+        requests_submitted / requests_completed: Client workload bookkeeping.
+        controller_log_entries: Number of global decisions committed to the
+            Raft log of the system controller.
+        invariant_violations: Count of Proposition 1 violations per condition.
+    """
+
+    metrics: EpisodeMetrics
+    safety_holds: bool
+    validity_holds: bool
+    requests_submitted: int
+    requests_completed: int
+    controller_log_entries: int
+    invariant_violations: dict[str, int]
+
+
+class ToleranceArchitecture:
+    """Integrated TOLERANCE system (Fig. 2): nodes, consensus, two-level control."""
+
+    def __init__(
+        self,
+        config: EmulationConfig | None = None,
+        policy: EvaluationPolicy | None = None,
+        observation_model: ObservationModel | None = None,
+        minbft_config: MinBFTConfig | None = None,
+        raft_nodes: int = 3,
+        requests_per_step: float = 2.0,
+        seed: int | None = None,
+    ) -> None:
+        self.config = config if config is not None else EmulationConfig(initial_nodes=4, horizon=50)
+        self.policy = policy if policy is not None else tolerance_policy()
+        self.environment = EmulationEnvironment(
+            self.config, self.policy, observation_model=observation_model, seed=seed
+        )
+        self.cluster = MinBFTCluster(
+            num_replicas=self.config.initial_nodes,
+            config=minbft_config if minbft_config is not None else MinBFTConfig(),
+            seed=seed,
+        )
+        self.controller_log = RaftCluster(num_nodes=raft_nodes, seed=seed)
+        self.controller_log.elect_leader()
+        self.client = MinBFTClient("client-0", self.cluster)
+        self.workload = ServiceWorkload(requests_per_step=requests_per_step, seed=seed)
+        self._node_to_replica: dict[str, str] = {}
+        self._sync_initial_mapping()
+        self._submitted_requests: list[tuple[str, int]] = []
+        self._rng = np.random.default_rng(seed)
+
+    # -- node/replica mapping -----------------------------------------------------------
+    def _sync_initial_mapping(self) -> None:
+        node_ids = sorted(self.environment.nodes)
+        replica_ids = self.cluster.membership
+        for node_id, replica_id in zip(node_ids, replica_ids):
+            self._node_to_replica[node_id] = replica_id
+
+    def _replica_of(self, node_id: str) -> str | None:
+        return self._node_to_replica.get(node_id)
+
+    # -- one integrated time-step ----------------------------------------------------------
+    def step(self) -> None:
+        """Advance the emulation, mirror its events onto the consensus layer,
+        and run one batch of client requests."""
+        nodes_before = set(self.environment.nodes)
+        record = self.environment.step()
+        nodes_after = set(self.environment.nodes)
+
+        # Mirror compromises: compromised replicas behave Byzantine.
+        for node_id, node in self.environment.nodes.items():
+            replica_id = self._replica_of(node_id)
+            if replica_id is None or replica_id not in self.cluster.replicas:
+                continue
+            attack_state = self.environment.attacker.state_of(node_id)
+            if node.state is NodeState.COMPROMISED:
+                behavior = attack_state.post_compromise_behavior
+                if behavior is ByzantineBehavior.NONE:
+                    behavior = ByzantineBehavior.PARTICIPATE
+                self.cluster.compromise(replica_id, behavior)
+            elif node.state is NodeState.HEALTHY:
+                if self.cluster.replicas[replica_id].byzantine is not ByzantineBehavior.NONE:
+                    self.cluster.recover_replica(replica_id)
+
+        # Mirror crashes and evictions.
+        for node_id in nodes_before - nodes_after:
+            replica_id = self._node_to_replica.pop(node_id, None)
+            if replica_id is not None and replica_id in self.cluster.replicas:
+                self.cluster.crash(replica_id)
+                self.cluster.evict_replica(replica_id)
+                self.controller_log.propose({"action": "evict", "node": node_id})
+
+        # Mirror additions.
+        for node_id in nodes_after - nodes_before:
+            replica_id = self.cluster.add_replica()
+            self._node_to_replica[node_id] = replica_id
+            self.controller_log.propose({"action": "add", "node": node_id})
+
+        # Drive the client workload.
+        for event in self.workload.requests_for_step(record.time_step):
+            if event.operation == "write":
+                request_id = self.client.write(event.key, event.value)
+            else:
+                request_id = self.client.read(event.key)
+            self._submitted_requests.append((self.client.client_id, request_id))
+        self.cluster.run(ticks=20)
+
+    def run(self, horizon: int | None = None) -> ArchitectureReport:
+        """Run the integrated system for ``horizon`` steps and audit correctness."""
+        steps = horizon if horizon is not None else self.config.horizon
+        for _ in range(steps):
+            self.step()
+        self.cluster.run(ticks=100)
+
+        metrics = self.environment.metrics.finalize()
+        live_sequences = [
+            replica.state_machine.executed_requests()
+            for replica_id, replica in self.cluster.replicas.items()
+            if replica.byzantine is ByzantineBehavior.NONE
+            and not self.cluster.network.is_crashed(replica_id)
+        ]
+        executed_ids = set()
+        for sequence in live_sequences:
+            executed_ids.update(tuple(item) for item in sequence)
+        safety = check_safety(live_sequences)
+        validity = check_validity(executed_ids, set(self._submitted_requests))
+
+        leader = self.controller_log.leader()
+        log_entries = 0
+        if leader is not None:
+            log_entries = len(self.controller_log.nodes[leader].applied_commands)
+
+        return ArchitectureReport(
+            metrics=metrics,
+            safety_holds=safety,
+            validity_holds=validity,
+            requests_submitted=len(self._submitted_requests),
+            requests_completed=len(self.client.completed),
+            controller_log_entries=log_entries,
+            invariant_violations=self.environment.auditor.violation_counts(),
+        )

@@ -1,0 +1,229 @@
+"""Belief computation for node controllers (Equation 4 and Appendix A).
+
+A node controller cannot observe whether its replica is compromised.  It
+maintains the belief
+
+.. math::
+
+    b_{i,t} = P[S_{i,t} = C \\mid o_{i,1}, a_{i,1}, \\ldots, o_{i,t}, b_{i,1}],
+
+which Appendix A shows is a sufficient statistic for the hidden state and can
+be computed with the recursive Bayesian filter
+
+.. math::
+
+    b_{i,t}(s) \\propto Z(o_t \\mid s) \\sum_{s'} b_{i,t-1}(s') f_N(s \\mid s', a_{t-1}).
+
+This module implements that filter in two flavours:
+
+* :class:`BeliefState` / :class:`BeliefFilter` -- filtering over the full
+  three-state distribution ``(H, C, crash)``, which is what the emulation
+  and the architecture layer use;
+* :func:`update_compromise_belief` -- the scalar update over ``b = P[C]``
+  restricted to the two live states, which is what the POMDP solvers and the
+  threshold strategies of Theorem 1 operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .node_model import NODE_STATES, NodeAction, NodeState, NodeTransitionModel
+from .observation import ObservationModel
+
+__all__ = [
+    "BeliefState",
+    "BeliefFilter",
+    "update_compromise_belief",
+    "belief_transition_distribution",
+]
+
+
+@dataclass(frozen=True)
+class BeliefState:
+    """Distribution over the three node states at one time-step."""
+
+    healthy: float
+    compromised: float
+    crashed: float
+
+    def __post_init__(self) -> None:
+        total = self.healthy + self.compromised + self.crashed
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(f"belief must sum to one, got {total}")
+        for name in ("healthy", "compromised", "crashed"):
+            if getattr(self, name) < -1e-12:
+                raise ValueError(f"belief component {name} must be non-negative")
+
+    @classmethod
+    def from_vector(cls, vector: np.ndarray) -> "BeliefState":
+        vector = np.asarray(vector, dtype=float)
+        vector = np.clip(vector, 0.0, None)
+        vector = vector / vector.sum()
+        return cls(float(vector[0]), float(vector[1]), float(vector[2]))
+
+    @classmethod
+    def initial(cls, p_a: float) -> "BeliefState":
+        """Initial belief ``b_1 = p_A`` used by Problem 1 (Eq. 6a)."""
+        return cls(1.0 - p_a, p_a, 0.0)
+
+    def as_vector(self) -> np.ndarray:
+        return np.array([self.healthy, self.compromised, self.crashed], dtype=float)
+
+    @property
+    def compromise_probability(self) -> float:
+        """``P[S = C]`` — the scalar belief used by threshold strategies."""
+        return self.compromised
+
+    @property
+    def failure_probability(self) -> float:
+        """``P[S = C or S = crash]`` — probability the node counts toward f."""
+        return self.compromised + self.crashed
+
+    @property
+    def live_compromise_probability(self) -> float:
+        """``P[S = C | S != crash]``: belief conditioned on the node being alive."""
+        live = self.healthy + self.compromised
+        if live <= 0.0:
+            return 1.0
+        return self.compromised / live
+
+
+class BeliefFilter:
+    """Recursive Bayesian filter over the node state (Appendix A).
+
+    The filter is deliberately stateless with respect to observations: the
+    caller provides the previous belief, the action taken, and the new
+    observation, and receives the posterior belief.  A convenience
+    :meth:`run` method filters a whole trajectory.
+    """
+
+    def __init__(
+        self,
+        transition_model: NodeTransitionModel,
+        observation_model: ObservationModel,
+    ) -> None:
+        self.transition_model = transition_model
+        self.observation_model = observation_model
+
+    def predict(self, belief: BeliefState, action: NodeAction) -> BeliefState:
+        """Chapman-Kolmogorov prediction step (no observation)."""
+        prior = belief.as_vector() @ self.transition_model.matrix(action)
+        return BeliefState.from_vector(prior)
+
+    def update(
+        self,
+        belief: BeliefState,
+        action: NodeAction,
+        observation: int,
+    ) -> BeliefState:
+        """Full predict + correct step of the belief recursion in Appendix A."""
+        prior = belief.as_vector() @ self.transition_model.matrix(action)
+        likelihood = np.array(
+            [self.observation_model.probability(observation, state) for state in NODE_STATES]
+        )
+        unnormalized = likelihood * prior
+        total = unnormalized.sum()
+        if total <= 0.0:
+            # Observation impossible under the model; fall back to the prior.
+            return BeliefState.from_vector(prior)
+        return BeliefState.from_vector(unnormalized / total)
+
+    def run(
+        self,
+        initial_belief: BeliefState,
+        actions: list[NodeAction],
+        observations: list[int],
+    ) -> list[BeliefState]:
+        """Filter a trajectory; returns beliefs ``[b_1, b_2, ..., b_T]``."""
+        if len(actions) != len(observations):
+            raise ValueError("actions and observations must have equal length")
+        beliefs = [initial_belief]
+        belief = initial_belief
+        for action, observation in zip(actions, observations):
+            belief = self.update(belief, action, observation)
+            beliefs.append(belief)
+        return beliefs
+
+
+def update_compromise_belief(
+    belief: float,
+    action: NodeAction,
+    observation: int,
+    transition_model: NodeTransitionModel,
+    observation_model: ObservationModel,
+) -> float:
+    """Scalar belief update over ``b = P[S = C | alive]``.
+
+    The POMDP solvers and the threshold strategies of Theorem 1 work on the
+    two live states only (the crashed state is observable in practice: a
+    crashed node stops responding and is evicted by the system controller).
+    This function performs the Bayesian update restricted to ``{H, C}`` and
+    renormalizes over the live states.
+
+    Args:
+        belief: Previous belief ``b_{t-1} = P[S_{t-1} = C]``.
+        action: Action ``a_{t-1}`` taken at the previous step.
+        observation: New observation ``o_t``.
+        transition_model: Node transition kernel ``f_N``.
+        observation_model: Observation model ``Z``.
+
+    Returns:
+        The posterior belief ``b_t`` in ``[0, 1]``.
+    """
+    if not 0.0 <= belief <= 1.0:
+        raise ValueError(f"belief must lie in [0, 1], got {belief}")
+    prior_vector = np.array([1.0 - belief, belief, 0.0]) @ transition_model.matrix(action)
+    live_states = (NodeState.HEALTHY, NodeState.COMPROMISED)
+    weights = np.array(
+        [
+            observation_model.probability(observation, state) * prior_vector[state]
+            for state in live_states
+        ]
+    )
+    total = weights.sum()
+    if total <= 0.0:
+        # Degenerate case: renormalize the prior over live states.
+        live_mass = prior_vector[NodeState.HEALTHY] + prior_vector[NodeState.COMPROMISED]
+        if live_mass <= 0.0:
+            return 1.0
+        return float(prior_vector[NodeState.COMPROMISED] / live_mass)
+    return float(weights[1] / total)
+
+
+def belief_transition_distribution(
+    belief: float,
+    action: NodeAction,
+    transition_model: NodeTransitionModel,
+    observation_model: ObservationModel,
+) -> list[tuple[float, float]]:
+    """Distribution over next beliefs ``(probability, b')`` given ``(b, a)``.
+
+    Used by the belief-MDP value iteration and by the proofs' machinery: for
+    every observation ``o`` with positive probability under ``(b, a)`` the
+    next belief ``b' = tau(b, a, o)`` occurs with probability ``P[o | b, a]``.
+    """
+    results: list[tuple[float, float]] = []
+    prior_vector = np.array([1.0 - belief, belief, 0.0]) @ transition_model.matrix(action)
+    live_mass = prior_vector[NodeState.HEALTHY] + prior_vector[NodeState.COMPROMISED]
+    if live_mass <= 0.0:
+        return [(1.0, 1.0)]
+    for observation in observation_model.observations:
+        prob_o = sum(
+            observation_model.probability(int(observation), state) * prior_vector[state]
+            for state in (NodeState.HEALTHY, NodeState.COMPROMISED)
+        )
+        prob_o /= live_mass
+        if prob_o <= 0.0:
+            continue
+        next_belief = update_compromise_belief(
+            belief, action, int(observation), transition_model, observation_model
+        )
+        results.append((float(prob_o), next_belief))
+    # Normalize for numerical safety.
+    total = sum(p for p, _ in results)
+    if total > 0:
+        results = [(p / total, b) for p, b in results]
+    return results

@@ -1,0 +1,153 @@
+"""Correctness auditing: the invariants of Proposition 1.
+
+TOLERANCE provides correct service (safety, liveness, validity) when:
+
+(c) at most ``k`` nodes recover simultaneously and at most ``f`` nodes are
+    compromised or crashed simultaneously; and
+(d) ``N_t >= 2f + 1 + k`` at all times.
+
+The emulation and the consensus layer call :class:`CorrectnessAuditor` every
+time-step with a census of node states and recovery actions; the auditor
+records violations and exposes the availability bookkeeping used by
+``T^(A)``.  A separate :func:`check_safety` helper verifies that a set of
+replicas executed the same request sequence (the Safety property), which the
+consensus tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = [
+    "InvariantViolation",
+    "CorrectnessAuditor",
+    "check_safety",
+    "check_validity",
+    "tolerance_threshold",
+]
+
+
+def tolerance_threshold(num_nodes: int, k: int = 1) -> int:
+    """Tolerance threshold ``f = (N - 1 - k) / 2`` of the hybrid model (Prop. 1).
+
+    Returns the largest integer ``f`` such that ``N >= 2f + 1 + k``.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return max((num_nodes - 1 - k) // 2, 0)
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """Record of a violated Proposition 1 condition at one time-step."""
+
+    time_step: int
+    condition: str
+    detail: str
+
+
+@dataclass
+class CorrectnessAuditor:
+    """Tracks the Proposition 1 invariants over an execution.
+
+    Attributes:
+        f: Tolerance threshold.
+        k: Maximum parallel recoveries.
+    """
+
+    f: int
+    k: int = 1
+    violations: list[InvariantViolation] = field(default_factory=list)
+    steps_audited: int = 0
+    steps_available: int = 0
+
+    def audit_step(
+        self,
+        time_step: int,
+        num_nodes: int,
+        num_compromised: int,
+        num_crashed: int,
+        num_recovering: int,
+    ) -> bool:
+        """Audit one time-step; returns ``True`` when all invariants hold."""
+        if min(num_nodes, num_compromised, num_crashed, num_recovering) < 0:
+            raise ValueError("counts must be non-negative")
+        self.steps_audited += 1
+        ok = True
+
+        if num_recovering > self.k:
+            self.violations.append(
+                InvariantViolation(
+                    time_step,
+                    "parallel-recoveries",
+                    f"{num_recovering} nodes recovering simultaneously, limit is k={self.k}",
+                )
+            )
+            ok = False
+
+        if num_nodes < 2 * self.f + 1 + self.k:
+            self.violations.append(
+                InvariantViolation(
+                    time_step,
+                    "replication-factor",
+                    f"N_t={num_nodes} below 2f+1+k={2 * self.f + 1 + self.k}",
+                )
+            )
+            ok = False
+
+        failed = num_compromised + num_crashed
+        if failed <= self.f:
+            self.steps_available += 1
+        else:
+            self.violations.append(
+                InvariantViolation(
+                    time_step,
+                    "failure-bound",
+                    f"{failed} compromised or crashed nodes exceed f={self.f}",
+                )
+            )
+            ok = False
+        return ok
+
+    @property
+    def availability(self) -> float:
+        if self.steps_audited == 0:
+            return 1.0
+        return self.steps_available / self.steps_audited
+
+    def violation_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.condition] = counts.get(violation.condition, 0) + 1
+        return counts
+
+    def all_invariants_held(self) -> bool:
+        return not self.violations
+
+
+def check_safety(executed_sequences: Iterable[Sequence[object]]) -> bool:
+    """Safety: every healthy replica executed the same request sequence.
+
+    Replicas may lag (a prefix relationship is allowed, as slower replicas
+    simply have not executed the tail yet); diverging histories violate
+    safety.
+    """
+    sequences = [list(seq) for seq in executed_sequences]
+    if len(sequences) <= 1:
+        return True
+    reference = max(sequences, key=len)
+    for sequence in sequences:
+        if list(reference[: len(sequence)]) != sequence:
+            return False
+    return True
+
+
+def check_validity(
+    executed_requests: Iterable[object], client_requests: Iterable[object]
+) -> bool:
+    """Validity: each executed request was sent by a client."""
+    sent = set(client_requests)
+    return all(request in sent for request in executed_requests)

@@ -1,0 +1,126 @@
+"""Cost functions for the local and global control problems.
+
+Local level (Problem 1).  The node controller minimizes the bi-objective
+``J_i = eta * T^(R) + F^(R)`` (Eq. 5), whose per-step cost is
+
+.. math::
+
+    c_N(s, a) = \\eta s - a \\eta s + a = \\eta \\, s (1 - a) + a,
+
+with ``H = 0``, ``C = 1``, ``W = 0``, ``R = 1``.  In words: waiting while
+compromised costs ``eta`` per step (this accumulates into the
+time-to-recovery term), and every recovery costs ``1`` (the recovery
+frequency term).
+
+Global level (Problem 2).  The system controller minimizes the expected
+number of nodes ``J = lim 1/T sum s_t`` subject to the availability
+constraint ``T^(A) >= epsilon_A``.  Its Lagrangian-relaxed per-step cost is
+``c_lambda(s) = s + lambda * [s < f + 1]`` (Appendix D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .node_model import NodeAction, NodeState
+
+__all__ = [
+    "node_cost",
+    "expected_node_cost",
+    "NodeCostFunction",
+    "system_cost",
+    "lagrangian_system_cost",
+    "SystemCostFunction",
+]
+
+
+def node_cost(state: NodeState, action: NodeAction, eta: float = 2.0) -> float:
+    """Per-step node cost ``c_N(s, a)`` from Equation (5).
+
+    The crashed state incurs no direct cost here: crashed nodes no longer
+    accumulate time-to-recovery (they are evicted by the system controller,
+    whose own objective penalizes the loss of redundancy).
+    """
+    if eta < 1.0:
+        raise ValueError(f"eta must be >= 1, got {eta}")
+    s = 1.0 if state is NodeState.COMPROMISED else 0.0
+    a = 1.0 if action is NodeAction.RECOVER else 0.0
+    return eta * s - a * eta * s + a
+
+
+def expected_node_cost(belief: float, action: NodeAction, eta: float = 2.0) -> float:
+    """Expected immediate cost ``c_N(b, a)`` given belief ``b = P[S = C]``.
+
+    This is the belief-space cost used by the POMDP machinery in the proof of
+    Theorem 1: ``c_N(b, W) = eta * b`` and ``c_N(b, R) = 1``.
+    """
+    if not 0.0 <= belief <= 1.0:
+        raise ValueError(f"belief must lie in [0, 1], got {belief}")
+    if action is NodeAction.RECOVER:
+        return 1.0
+    return eta * belief
+
+
+@dataclass(frozen=True)
+class NodeCostFunction:
+    """Callable wrapper bundling the cost weight ``eta``.
+
+    Using a small object instead of a bare float keeps solver interfaces
+    explicit about which objective they optimize.
+    """
+
+    eta: float = 2.0
+
+    def __call__(self, state: NodeState, action: NodeAction) -> float:
+        return node_cost(state, action, self.eta)
+
+    def on_belief(self, belief: float, action: NodeAction) -> float:
+        return expected_node_cost(belief, action, self.eta)
+
+    def matrix(self) -> np.ndarray:
+        """Cost matrix ``C[a, s]`` over (action, state) pairs."""
+        states = (NodeState.HEALTHY, NodeState.COMPROMISED, NodeState.CRASHED)
+        actions = (NodeAction.WAIT, NodeAction.RECOVER)
+        return np.array([[self(s, a) for s in states] for a in actions])
+
+
+def system_cost(state: int) -> float:
+    """Per-step cost of the system controller: the number of nodes (Eq. 9)."""
+    if state < 0:
+        raise ValueError("system state (number of healthy nodes) must be non-negative")
+    return float(state)
+
+
+def lagrangian_system_cost(state: int, f: int, lagrange_multiplier: float) -> float:
+    """Lagrangian-relaxed cost ``c_lambda(s) = s + lambda * [s < f + 1]``.
+
+    Penalizes states where the number of healthy nodes drops to ``f`` or
+    below, i.e. where correct service can no longer be guaranteed
+    (Proposition 1, Appendix D).
+    """
+    if lagrange_multiplier < 0.0:
+        raise ValueError("Lagrange multiplier must be non-negative")
+    penalty = lagrange_multiplier if state < f + 1 else 0.0
+    return float(state) + penalty
+
+
+@dataclass(frozen=True)
+class SystemCostFunction:
+    """Cost of the global CMDP with an optional Lagrangian availability penalty."""
+
+    f: int
+    lagrange_multiplier: float = 0.0
+
+    def __call__(self, state: int, action: int = 0) -> float:
+        del action  # the cost does not depend on the add action
+        return lagrangian_system_cost(state, self.f, self.lagrange_multiplier)
+
+    def availability_indicator(self, state: int) -> float:
+        """``[s >= f + 1]``: one when correct service is guaranteed."""
+        return 1.0 if state >= self.f + 1 else 0.0
+
+    def vector(self, num_states: int) -> np.ndarray:
+        """Cost vector over states ``0..num_states-1``."""
+        return np.array([self(s) for s in range(num_states)])

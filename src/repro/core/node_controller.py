@@ -1,0 +1,148 @@
+"""Local node controller: belief tracking + recovery decisions (Section IV).
+
+The :class:`NodeController` is the runtime component executed in the
+privileged domain of every TOLERANCE node.  Each time-step it:
+
+1. receives the weighted IDS alert count ``o_t`` from the node's IDS;
+2. updates its belief ``b_t`` that the replica is compromised
+   (:mod:`repro.core.belief`);
+3. queries its recovery strategy ``pi_i(b_t)`` and enforces the
+   bounded-time-to-recovery constraint ``a_{k Delta_R} = R`` (Eq. 6b);
+4. reports its belief to the system controller.
+
+The controller is deliberately unaware of the true node state; the emulation
+layer owns the ground truth and feeds observations only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .belief import update_compromise_belief
+from .node_model import NodeAction, NodeParameters, NodeTransitionModel
+from .observation import ObservationModel
+from .strategies import RecoveryStrategy, ThresholdStrategy
+
+__all__ = ["NodeControllerState", "NodeController"]
+
+
+@dataclass
+class NodeControllerState:
+    """Snapshot of a controller's internal state (for logging and tests)."""
+
+    belief: float
+    time_since_recovery: int
+    total_recoveries: int
+    last_action: NodeAction
+    last_observation: int | None
+
+
+class NodeController:
+    """Feedback controller for intrusion recovery on a single node.
+
+    Args:
+        node_id: Identifier of the node the controller manages.
+        params: Node model parameters (defines ``f_N``, ``eta``, ``Delta_R``).
+        observation_model: Intrusion detection model ``Z`` (or ``\\hat{Z}``).
+        strategy: Recovery strategy; defaults to a conservative threshold
+            strategy when not provided.
+        enforce_btr: Whether to force a recovery every ``Delta_R`` steps
+            (Eq. 6b).  Disabling this reproduces the ``Delta_R = inf`` rows
+            of Table 7.
+    """
+
+    def __init__(
+        self,
+        node_id: object,
+        params: NodeParameters,
+        observation_model: ObservationModel,
+        strategy: RecoveryStrategy | None = None,
+        enforce_btr: bool = True,
+    ) -> None:
+        self.node_id = node_id
+        self.params = params
+        self.observation_model = observation_model
+        self.strategy: RecoveryStrategy = strategy if strategy is not None else ThresholdStrategy(0.75)
+        self.enforce_btr = enforce_btr
+        self.transition_model = NodeTransitionModel(params)
+        self.reset()
+
+    # -- lifecycle ---------------------------------------------------------------
+    def reset(self) -> None:
+        """Reset the controller to its initial belief ``b_1 = p_A`` (Eq. 6a)."""
+        self.belief = self.params.p_a
+        self.time_since_recovery = 0
+        self.total_recoveries = 0
+        self.last_action = NodeAction.WAIT
+        self.last_observation: int | None = None
+
+    def notify_recovered(self) -> None:
+        """Inform the controller that its replica was just recovered.
+
+        Recovery replaces the container, so the belief is reset to the prior
+        compromise probability and the BTR clock restarts.
+        """
+        self.belief = self.params.p_a
+        self.time_since_recovery = 0
+        self.total_recoveries += 1
+
+    # -- control loop --------------------------------------------------------------
+    def btr_deadline_reached(self) -> bool:
+        """Whether the BTR constraint forces a recovery at this step."""
+        if not self.enforce_btr:
+            return False
+        delta_r = self.params.delta_r
+        if delta_r is math.inf or delta_r == math.inf:
+            return False
+        return self.time_since_recovery >= int(delta_r) - 1
+
+    def observe(self, observation: int) -> float:
+        """Incorporate a new IDS alert observation and return the new belief."""
+        self.belief = update_compromise_belief(
+            self.belief,
+            self.last_action,
+            observation,
+            self.transition_model,
+            self.observation_model,
+        )
+        self.last_observation = observation
+        return self.belief
+
+    def decide(self) -> NodeAction:
+        """Choose the recovery action for the current step.
+
+        The decision combines the strategy ``pi_i(b_t)`` with the BTR
+        constraint: when the deadline is reached the action is forced to
+        ``RECOVER`` regardless of the belief.
+        """
+        if self.btr_deadline_reached():
+            action = NodeAction.RECOVER
+        else:
+            action = self.strategy.action(self.belief, self.time_since_recovery)
+        self.last_action = action
+        return action
+
+    def step(self, observation: int) -> tuple[NodeAction, float]:
+        """Full controller step: observe, decide, advance internal clocks.
+
+        Returns the chosen action and the posterior belief reported to the
+        system controller.
+        """
+        belief = self.observe(observation)
+        action = self.decide()
+        if action is NodeAction.RECOVER:
+            self.notify_recovered()
+        else:
+            self.time_since_recovery += 1
+        return action, belief
+
+    # -- introspection ----------------------------------------------------------------
+    def state(self) -> NodeControllerState:
+        return NodeControllerState(
+            belief=self.belief,
+            time_since_recovery=self.time_since_recovery,
+            total_recoveries=self.total_recoveries,
+            last_action=self.last_action,
+            last_observation=self.last_observation,
+        )

@@ -1,0 +1,337 @@
+"""Local node model: the machine replacement POMDP of Problem 1.
+
+This module implements the hidden state model of a single TOLERANCE node
+(Section V-A of the paper).  A node is in one of three states:
+
+* ``HEALTHY`` (``H``)      -- the replica behaves correctly,
+* ``COMPROMISED`` (``C``)  -- the replica is controlled by the attacker,
+* ``CRASHED`` (``EMPTY``)  -- the replica has crashed (absorbing state).
+
+At every time-step the node controller chooses between two actions,
+``WAIT`` and ``RECOVER``.  The state evolves according to the Markovian
+transition function :math:`f_{N,i}` given by Equation (2) of the paper,
+parameterised by
+
+* ``p_a``  -- probability the attacker compromises the node in one step,
+* ``p_c1`` -- probability the node crashes while healthy,
+* ``p_c2`` -- probability the node crashes while compromised,
+* ``p_u``  -- probability the replica software is updated (which also
+  restores a compromised replica to the healthy state).
+
+The module provides the transition kernel both as a callable
+(:meth:`NodeTransitionModel.probability`) and as dense matrices
+(:meth:`NodeTransitionModel.matrix`), plus utilities used throughout the
+library: sampling of state trajectories, the geometric time-to-failure
+distribution illustrated in Figure 5, and validation of the assumptions
+(A)-(C) of Theorem 1.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "NodeState",
+    "NodeAction",
+    "NodeParameters",
+    "NodeTransitionModel",
+    "failure_probability_curve",
+    "geometric_failure_pmf",
+]
+
+
+class NodeState(enum.IntEnum):
+    """Hidden state of a node (Fig. 3 of the paper).
+
+    The integer values follow the convention in the paper where
+    ``H = 0`` and ``C = 1``; the crashed state is given index ``2`` so that
+    states can be used to index transition matrices directly.
+    """
+
+    HEALTHY = 0
+    COMPROMISED = 1
+    CRASHED = 2
+
+    @property
+    def symbol(self) -> str:
+        """Single letter notation used in the paper (``H``, ``C``, ``0``)."""
+        return {"HEALTHY": "H", "COMPROMISED": "C", "CRASHED": "0"}[self.name]
+
+    @property
+    def is_failed(self) -> bool:
+        """Whether the node counts against the tolerance threshold ``f``."""
+        return self is not NodeState.HEALTHY
+
+
+class NodeAction(enum.IntEnum):
+    """Action of a node controller: (W)ait = 0 or (R)ecover = 1."""
+
+    WAIT = 0
+    RECOVER = 1
+
+    @property
+    def symbol(self) -> str:
+        return "W" if self is NodeAction.WAIT else "R"
+
+
+#: Canonical orderings used when building matrices.
+NODE_STATES: tuple[NodeState, ...] = (
+    NodeState.HEALTHY,
+    NodeState.COMPROMISED,
+    NodeState.CRASHED,
+)
+NODE_ACTIONS: tuple[NodeAction, ...] = (NodeAction.WAIT, NodeAction.RECOVER)
+
+
+@dataclass(frozen=True)
+class NodeParameters:
+    """Parameters of the node transition and cost model (Table 1, Eq. 2, Eq. 5).
+
+    Attributes:
+        p_a: Probability that the attacker compromises the node during one
+            time interval, ``p_{A,i}`` in the paper.
+        p_c1: Probability that the node crashes in the healthy state,
+            ``p_{C_1,i}``.
+        p_c2: Probability that the node crashes in the compromised state,
+            ``p_{C_2,i}``.
+        p_u: Probability that the node's software is updated during one
+            interval, ``p_{U,i}``.
+        eta: Cost weight ``eta >= 1`` trading off time-to-recovery against
+            recovery frequency in the node cost function (Eq. 5).
+        delta_r: Bounded-time-to-recovery (BTR) constraint ``Delta_R``: the
+            maximum number of time-steps between two recoveries (Eq. 6b).
+            ``math.inf`` disables periodic recoveries.
+        k: Maximum number of nodes allowed to recover simultaneously
+            (Proposition 1); carried here for convenience of the
+            architecture layer.
+    """
+
+    p_a: float = 0.1
+    p_c1: float = 1e-5
+    p_c2: float = 1e-3
+    p_u: float = 0.02
+    eta: float = 2.0
+    delta_r: float = math.inf
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("p_a", "p_c1", "p_c2", "p_u"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.eta < 1.0:
+            raise ValueError(f"eta must be >= 1, got {self.eta}")
+        if self.delta_r is not math.inf:
+            if self.delta_r != math.inf and (self.delta_r < 1 or int(self.delta_r) != self.delta_r):
+                raise ValueError(f"delta_r must be a positive integer or inf, got {self.delta_r}")
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+
+    # -- Theorem 1 assumptions -------------------------------------------------
+    def satisfies_assumption_a(self) -> bool:
+        """Assumption A: all probabilities lie strictly inside (0, 1)."""
+        return all(
+            0.0 < p < 1.0 for p in (self.p_a, self.p_c1, self.p_c2, self.p_u)
+        )
+
+    def satisfies_assumption_b(self) -> bool:
+        """Assumption B: ``p_a + p_u <= 1``."""
+        return self.p_a + self.p_u <= 1.0
+
+    def satisfies_assumption_c(self) -> bool:
+        """Assumption C: crash probability gap between C and H is large enough."""
+        numerator = self.p_c1 * (self.p_u - 1.0)
+        denominator = self.p_a * (self.p_c1 - 1.0) + self.p_c1 * (self.p_u - 1.0)
+        if denominator == 0.0:
+            return False
+        return numerator / denominator <= self.p_c2
+
+    def satisfies_theorem_1_assumptions(self) -> bool:
+        """Whether assumptions (A)-(C) of Theorem 1 hold for these parameters.
+
+        Assumptions (D)-(E) concern the observation model and are checked by
+        :mod:`repro.core.observation`.
+        """
+        return (
+            self.satisfies_assumption_a()
+            and self.satisfies_assumption_b()
+            and self.satisfies_assumption_c()
+        )
+
+    def with_updates(self, **kwargs) -> "NodeParameters":
+        """Return a copy of the parameters with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+class NodeTransitionModel:
+    """The Markov transition kernel ``f_{N,i}`` of Equation (2).
+
+    The model exposes transition probabilities both element-wise and as
+    dense ``(|A|, |S|, |S|)`` matrices suitable for POMDP solvers, and it
+    supports sampling trajectories of the hidden state.
+    """
+
+    def __init__(self, params: NodeParameters) -> None:
+        self.params = params
+        self._matrices = self._build_matrices(params)
+
+    @staticmethod
+    def _build_matrices(params: NodeParameters) -> np.ndarray:
+        """Build transition matrices ``P[a, s, s']`` following Eq. (2a)-(2j)."""
+        p_a, p_c1, p_c2, p_u = params.p_a, params.p_c1, params.p_c2, params.p_u
+        h, c, e = NodeState.HEALTHY, NodeState.COMPROMISED, NodeState.CRASHED
+        w, r = NodeAction.WAIT, NodeAction.RECOVER
+
+        matrices = np.zeros((len(NODE_ACTIONS), len(NODE_STATES), len(NODE_STATES)))
+
+        for action in (w, r):
+            # (2a): the crashed state is absorbing.
+            matrices[action, e, e] = 1.0
+            # (2b): crash from healthy.
+            matrices[action, h, e] = p_c1
+            # (2c): crash from compromised.
+            matrices[action, c, e] = p_c2
+            # (2d)-(2e): remain healthy (identical for W and R).
+            matrices[action, h, h] = (1.0 - p_a) * (1.0 - p_c1)
+            # (2h): healthy -> compromised (identical for W and R).
+            matrices[action, h, c] = (1.0 - p_c1) * p_a
+
+        # (2f): recovery succeeds unless re-compromised or crashed.
+        matrices[r, c, h] = (1.0 - p_a) * (1.0 - p_c2)
+        # (2i): recovery foiled by immediate re-compromise.
+        matrices[r, c, c] = (1.0 - p_c2) * p_a
+        # (2g): software update restores a compromised replica under WAIT.
+        matrices[w, c, h] = (1.0 - p_c2) * p_u
+        # (2j): compromised node stays compromised under WAIT.
+        matrices[w, c, c] = (1.0 - p_c2) * (1.0 - p_u)
+
+        return matrices
+
+    # -- queries --------------------------------------------------------------
+    def probability(
+        self, next_state: NodeState, state: NodeState, action: NodeAction
+    ) -> float:
+        """Return ``f_N(next_state | state, action)``."""
+        return float(self._matrices[action, state, next_state])
+
+    def matrix(self, action: NodeAction) -> np.ndarray:
+        """Return the ``|S| x |S|`` transition matrix for ``action``."""
+        return self._matrices[action].copy()
+
+    def matrices(self) -> np.ndarray:
+        """Return all transition matrices as an ``(|A|, |S|, |S|)`` array."""
+        return self._matrices.copy()
+
+    def is_stochastic(self, atol: float = 1e-12) -> bool:
+        """Check that every row of every transition matrix sums to one."""
+        row_sums = self._matrices.sum(axis=2)
+        return bool(np.allclose(row_sums, 1.0, atol=atol))
+
+    # -- sampling -------------------------------------------------------------
+    def step(
+        self,
+        state: NodeState,
+        action: NodeAction,
+        rng: np.random.Generator,
+    ) -> NodeState:
+        """Sample the successor state ``s' ~ f_N(. | state, action)``."""
+        probs = self._matrices[action, state]
+        return NodeState(int(rng.choice(len(NODE_STATES), p=probs)))
+
+    def sample_trajectory(
+        self,
+        horizon: int,
+        actions: Sequence[NodeAction] | None = None,
+        initial_state: NodeState = NodeState.HEALTHY,
+        rng: np.random.Generator | None = None,
+    ) -> list[NodeState]:
+        """Sample a state trajectory of length ``horizon + 1``.
+
+        Args:
+            horizon: Number of transitions to simulate.
+            actions: Optional per-step actions; defaults to always ``WAIT``.
+            initial_state: State at time 1.
+            rng: Source of randomness.
+
+        Returns:
+            The list ``[s_1, s_2, ..., s_{horizon+1}]``.
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        if actions is None:
+            actions = [NodeAction.WAIT] * horizon
+        if len(actions) < horizon:
+            raise ValueError("not enough actions for the requested horizon")
+        trajectory = [initial_state]
+        state = initial_state
+        for t in range(horizon):
+            state = self.step(state, actions[t], rng)
+            trajectory.append(state)
+        return trajectory
+
+    # -- analytical curves -----------------------------------------------------
+    def failure_probability(self, horizon: int) -> np.ndarray:
+        """P[node compromised or crashed by step t] under the all-WAIT policy.
+
+        Reproduces the curves in Figure 5 of the paper.  Returns an array of
+        length ``horizon`` where entry ``t-1`` is
+        ``P[S_t = C or S_t = 0 | pi = WAIT forever]`` with ``S_1 = H``.
+        """
+        return failure_probability_curve(self.params, horizon)
+
+
+def failure_probability_curve(params: NodeParameters, horizon: int) -> np.ndarray:
+    """Probability that a node has failed (C or crash) by each time-step.
+
+    The curve assumes no recoveries and no software updates influence is
+    governed purely by ``params``; this matches the setting of Figure 5
+    where ``p_u = 0`` and the controller always waits.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    model = NodeTransitionModel(params)
+    transition = model.matrix(NodeAction.WAIT)
+    distribution = np.zeros(len(NODE_STATES))
+    distribution[NodeState.HEALTHY] = 1.0
+    curve = np.empty(horizon)
+    for t in range(horizon):
+        distribution = distribution @ transition
+        curve[t] = distribution[NodeState.COMPROMISED] + distribution[NodeState.CRASHED]
+    return curve
+
+
+def geometric_failure_pmf(params: NodeParameters, horizon: int) -> np.ndarray:
+    """PMF of the number of steps until a healthy node first leaves ``H``.
+
+    Section V-A notes that the time until a node fails (crash or compromise)
+    is geometrically distributed.  The per-step leave probability is
+    ``1 - (1 - p_a)(1 - p_c1)``.
+    """
+    stay = (1.0 - params.p_a) * (1.0 - params.p_c1)
+    leave = 1.0 - stay
+    steps = np.arange(1, horizon + 1)
+    return (stay ** (steps - 1)) * leave
+
+
+def expected_time_to_failure(params: NodeParameters) -> float:
+    """Expected number of steps until a healthy node is compromised or crashes."""
+    stay = (1.0 - params.p_a) * (1.0 - params.p_c1)
+    leave = 1.0 - stay
+    if leave <= 0.0:
+        return math.inf
+    return 1.0 / leave
+
+
+def states_from_symbols(symbols: Iterable[str]) -> list[NodeState]:
+    """Convert paper notation (``"H"``, ``"C"``, ``"0"``) to :class:`NodeState`."""
+    mapping = {"H": NodeState.HEALTHY, "C": NodeState.COMPROMISED, "0": NodeState.CRASHED}
+    result = []
+    for symbol in symbols:
+        if symbol not in mapping:
+            raise ValueError(f"unknown node state symbol: {symbol!r}")
+        result.append(mapping[symbol])
+    return result

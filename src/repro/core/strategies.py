@@ -1,0 +1,295 @@
+"""Control strategies for the local and global levels.
+
+Local level.  Theorem 1 shows that there is an optimal recovery strategy of
+threshold form: recover exactly when the belief ``b_t`` that the replica is
+compromised exceeds a threshold ``alpha*_t``.  Corollary 1 shows that the
+thresholds are non-decreasing within a BTR window and become
+time-independent when ``Delta_R = inf``.  Algorithm 1 parameterizes the
+strategy by one threshold per step of the BTR window, which is implemented
+here by :class:`MultiThresholdStrategy`.
+
+Global level.  Theorem 2 shows that the optimal replication strategy is a
+randomized mixture of two threshold ("order-up-to") strategies, implemented
+by :class:`ReplicationThresholdStrategy` and :class:`MixedReplicationStrategy`.
+Algorithm 2 yields an arbitrary randomized strategy over the state space,
+implemented by :class:`TabularReplicationStrategy`.
+
+Baselines (Section VIII-B).  ``NO-RECOVERY``, ``PERIODIC`` and
+``PERIODIC-ADAPTIVE`` replicate the recovery/replication behaviour of the
+state-of-the-art systems the paper compares against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, Sequence
+
+import numpy as np
+
+from .node_model import NodeAction
+
+__all__ = [
+    "RecoveryStrategy",
+    "ThresholdStrategy",
+    "MultiThresholdStrategy",
+    "NoRecoveryStrategy",
+    "PeriodicStrategy",
+    "BeliefPeriodicStrategy",
+    "ReplicationStrategy",
+    "ReplicationThresholdStrategy",
+    "MixedReplicationStrategy",
+    "TabularReplicationStrategy",
+    "NeverAddStrategy",
+    "AdaptiveHeuristicReplicationStrategy",
+]
+
+
+# ---------------------------------------------------------------------------
+# Local level: recovery strategies pi_i : [0, 1] x t -> {W, R}
+# ---------------------------------------------------------------------------
+class RecoveryStrategy(Protocol):
+    """Interface of a node recovery strategy ``pi_i(b_t, t)``.
+
+    ``time_since_recovery`` counts the number of steps since the last
+    recovery (or since the node joined); strategies that enforce the BTR
+    constraint or use time-dependent thresholds (Cor. 1) depend on it.
+    """
+
+    def action(self, belief: float, time_since_recovery: int) -> NodeAction:
+        """Return the action to take given the current belief."""
+        ...
+
+
+@dataclass(frozen=True)
+class ThresholdStrategy:
+    """Time-independent threshold strategy of Theorem 1: recover iff ``b >= alpha``."""
+
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"threshold must lie in [0, 1], got {self.alpha}")
+
+    def action(self, belief: float, time_since_recovery: int = 0) -> NodeAction:
+        del time_since_recovery
+        return NodeAction.RECOVER if belief >= self.alpha else NodeAction.WAIT
+
+
+@dataclass(frozen=True)
+class MultiThresholdStrategy:
+    """Time-dependent threshold strategy used by Algorithm 1.
+
+    The strategy is parameterized by ``d`` thresholds ``theta_1..theta_d``.
+    With a finite BTR constraint ``Delta_R`` the paper sets
+    ``d = Delta_R - 1`` and uses threshold ``theta_{min(t, d)}`` at step
+    ``t`` of the current BTR window; the recovery at step ``Delta_R`` itself
+    is forced by the constraint (handled by the node controller).  With
+    ``Delta_R = inf`` a single threshold suffices (Corollary 1).
+    """
+
+    thresholds: tuple[float, ...]
+    delta_r: float = math.inf
+
+    def __post_init__(self) -> None:
+        if len(self.thresholds) == 0:
+            raise ValueError("at least one threshold is required")
+        for theta in self.thresholds:
+            if not 0.0 <= theta <= 1.0:
+                raise ValueError(f"thresholds must lie in [0, 1], got {theta}")
+
+    @classmethod
+    def from_vector(
+        cls, theta: Sequence[float], delta_r: float = math.inf
+    ) -> "MultiThresholdStrategy":
+        return cls(tuple(float(x) for x in theta), delta_r)
+
+    @classmethod
+    def parameter_dimension(cls, delta_r: float) -> int:
+        """Dimension ``d`` of the threshold vector for a given ``Delta_R`` (Alg. 1, line 4)."""
+        if delta_r is math.inf or delta_r == math.inf:
+            return 1
+        return max(int(delta_r) - 1, 1)
+
+    def threshold_at(self, time_since_recovery: int) -> float:
+        index = min(max(time_since_recovery, 0), len(self.thresholds) - 1)
+        return self.thresholds[index]
+
+    def action(self, belief: float, time_since_recovery: int = 0) -> NodeAction:
+        if belief >= self.threshold_at(time_since_recovery):
+            return NodeAction.RECOVER
+        return NodeAction.WAIT
+
+
+@dataclass(frozen=True)
+class NoRecoveryStrategy:
+    """The NO-RECOVERY baseline: never recover (RAMPART / SECURE-RING style)."""
+
+    def action(self, belief: float, time_since_recovery: int = 0) -> NodeAction:
+        del belief, time_since_recovery
+        return NodeAction.WAIT
+
+
+@dataclass(frozen=True)
+class PeriodicStrategy:
+    """The PERIODIC baseline: recover every ``period`` steps regardless of belief.
+
+    This matches the proactive-recovery schedule of PBFT, VM-FIT, WORM-IT and
+    the other systems listed in Section VIII-B.  ``period = inf`` degenerates
+    to NO-RECOVERY.
+    """
+
+    period: float
+
+    def __post_init__(self) -> None:
+        if self.period != math.inf and self.period < 1:
+            raise ValueError("period must be >= 1 or inf")
+
+    def action(self, belief: float, time_since_recovery: int = 0) -> NodeAction:
+        del belief
+        if self.period is math.inf or self.period == math.inf:
+            return NodeAction.WAIT
+        if time_since_recovery >= int(self.period) - 1:
+            return NodeAction.RECOVER
+        return NodeAction.WAIT
+
+
+@dataclass(frozen=True)
+class BeliefPeriodicStrategy:
+    """Periodic recovery plus an emergency belief trigger.
+
+    Not a paper baseline per se, but a useful ablation between PERIODIC and
+    TOLERANCE: recover on schedule *or* when the belief exceeds a (typically
+    high) threshold.
+    """
+
+    period: float
+    alpha: float = 0.95
+
+    def action(self, belief: float, time_since_recovery: int = 0) -> NodeAction:
+        if belief >= self.alpha:
+            return NodeAction.RECOVER
+        return PeriodicStrategy(self.period).action(belief, time_since_recovery)
+
+
+# ---------------------------------------------------------------------------
+# Global level: replication strategies pi : S_S -> Delta({0, 1})
+# ---------------------------------------------------------------------------
+class ReplicationStrategy(Protocol):
+    """Interface of the system controller strategy ``pi(a | s)``."""
+
+    def add_probability(self, state: int) -> float:
+        """Probability of adding a node given ``state`` expected healthy nodes."""
+        ...
+
+    def action(self, state: int, rng: np.random.Generator) -> int:
+        """Sample the add action in ``{0, 1}``."""
+        ...
+
+
+@dataclass(frozen=True)
+class ReplicationThresholdStrategy:
+    """Deterministic threshold (order-up-to) strategy: add iff ``s <= beta`` (Thm. 2)."""
+
+    beta: int
+
+    def add_probability(self, state: int) -> float:
+        return 1.0 if state <= self.beta else 0.0
+
+    def action(self, state: int, rng: np.random.Generator | None = None) -> int:
+        del rng
+        return 1 if state <= self.beta else 0
+
+
+@dataclass(frozen=True)
+class MixedReplicationStrategy:
+    """Randomized mixture ``kappa * pi_1 + (1 - kappa) * pi_2`` of Theorem 2."""
+
+    strategy_1: ReplicationThresholdStrategy
+    strategy_2: ReplicationThresholdStrategy
+    kappa: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.kappa <= 1.0:
+            raise ValueError(f"kappa must lie in [0, 1], got {self.kappa}")
+
+    def add_probability(self, state: int) -> float:
+        return (
+            self.kappa * self.strategy_1.add_probability(state)
+            + (1.0 - self.kappa) * self.strategy_2.add_probability(state)
+        )
+
+    def action(self, state: int, rng: np.random.Generator) -> int:
+        return 1 if rng.random() < self.add_probability(state) else 0
+
+
+@dataclass
+class TabularReplicationStrategy:
+    """Arbitrary randomized strategy given by a table ``pi(a = 1 | s)``.
+
+    This is the output format of Algorithm 2 (the occupancy-measure LP):
+    states not present in the table fall back to ``default_add_probability``.
+    """
+
+    add_probabilities: Mapping[int, float]
+    default_add_probability: float = 0.0
+
+    def add_probability(self, state: int) -> float:
+        prob = self.add_probabilities.get(int(state), self.default_add_probability)
+        return float(min(max(prob, 0.0), 1.0))
+
+    def action(self, state: int, rng: np.random.Generator) -> int:
+        return 1 if rng.random() < self.add_probability(state) else 0
+
+    def is_threshold_like(self, tolerance: float = 1e-9) -> bool:
+        """Check whether the table is non-increasing in ``s`` (Theorem 2 structure).
+
+        The optimal CMDP strategy mixes two thresholds, hence its
+        add-probability is non-increasing in the number of healthy nodes and
+        takes at most one fractional value.
+        """
+        states = sorted(self.add_probabilities)
+        probs = [self.add_probabilities[s] for s in states]
+        return all(probs[i] >= probs[i + 1] - tolerance for i in range(len(probs) - 1))
+
+
+@dataclass(frozen=True)
+class NeverAddStrategy:
+    """Static replication: never add nodes (used by all three paper baselines
+    except PERIODIC-ADAPTIVE)."""
+
+    def add_probability(self, state: int) -> float:
+        del state
+        return 0.0
+
+    def action(self, state: int, rng: np.random.Generator | None = None) -> int:
+        del state, rng
+        return 0
+
+
+@dataclass(frozen=True)
+class AdaptiveHeuristicReplicationStrategy:
+    """The PERIODIC-ADAPTIVE replication heuristic of Section VIII-B.
+
+    Adds a node when the observed alert level exceeds twice its expectation,
+    ``o_t >= 2 E[O_t]``, approximating the timeout/rule-based adaptation of
+    SITAR, ITUA and ITSI.  The caller supplies the current maximum alert
+    observation across nodes via :meth:`observe`; the strategy is stateful in
+    that respect but cheap to copy.
+    """
+
+    alert_mean: float
+    factor: float = 2.0
+
+    def triggered(self, max_alert_observation: float) -> bool:
+        return max_alert_observation >= self.factor * self.alert_mean
+
+    def add_probability(self, state: int) -> float:
+        # Without alert context the heuristic does not add; the environment
+        # calls `triggered` directly with the latest observation.
+        del state
+        return 0.0
+
+    def action(self, state: int, rng: np.random.Generator | None = None) -> int:
+        del state, rng
+        return 0

@@ -1,0 +1,161 @@
+"""Global system controller: eviction and replication-factor control (Section V-B).
+
+The :class:`SystemController` is the single global component of TOLERANCE.
+Every time-step it:
+
+1. collects belief states ``b_{1,t}, ..., b_{N_t,t}`` from the node
+   controllers; a node that fails to report is considered crashed and is
+   evicted (which decrements ``N_t``);
+2. computes the CMDP state ``s_t``, the expected number of healthy nodes
+   ``floor(sum_i (1 - b_i))``;
+3. queries its replication strategy ``pi(a | s_t)`` and, when the sampled
+   action is 1, requests that a new node be added (which triggers a MinBFT
+   reconfiguration in the architecture layer);
+4. enforces the correctness invariant ``N_t >= 2f + 1 + k`` of Proposition 1
+   by force-adding a node whenever the invariant is about to be violated and
+   the emergency override is enabled.
+
+The controller itself is assumed crash-tolerant (deployed on a Raft cluster,
+see :mod:`repro.consensus.raft`); this module only contains the decision
+logic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from .strategies import NeverAddStrategy, ReplicationStrategy
+
+__all__ = ["SystemControllerDecision", "SystemController"]
+
+
+@dataclass(frozen=True)
+class SystemControllerDecision:
+    """Outcome of one system-controller step.
+
+    Attributes:
+        state: The CMDP state ``s_t`` (expected number of healthy nodes).
+        add_node: Whether a node addition was requested this step.
+        evicted_nodes: Node identifiers evicted because they failed to report.
+        emergency_add: Whether the addition was forced by the Prop. 1
+            invariant rather than by the strategy.
+    """
+
+    state: int
+    add_node: bool
+    evicted_nodes: tuple[object, ...]
+    emergency_add: bool = False
+
+
+class SystemController:
+    """Feedback controller for the replication factor ``N_t``.
+
+    Args:
+        f: Tolerance threshold of the consensus protocol.
+        k: Maximum number of parallel recoveries (Prop. 1).
+        strategy: Replication strategy ``pi``; defaults to never adding.
+        smax: Maximum number of nodes the controller will ever request.
+        enforce_invariant: Whether to force node additions when
+            ``N_t < 2f + 1 + k`` would otherwise be violated.
+        seed: Seed of the controller's private randomness (used to sample
+            from randomized strategies such as the Theorem 2 mixture).
+    """
+
+    def __init__(
+        self,
+        f: int,
+        k: int = 1,
+        strategy: ReplicationStrategy | None = None,
+        smax: int = 13,
+        enforce_invariant: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        if f < 0:
+            raise ValueError("f must be non-negative")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if smax < 1:
+            raise ValueError("smax must be >= 1")
+        self.f = f
+        self.k = k
+        self.smax = smax
+        self.strategy: ReplicationStrategy = strategy if strategy is not None else NeverAddStrategy()
+        self.enforce_invariant = enforce_invariant
+        self._rng = np.random.default_rng(seed)
+        self.total_additions = 0
+        self.total_evictions = 0
+        self.emergency_additions = 0
+
+    # -- helpers -----------------------------------------------------------------
+    @property
+    def minimum_nodes(self) -> int:
+        """Smallest admissible replication factor ``2f + 1 + k`` (Prop. 1d)."""
+        return 2 * self.f + 1 + self.k
+
+    def expected_healthy_nodes(self, beliefs: Mapping[object, float]) -> int:
+        """CMDP state ``s_t = floor(sum_i (1 - b_i))`` (Eq. 8)."""
+        total = sum(1.0 - float(b) for b in beliefs.values())
+        return int(min(max(math.floor(total), 0), self.smax))
+
+    # -- control loop --------------------------------------------------------------
+    def step(
+        self,
+        reported_beliefs: Mapping[object, float],
+        registered_nodes: set[object] | None = None,
+        current_node_count: int | None = None,
+    ) -> SystemControllerDecision:
+        """Run one step of the global control loop.
+
+        Args:
+            reported_beliefs: Mapping from node id to the belief it reported.
+            registered_nodes: The set of nodes the controller expects reports
+                from; members absent from ``reported_beliefs`` are evicted.
+                Defaults to exactly the reporting nodes (no eviction).
+            current_node_count: Current replication factor ``N_t``; defaults
+                to the number of registered nodes.  Used for the Prop. 1
+                invariant check.
+
+        Returns:
+            The decision record for this step.
+        """
+        if registered_nodes is None:
+            registered_nodes = set(reported_beliefs)
+        evicted = tuple(sorted((n for n in registered_nodes if n not in reported_beliefs), key=repr))
+        self.total_evictions += len(evicted)
+
+        live_beliefs = {n: b for n, b in reported_beliefs.items() if n in registered_nodes}
+        state = self.expected_healthy_nodes(live_beliefs)
+
+        if current_node_count is None:
+            current_node_count = len(registered_nodes)
+        node_count_after_eviction = current_node_count - len(evicted)
+
+        add_node = bool(self.strategy.action(state, self._rng))
+        emergency = False
+        if (
+            self.enforce_invariant
+            and not add_node
+            and node_count_after_eviction < self.minimum_nodes
+        ):
+            add_node = True
+            emergency = True
+            self.emergency_additions += 1
+
+        if add_node and node_count_after_eviction >= self.smax:
+            # The physical cluster is exhausted; the request is dropped.
+            add_node = False
+            emergency = False
+
+        if add_node:
+            self.total_additions += 1
+
+        return SystemControllerDecision(
+            state=state,
+            add_node=add_node,
+            evicted_nodes=evicted,
+            emergency_add=emergency,
+        )

@@ -1,0 +1,250 @@
+"""Global system model: the replication-factor CMDP of Problem 2.
+
+The system controller observes the state ``s_t``, the expected number of
+healthy nodes, and chooses ``a_t in {0, 1}`` (add a node or not).  The
+transition function ``f_S`` (Eq. 8) is defined by
+
+.. math::
+
+    f_S(s_{t+1} | s_t, a_t) = P\\Big[\\Big\\lfloor \\sum_{i} (1 - B_{i,t})
+        \\Big\\rfloor = s_{t+1} - a_t\\Big],
+
+i.e. the next state is the number of nodes believed healthy plus the node
+added.  In this reproduction we expose two concrete instantiations of
+``f_S``:
+
+* :class:`BinomialSystemModel` -- each of the ``s_t`` healthy nodes stays
+  healthy with probability ``p_stay`` and new compromises/crashes occur
+  independently; this is the model used for the analytical experiments
+  (Figures 9, 13, 16) and corresponds to estimating ``f_S`` from simulations
+  of Problem 1, as Appendix E describes;
+* :class:`EmpiricalSystemModel` -- ``f_S`` estimated from observed
+  ``(s_t, a_t, s_{t+1})`` transitions produced by the emulation layer.
+
+Both satisfy the interface :class:`SystemModel`, which the CMDP solver
+(Algorithm 2) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "SystemModel",
+    "BinomialSystemModel",
+    "EmpiricalSystemModel",
+    "system_model_from_node_beliefs",
+]
+
+
+class SystemModel:
+    """Finite CMDP model of the replication control problem.
+
+    Attributes:
+        smax: Maximum number of nodes; states are ``{0, ..., smax}``.
+        f: Tolerance threshold; availability requires ``s >= f + 1``.
+        epsilon_a: Lower bound on the average availability (Eq. 10b).
+        transition: Array ``T[a, s, s']`` with ``a in {0, 1}``.
+    """
+
+    def __init__(
+        self,
+        transition: np.ndarray,
+        f: int,
+        epsilon_a: float,
+    ) -> None:
+        transition = np.asarray(transition, dtype=float)
+        if transition.ndim != 3 or transition.shape[0] != 2:
+            raise ValueError("transition must have shape (2, smax+1, smax+1)")
+        if transition.shape[1] != transition.shape[2]:
+            raise ValueError("transition matrices must be square")
+        if not np.allclose(transition.sum(axis=2), 1.0, atol=1e-8):
+            raise ValueError("transition rows must sum to one")
+        if np.any(transition < -1e-12):
+            raise ValueError("transition probabilities must be non-negative")
+        if f < 0:
+            raise ValueError("f must be non-negative")
+        if not 0.0 < epsilon_a <= 1.0:
+            raise ValueError("epsilon_a must lie in (0, 1]")
+        self.transition = np.clip(transition, 0.0, None)
+        # Renormalize to wash out clipping noise.
+        self.transition /= self.transition.sum(axis=2, keepdims=True)
+        self.smax = transition.shape[1] - 1
+        self.f = f
+        self.epsilon_a = epsilon_a
+
+    # -- basic queries ----------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return self.smax + 1
+
+    @property
+    def states(self) -> np.ndarray:
+        return np.arange(self.num_states)
+
+    @property
+    def actions(self) -> tuple[int, int]:
+        return (0, 1)
+
+    def probability(self, next_state: int, state: int, action: int) -> float:
+        return float(self.transition[action, state, next_state])
+
+    def cost(self, state: int, action: int = 0) -> float:
+        """Immediate cost: the number of nodes (Eq. 9)."""
+        del action
+        return float(state)
+
+    def availability_indicator(self, state: int) -> float:
+        """``[s >= f + 1]`` used by the availability constraint (Eq. 10b)."""
+        return 1.0 if state >= self.f + 1 else 0.0
+
+    # -- sampling ---------------------------------------------------------------
+    def step(self, state: int, action: int, rng: np.random.Generator) -> int:
+        probs = self.transition[action, state]
+        return int(rng.choice(self.num_states, p=probs))
+
+    # -- Theorem 2 assumptions ----------------------------------------------------
+    def satisfies_assumption_b(self) -> bool:
+        """Assumption B of Theorem 2: all transition probabilities are positive."""
+        return bool(np.all(self.transition > 0.0))
+
+    def satisfies_assumption_c(self) -> bool:
+        """Assumption C: tail sums are non-decreasing in the current state."""
+        for action in self.actions:
+            matrix = self.transition[action]
+            tails = np.cumsum(matrix[:, ::-1], axis=1)[:, ::-1]
+            for s in range(self.num_states):
+                for s_hat in range(self.num_states - 1):
+                    if tails[s_hat + 1, s] < tails[s_hat, s] - 1e-9:
+                        return False
+        return True
+
+    def satisfies_assumption_d(self) -> bool:
+        """Assumption D: the add-action advantage in tail-sum is increasing in s."""
+        matrix_0 = self.transition[0]
+        matrix_1 = self.transition[1]
+        tails_0 = np.cumsum(matrix_0[:, ::-1], axis=1)[:, ::-1]
+        tails_1 = np.cumsum(matrix_1[:, ::-1], axis=1)[:, ::-1]
+        for s_hat in range(self.num_states):
+            diffs = tails_1[s_hat] - tails_0[s_hat]
+            if np.any(np.diff(diffs) < -1e-9):
+                return False
+        return True
+
+
+class BinomialSystemModel(SystemModel):
+    """``f_S`` where each healthy node survives a step independently.
+
+    With ``s`` healthy nodes, each survives (stays healthy) with probability
+    ``p_stay = (1 - p_fail)`` and failed nodes are replaced only through the
+    add action.  A small ``regeneration`` probability models recoveries at
+    the local level restoring nodes to health without the system controller
+    acting, which keeps all transition probabilities positive (assumption B).
+    """
+
+    def __init__(
+        self,
+        smax: int,
+        f: int,
+        per_node_failure_probability: float = 0.05,
+        regeneration_probability: float = 0.02,
+        epsilon_a: float = 0.9,
+    ) -> None:
+        if smax < 1:
+            raise ValueError("smax must be >= 1")
+        if not 0.0 <= per_node_failure_probability < 1.0:
+            raise ValueError("per_node_failure_probability must lie in [0, 1)")
+        if not 0.0 <= regeneration_probability < 1.0:
+            raise ValueError("regeneration_probability must lie in [0, 1)")
+        self.per_node_failure_probability = per_node_failure_probability
+        self.regeneration_probability = regeneration_probability
+        transition = self._build(smax, per_node_failure_probability, regeneration_probability)
+        super().__init__(transition, f=f, epsilon_a=epsilon_a)
+
+    @staticmethod
+    def _build(
+        smax: int, p_fail: float, p_regen: float
+    ) -> np.ndarray:
+        num_states = smax + 1
+        transition = np.zeros((2, num_states, num_states))
+        for action in (0, 1):
+            for s in range(num_states):
+                # Survivors among the s healthy nodes.
+                survivor_counts = np.arange(s + 1)
+                survivor_probs = stats.binom.pmf(survivor_counts, s, 1.0 - p_fail)
+                # Unhealthy capacity that may regenerate back to healthy.
+                capacity = smax - s
+                regen_counts = np.arange(capacity + 1)
+                regen_probs = stats.binom.pmf(regen_counts, capacity, p_regen)
+                for survivors, p_s in zip(survivor_counts, survivor_probs):
+                    for regen, p_r in zip(regen_counts, regen_probs):
+                        next_state = min(survivors + regen + action, smax)
+                        transition[action, s, next_state] += p_s * p_r
+        # Keep every probability strictly positive (assumption B) by mixing in
+        # a vanishing uniform component.
+        epsilon = 1e-9
+        transition = (1.0 - epsilon) * transition + epsilon / num_states
+        return transition
+
+
+class EmpiricalSystemModel(SystemModel):
+    """``f_S`` estimated from observed transitions ``(s_t, a_t, s_{t+1})``.
+
+    This mirrors how the paper instantiates Problem 2 for the evaluation in
+    Section VIII: ``f_S`` is "estimated from simulations of Problem 1"
+    (Appendix E).  Laplace smoothing keeps the chain unichain.
+    """
+
+    def __init__(
+        self,
+        transitions: Iterable[tuple[int, int, int]],
+        smax: int,
+        f: int,
+        epsilon_a: float = 0.9,
+        smoothing: float = 0.5,
+    ) -> None:
+        num_states = smax + 1
+        counts = np.full((2, num_states, num_states), smoothing, dtype=float)
+        observed = 0
+        for state, action, next_state in transitions:
+            if not 0 <= state <= smax or not 0 <= next_state <= smax:
+                raise ValueError("transition outside the state space")
+            if action not in (0, 1):
+                raise ValueError("action must be 0 or 1")
+            counts[action, state, next_state] += 1.0
+            observed += 1
+        if observed == 0:
+            raise ValueError("at least one observed transition is required")
+        transition = counts / counts.sum(axis=2, keepdims=True)
+        super().__init__(transition, f=f, epsilon_a=epsilon_a)
+        self.num_observed_transitions = observed
+
+
+def system_model_from_node_beliefs(
+    beliefs: Sequence[float],
+    smax: int,
+    f: int,
+    epsilon_a: float = 0.9,
+    per_node_crash_probability: float = 1e-3,
+) -> BinomialSystemModel:
+    """Construct ``f_S`` from the current node beliefs (Eq. 8).
+
+    The expected per-node failure probability is the average belief that a
+    node is compromised plus the crash probability; this gives the binomial
+    healthy-count kernel that the system controller plans against between
+    belief transmissions.
+    """
+    if not beliefs:
+        raise ValueError("at least one node belief is required")
+    mean_belief = float(np.clip(np.mean(np.asarray(beliefs, dtype=float)), 0.0, 1.0))
+    p_fail = min(mean_belief + per_node_crash_probability, 0.999)
+    return BinomialSystemModel(
+        smax=smax,
+        f=f,
+        per_node_failure_probability=p_fail,
+        epsilon_a=epsilon_a,
+    )

@@ -1,0 +1,212 @@
+"""Attacker model: multi-step intrusions against service replicas.
+
+Section VIII-A describes the attacker: it can reach the gateways, selects a
+replica, and executes the intrusion steps of Table 6 (reconnaissance
+followed by a brute-force attack or a CVE exploit).  Once a replica is
+compromised the attacker randomly chooses between (a) participating in the
+consensus protocol, (b) not participating, and (c) participating with
+randomly selected messages.
+
+The :class:`Attacker` below drives that behaviour in the emulation: each
+healthy replica is attacked with a per-step start probability; an attack
+then progresses through the container's kill chain (one step per time-step),
+raising IDS alert levels while in progress, and compromises the replica when
+the final step succeeds.  The resulting time-to-compromise is geometric-ish
+with additional kill-chain delay, consistent with the node model (Fig. 5)
+where ``p_A`` aggregates the per-step compromise probability.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..consensus.minbft import ByzantineBehavior
+from .containers import ContainerImage
+
+__all__ = ["AttackPhase", "AttackState", "Attacker", "AttackerConfig"]
+
+
+class AttackPhase(enum.Enum):
+    """Progress of an intrusion against one replica."""
+
+    IDLE = "idle"
+    IN_PROGRESS = "in-progress"
+    COMPROMISED = "compromised"
+
+
+@dataclass
+class AttackState:
+    """Attacker progress against a single replica."""
+
+    phase: AttackPhase = AttackPhase.IDLE
+    current_step: int = 0
+    kill_chain: tuple[str, ...] = ()
+    post_compromise_behavior: ByzantineBehavior = ByzantineBehavior.NONE
+
+    @property
+    def intrusion_activity(self) -> bool:
+        """Whether attacker traffic is hitting the replica (raises IDS alerts)."""
+        return self.phase is not AttackPhase.IDLE
+
+
+@dataclass(frozen=True)
+class AttackerConfig:
+    """Attacker parameters.
+
+    Attributes:
+        start_probability: Probability per time-step that the attacker starts
+            a new intrusion (against a randomly selected healthy replica).
+            The rate is system-wide — the paper's attacker executes one kill
+            chain at a time against a chosen replica — so the intrusion
+            intensity does not scale with the replication factor.
+        step_success_probability: Probability that the current kill-chain step
+            succeeds in a given time-step (brute-force steps may take several
+            intervals).
+        max_concurrent_attacks: Maximum number of replicas the attacker works
+            on simultaneously.  The paper's attacker compromises replicas one
+            kill chain at a time (Table 6); ``1`` reproduces that behaviour,
+            larger values model coordinated attackers.
+        behaviors: The post-compromise behaviours to choose among, matching
+            Section VIII-A options (a)-(c).
+    """
+
+    start_probability: float = 0.2
+    step_success_probability: float = 0.7
+    max_concurrent_attacks: int = 1
+    behaviors: tuple[ByzantineBehavior, ...] = (
+        ByzantineBehavior.PARTICIPATE,
+        ByzantineBehavior.SILENT,
+        ByzantineBehavior.ARBITRARY,
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_probability <= 1.0:
+            raise ValueError("start_probability must be a probability")
+        if not 0.0 < self.step_success_probability <= 1.0:
+            raise ValueError("step_success_probability must lie in (0, 1]")
+        if self.max_concurrent_attacks < 1:
+            raise ValueError("max_concurrent_attacks must be >= 1")
+        if not self.behaviors:
+            raise ValueError("at least one post-compromise behaviour is required")
+
+
+class Attacker:
+    """The network attacker of the emulation environment."""
+
+    def __init__(self, config: AttackerConfig | None = None, seed: int | None = None) -> None:
+        self.config = config if config is not None else AttackerConfig()
+        self._rng = np.random.default_rng(seed)
+        self._states: dict[object, AttackState] = {}
+        self.total_intrusions_started = 0
+        self.total_compromises = 0
+
+    # -- per-node state ------------------------------------------------------------
+    def state_of(self, node_id: object) -> AttackState:
+        return self._states.setdefault(node_id, AttackState())
+
+    def forget(self, node_id: object) -> None:
+        """Reset attacker progress against a node (after recovery/eviction)."""
+        self._states[node_id] = AttackState()
+
+    # -- dynamics -----------------------------------------------------------------
+    def select_targets(self, candidates: list[tuple[object, ContainerImage]]) -> list[object]:
+        """Pick new intrusion targets for this time-step.
+
+        Args:
+            candidates: ``(node_id, container)`` pairs of healthy nodes that
+                are not yet under attack.
+
+        Returns:
+            The node ids against which new intrusions were started.
+        """
+        started: list[object] = []
+        free_slots = self.config.max_concurrent_attacks - self._active_attacks()
+        available = list(candidates)
+        for _ in range(max(free_slots, 0)):
+            if not available:
+                break
+            if self._rng.random() >= self.config.start_probability:
+                continue
+            index = int(self._rng.integers(len(available)))
+            node_id, container = available.pop(index)
+            state = self.state_of(node_id)
+            state.phase = AttackPhase.IN_PROGRESS
+            state.current_step = 0
+            state.kill_chain = container.intrusion_steps
+            self.total_intrusions_started += 1
+            started.append(node_id)
+        return started
+
+    def step_node(self, node_id: object, container: ContainerImage, node_is_healthy: bool) -> AttackState:
+        """Advance an ongoing intrusion against one node by one time-step.
+
+        Args:
+            node_id: Identifier of the target node.
+            container: The container image currently running on the node.
+            node_is_healthy: Ground-truth health; crashed or already
+                compromised nodes are not attacked further.
+
+        Returns:
+            The (updated) attack state of the node.
+        """
+        del container  # the kill chain was fixed when the intrusion started
+        state = self.state_of(node_id)
+
+        if not node_is_healthy:
+            if state.phase is AttackPhase.IN_PROGRESS:
+                # The target crashed mid-attack; the attacker gives up.
+                self.forget(node_id)
+                return self.state_of(node_id)
+            return state
+
+        if state.phase is AttackPhase.IN_PROGRESS:
+            if self._rng.random() < self.config.step_success_probability:
+                state.current_step += 1
+                if state.current_step >= len(state.kill_chain):
+                    state.phase = AttackPhase.COMPROMISED
+                    state.post_compromise_behavior = self._rng.choice(  # type: ignore[assignment]
+                        np.array(self.config.behaviors, dtype=object)
+                    )
+                    self.total_compromises += 1
+            return state
+
+        return state
+
+    def _active_attacks(self) -> int:
+        """Number of intrusions currently in progress (not yet compromised)."""
+        return sum(
+            1 for state in self._states.values() if state.phase is AttackPhase.IN_PROGRESS
+        )
+
+    def compromised_nodes(self) -> list[object]:
+        return [
+            node_id
+            for node_id, state in self._states.items()
+            if state.phase is AttackPhase.COMPROMISED
+        ]
+
+    def effective_compromise_probability(self) -> float:
+        """Approximate per-step compromise probability implied by the config.
+
+        Useful to derive the ``p_A`` parameter of the node model from the
+        attacker configuration (the expected time to compromise is the
+        waiting time to start plus the expected kill-chain duration).
+        """
+        start = self.config.start_probability
+        step = self.config.step_success_probability
+        if start <= 0.0:
+            return 0.0
+        mean_chain_length = float(
+            np.mean([len(c.intrusion_steps) for c in _default_chain_lengths()])
+        )
+        expected_steps = 1.0 / start + mean_chain_length / step
+        return 1.0 / expected_steps
+
+
+def _default_chain_lengths():
+    from .containers import CONTAINER_CATALOG
+
+    return CONTAINER_CATALOG

@@ -1,0 +1,187 @@
+"""Catalog of service-replica containers, vulnerabilities and intrusion steps.
+
+This module encodes Tables 3-6 of the paper:
+
+* Table 3 -- the 13 physical nodes of the testbed (:data:`PHYSICAL_NODES`);
+* Table 4 -- the 10 container images running the service replicas, each with
+  its operating system and vulnerabilities (:data:`CONTAINER_CATALOG`);
+* Table 5 -- the background services per replica;
+* Table 6 -- the intrusion steps the attacker uses against each replica.
+
+The emulation samples a random container for every (re)started replica,
+which reproduces the software-diversification argument of Section IV: the
+compromise probability of a node is tied to its container's vulnerability,
+and containers are re-randomized on every recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PhysicalNode",
+    "ContainerImage",
+    "PHYSICAL_NODES",
+    "CONTAINER_CATALOG",
+    "container_by_replica_id",
+]
+
+
+@dataclass(frozen=True)
+class PhysicalNode:
+    """One physical server of the testbed (Table 3)."""
+
+    server_id: int
+    model: str
+    processors: str
+    ram_gb: int
+
+
+PHYSICAL_NODES: tuple[PhysicalNode, ...] = tuple(
+    [
+        PhysicalNode(i, "R715 2U", "two 12-core AMD OPTERON", 64)
+        for i in range(1, 10)
+    ]
+    + [
+        PhysicalNode(10, "R630 2U", "two 12-core INTEL XEON E5-2680", 256),
+        PhysicalNode(11, "R740 2U", "one 20-core INTEL XEON GOLD 5218R", 32),
+        PhysicalNode(12, "SUPERMICRO 7049", "two TESLA P100, one 16-core INTEL XEON", 126),
+        PhysicalNode(13, "SUPERMICRO 7049", "four RTX 8000, one 24-core INTEL XEON", 768),
+    ]
+)
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """One replica container (Tables 4-6).
+
+    Attributes:
+        replica_id: Index in Table 4 (1-10).
+        operating_system: Base OS of the image.
+        vulnerabilities: Vulnerabilities the attacker can exploit.
+        background_services: Services generating benign IDS alerts (Table 5).
+        intrusion_steps: The attacker's kill chain against this image (Table 6).
+        alert_rate_healthy: Mean weighted-alert rate under benign load; used by
+            the synthetic IDS to shape the healthy-state alert distribution.
+        alert_rate_intrusion: Mean weighted-alert rate while the intrusion
+            steps execute; brute-force intrusions are noisier than single
+            CVE exploits, matching the spread of Fig. 11.
+    """
+
+    replica_id: int
+    operating_system: str
+    vulnerabilities: tuple[str, ...]
+    background_services: tuple[str, ...]
+    intrusion_steps: tuple[str, ...]
+    alert_rate_healthy: float
+    alert_rate_intrusion: float
+
+    @property
+    def name(self) -> str:
+        return f"replica-image-{self.replica_id}"
+
+    @property
+    def primary_vulnerability(self) -> str:
+        return self.vulnerabilities[0]
+
+
+CONTAINER_CATALOG: tuple[ContainerImage, ...] = (
+    ContainerImage(
+        replica_id=1,
+        operating_system="UBUNTU 14",
+        vulnerabilities=("FTP weak password",),
+        background_services=("FTP", "SSH", "MONGODB", "HTTP", "TEAMSPEAK"),
+        intrusion_steps=("TCP SYN scan", "FTP brute force"),
+        alert_rate_healthy=40.0,
+        alert_rate_intrusion=420.0,
+    ),
+    ContainerImage(
+        replica_id=2,
+        operating_system="UBUNTU 20",
+        vulnerabilities=("SSH weak password",),
+        background_services=("SSH", "DNS", "HTTP"),
+        intrusion_steps=("TCP SYN scan", "SSH brute force"),
+        alert_rate_healthy=30.0,
+        alert_rate_intrusion=380.0,
+    ),
+    ContainerImage(
+        replica_id=3,
+        operating_system="UBUNTU 20",
+        vulnerabilities=("TELNET weak password",),
+        background_services=("SSH", "TELNET", "HTTP"),
+        intrusion_steps=("TCP SYN scan", "TELNET brute force"),
+        alert_rate_healthy=30.0,
+        alert_rate_intrusion=360.0,
+    ),
+    ContainerImage(
+        replica_id=4,
+        operating_system="DEBIAN 10.2",
+        vulnerabilities=("CVE-2017-7494",),
+        background_services=("SSH", "SAMBA", "NTP"),
+        intrusion_steps=("ICMP scan", "exploit of CVE-2017-7494"),
+        alert_rate_healthy=25.0,
+        alert_rate_intrusion=180.0,
+    ),
+    ContainerImage(
+        replica_id=5,
+        operating_system="UBUNTU 20",
+        vulnerabilities=("CVE-2014-6271",),
+        background_services=("SSH",),
+        intrusion_steps=("ICMP scan", "exploit of CVE-2014-6271"),
+        alert_rate_healthy=20.0,
+        alert_rate_intrusion=160.0,
+    ),
+    ContainerImage(
+        replica_id=6,
+        operating_system="DEBIAN 10.2",
+        vulnerabilities=("CWE-89 on DVWA",),
+        background_services=("DVWA", "IRC", "SSH"),
+        intrusion_steps=("ICMP scan", "exploit of CWE-89 on DVWA"),
+        alert_rate_healthy=35.0,
+        alert_rate_intrusion=200.0,
+    ),
+    ContainerImage(
+        replica_id=7,
+        operating_system="DEBIAN 10.2",
+        vulnerabilities=("CVE-2015-3306",),
+        background_services=("SSH",),
+        intrusion_steps=("ICMP scan", "exploit of CVE-2015-3306"),
+        alert_rate_healthy=20.0,
+        alert_rate_intrusion=150.0,
+    ),
+    ContainerImage(
+        replica_id=8,
+        operating_system="DEBIAN 10.2",
+        vulnerabilities=("CVE-2016-10033",),
+        background_services=("SSH",),
+        intrusion_steps=("ICMP scan", "exploit of CVE-2016-10033"),
+        alert_rate_healthy=20.0,
+        alert_rate_intrusion=155.0,
+    ),
+    ContainerImage(
+        replica_id=9,
+        operating_system="DEBIAN 10.2",
+        vulnerabilities=("CVE-2010-0426", "SSH weak password"),
+        background_services=("TEAMSPEAK", "HTTP", "SSH"),
+        intrusion_steps=("ICMP scan", "SSH brute force", "exploit of CVE-2010-0426"),
+        alert_rate_healthy=30.0,
+        alert_rate_intrusion=300.0,
+    ),
+    ContainerImage(
+        replica_id=10,
+        operating_system="DEBIAN 10.2",
+        vulnerabilities=("CVE-2015-5602", "SSH weak password"),
+        background_services=("SSH",),
+        intrusion_steps=("ICMP scan", "SSH brute force", "exploit of CVE-2015-5602"),
+        alert_rate_healthy=25.0,
+        alert_rate_intrusion=290.0,
+    ),
+)
+
+
+def container_by_replica_id(replica_id: int) -> ContainerImage:
+    """Look up a Table 4 container image by its id (1-10)."""
+    for image in CONTAINER_CATALOG:
+        if image.replica_id == replica_id:
+            return image
+    raise KeyError(f"no container with replica id {replica_id}")

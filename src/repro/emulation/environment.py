@@ -1,0 +1,505 @@
+"""The emulation environment of Section VIII: the TOLERANCE evaluation testbed.
+
+An evaluation run evolves in time-steps of 60 seconds.  It starts with
+``N_1`` nodes, each running a randomly drawn service replica container.  At
+every time-step:
+
+1. the background client population evolves (Poisson arrivals, exponential
+   service times), modulating benign IDS alert levels;
+2. the attacker advances its kill chains: it may start an intrusion against
+   a healthy node, progress an ongoing one, and ultimately compromise the
+   replica, after which the replica behaves Byzantine;
+3. nodes may crash (healthy nodes with probability ``p_C1``, compromised
+   nodes with probability ``p_C2``);
+4. each node's IDS produces a weighted alert count; the node controller
+   updates its belief and decides whether to recover — at most ``k``
+   recoveries are granted per step (Proposition 1c); recovered replicas get
+   a fresh container;
+5. the system controller collects beliefs (nodes that fail to report are
+   evicted), and decides whether to add a node (bounded by the physical
+   cluster size ``smax``);
+6. the metrics collector updates ``T^(A)``, ``T^(R)``, ``F^(R)`` and the
+   correctness auditor checks the Proposition 1 invariants.
+
+The same environment, parameterized with the baseline strategies of
+Section VIII-B, produces the comparison of Table 7 and Figure 12.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.correctness import CorrectnessAuditor
+from ..core.metrics import EpisodeMetrics, MetricsCollector
+from ..core.node_model import NodeAction, NodeParameters, NodeState
+from ..core.observation import BetaBinomialObservationModel, ObservationModel
+from ..core.strategies import (
+    AdaptiveHeuristicReplicationStrategy,
+    NoRecoveryStrategy,
+    PeriodicStrategy,
+    RecoveryStrategy,
+    ReplicationStrategy,
+    ThresholdStrategy,
+)
+from ..core.system_controller import SystemController
+from .attacker import Attacker, AttackerConfig, AttackPhase
+from .containers import CONTAINER_CATALOG, PHYSICAL_NODES
+from .ids import SnortLikeIDS
+from .node import EmulatedNode
+from .services import BackgroundClientPopulation
+
+__all__ = [
+    "EmulationConfig",
+    "EvaluationPolicy",
+    "EmulationEnvironment",
+    "default_emulation_observation_model",
+    "per_container_observation_models",
+    "tolerance_policy",
+    "no_recovery_policy",
+    "periodic_policy",
+    "periodic_adaptive_policy",
+]
+
+_OBSERVATION_MODEL_CACHE: dict[tuple[int, int, int], ObservationModel] = {}
+_PER_CONTAINER_MODEL_CACHE: dict[tuple[int, int, int], dict[int, ObservationModel]] = {}
+
+
+def default_emulation_observation_model(
+    bucket_size: int = 20,
+    samples_per_container: int = 400,
+    seed: int = 1234,
+    background_clients: int = 80,
+) -> ObservationModel:
+    """Fit the pooled empirical IDS model ``\\hat{Z}`` across all containers.
+
+    Mirrors the paper's procedure (Section VIII-A): alert samples are
+    collected from every container type, with and without intrusions, under
+    the steady-state background-client load (``lambda * mu = 80``), and the
+    empirical distribution is the maximum-likelihood estimate of ``Z``.  The
+    result is cached because the same model is reused across the many seeds
+    of Table 7 / Figure 12.
+    """
+    from ..core.observation import EmpiricalObservationModel
+
+    cache_key = (bucket_size, samples_per_container, seed)
+    cached = _OBSERVATION_MODEL_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    rng = np.random.default_rng(seed)
+    healthy: list[int] = []
+    intrusion: list[int] = []
+    for container in CONTAINER_CATALOG:
+        ids = SnortLikeIDS(container)
+        for _ in range(samples_per_container):
+            healthy.append(
+                ids.sample_alerts(False, rng, background_clients) // bucket_size
+            )
+            intrusion.append(
+                ids.sample_alerts(True, rng, background_clients) // bucket_size
+            )
+    model = EmpiricalObservationModel(healthy, intrusion)
+    _OBSERVATION_MODEL_CACHE[cache_key] = model
+    return model
+
+
+def per_container_observation_models(
+    bucket_size: int = 20,
+    samples_per_container: int = 400,
+    seed: int = 1234,
+    background_clients: int = 80,
+) -> dict[int, ObservationModel]:
+    """Fit one empirical model ``\\hat{Z}_i`` per container type (Fig. 11).
+
+    The controllers of the paper use the detection model of the container
+    their replica currently runs, which is what keeps false-alarm rates low
+    across containers with very different benign alert levels.
+    """
+    from ..core.observation import EmpiricalObservationModel
+
+    cache_key = (bucket_size, samples_per_container, seed)
+    cached = _PER_CONTAINER_MODEL_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    rng = np.random.default_rng(seed)
+    models: dict[int, ObservationModel] = {}
+    # Use a common support so that controllers can swap models after recovery.
+    max_alert = max(c.alert_rate_healthy * 3.0 + c.alert_rate_intrusion * 4.0 for c in CONTAINER_CATALOG)
+    num_observations = int(max_alert // bucket_size) + 2
+    for container in CONTAINER_CATALOG:
+        ids = SnortLikeIDS(container)
+        healthy = [
+            ids.sample_alerts(False, rng, background_clients) // bucket_size
+            for _ in range(samples_per_container)
+        ]
+        intrusion = [
+            ids.sample_alerts(True, rng, background_clients) // bucket_size
+            for _ in range(samples_per_container)
+        ]
+        models[container.replica_id] = EmpiricalObservationModel(
+            healthy, intrusion, num_observations=num_observations
+        )
+    _PER_CONTAINER_MODEL_CACHE[cache_key] = models
+    return models
+
+
+@dataclass(frozen=True)
+class EmulationConfig:
+    """Configuration of an evaluation run (Section VIII-A and Appendix E).
+
+    Attributes:
+        initial_nodes: ``N_1``, the initial replication factor.
+        max_nodes: ``smax``; defaults to the 13 physical servers of Table 3.
+        node_params: The per-node model parameters (``p_A``, ``p_C1``, ...).
+        delta_r: The BTR constraint used by TOLERANCE and the period used by
+            the PERIODIC baselines.
+        k: Maximum parallel recoveries.
+        f: Tolerance threshold; ``None`` uses the paper's
+            ``f = min[(N_1 - 1) / 2, 2]`` rule from Appendix E.
+        horizon: Number of 60-second time-steps per episode (the paper's
+            Table 7 runs use 10^3).
+        attacker: Attacker configuration.
+        background_arrival_rate / background_mean_service: Background client
+            population parameters (lambda = 20, mu = 4).
+    """
+
+    initial_nodes: int = 3
+    max_nodes: int = len(PHYSICAL_NODES)
+    node_params: NodeParameters = field(default_factory=lambda: NodeParameters())
+    delta_r: float = math.inf
+    k: int = 1
+    f: int | None = None
+    horizon: int = 1000
+    attacker: AttackerConfig = field(default_factory=AttackerConfig)
+    background_arrival_rate: float = 20.0
+    background_mean_service: float = 4.0
+
+    def tolerance_threshold(self) -> int:
+        if self.f is not None:
+            return self.f
+        return max(min((self.initial_nodes - 1) // 2, 2), 1)
+
+
+@dataclass
+class EvaluationPolicy:
+    """The pair of control strategies evaluated in one run.
+
+    Attributes:
+        name: Human-readable name (``tolerance``, ``no-recovery``, ...).
+        recovery_strategy_factory: Builds the per-node recovery strategy.
+        replication_strategy: The system controller's strategy, or ``None``
+            to never add nodes.
+        adaptive_alert_replication: When set, adds a node whenever the
+            maximum observed (bucketed) alert count exceeds twice its mean —
+            the PERIODIC-ADAPTIVE heuristic of Section VIII-B.
+        enforce_invariant: Whether the system controller force-adds nodes to
+            keep ``N_t >= 2f + 1 + k``; only TOLERANCE uses feedback to do so.
+        enforce_btr: Whether node controllers force a recovery every
+            ``Delta_R`` steps (Eq. 6b).  Only TOLERANCE is subject to the
+            BTR constraint; the baselines implement their own schedules.
+        respect_recovery_limit: Whether at most ``k`` recoveries are executed
+            per time-step (Prop. 1c).  TOLERANCE enforces this in its
+            implementation; the baselines of prior systems recover nodes on
+            their own schedule without this constraint.
+    """
+
+    name: str
+    recovery_strategy_factory: Callable[[str], RecoveryStrategy]
+    replication_strategy: ReplicationStrategy | None = None
+    adaptive_alert_replication: AdaptiveHeuristicReplicationStrategy | None = None
+    enforce_invariant: bool = False
+    enforce_btr: bool = False
+    respect_recovery_limit: bool = False
+
+
+def tolerance_policy(
+    alpha: float = 0.75,
+    replication_strategy: ReplicationStrategy | None = None,
+) -> EvaluationPolicy:
+    """The TOLERANCE policy: threshold recovery + feedback replication."""
+    return EvaluationPolicy(
+        name="tolerance",
+        recovery_strategy_factory=lambda node_id: ThresholdStrategy(alpha),
+        replication_strategy=replication_strategy,
+        enforce_invariant=True,
+        enforce_btr=True,
+        respect_recovery_limit=True,
+    )
+
+
+def no_recovery_policy() -> EvaluationPolicy:
+    """The NO-RECOVERY baseline (RAMPART / SECURE-RING style)."""
+    return EvaluationPolicy(
+        name="no-recovery",
+        recovery_strategy_factory=lambda node_id: NoRecoveryStrategy(),
+    )
+
+
+def periodic_policy(period: float) -> EvaluationPolicy:
+    """The PERIODIC baseline: recover every ``period`` steps, never add nodes."""
+    return EvaluationPolicy(
+        name="periodic",
+        recovery_strategy_factory=lambda node_id: PeriodicStrategy(period),
+    )
+
+
+def periodic_adaptive_policy(period: float, alert_mean: float = 0.0) -> EvaluationPolicy:
+    """The PERIODIC-ADAPTIVE baseline: periodic recovery + alert-triggered adds.
+
+    With ``alert_mean = 0`` the trigger threshold ``2 E[O_t]`` is calibrated
+    automatically by the environment from the fitted alert model.
+    """
+    return EvaluationPolicy(
+        name="periodic-adaptive",
+        recovery_strategy_factory=lambda node_id: PeriodicStrategy(period),
+        adaptive_alert_replication=AdaptiveHeuristicReplicationStrategy(alert_mean=alert_mean),
+    )
+
+
+@dataclass
+class StepRecord:
+    """Per-step trace record (used for analysis and the trace dataset)."""
+
+    time_step: int
+    num_nodes: int
+    healthy: int
+    compromised: int
+    crashed_this_step: int
+    recoveries: int
+    added_node: bool
+    evicted: int
+    beliefs: dict[str, float]
+    observations: dict[str, int]
+    system_state: int
+
+
+class EmulationEnvironment:
+    """Discrete-time emulation of the TOLERANCE testbed."""
+
+    def __init__(
+        self,
+        config: EmulationConfig,
+        policy: EvaluationPolicy,
+        observation_model: ObservationModel | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.observation_model = (
+            observation_model
+            if observation_model is not None
+            else default_emulation_observation_model()
+        )
+        # Per-container detection models (Fig. 11) are only used when the
+        # caller did not force a specific observation model.
+        self.per_container_models: dict[int, ObservationModel] = (
+            per_container_observation_models() if observation_model is None else {}
+        )
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.f = config.tolerance_threshold()
+        self._node_counter = 0
+        self.nodes: dict[str, EmulatedNode] = {}
+        self.attacker = Attacker(config.attacker, seed=None if seed is None else seed + 1)
+        self.background = BackgroundClientPopulation(
+            arrival_rate=config.background_arrival_rate,
+            mean_service_time=config.background_mean_service,
+            seed=None if seed is None else seed + 2,
+        )
+        self.system_controller = SystemController(
+            f=self.f,
+            k=config.k,
+            strategy=policy.replication_strategy,
+            smax=config.max_nodes,
+            enforce_invariant=policy.enforce_invariant,
+            seed=None if seed is None else seed + 3,
+        )
+        self.metrics = MetricsCollector(f=self.f, max_time_to_recovery=float(config.horizon))
+        self.auditor = CorrectnessAuditor(f=self.f, k=config.k)
+        self.trace: list[StepRecord] = []
+        self.time_step = 0
+
+        # Calibrate the PERIODIC-ADAPTIVE trigger to the fitted alert model
+        # when no mean was supplied (the paper's rule is o_t >= 2 E[O_t]).
+        if (
+            policy.adaptive_alert_replication is not None
+            and policy.adaptive_alert_replication.alert_mean <= 0.0
+        ):
+            healthy_pmf = self.observation_model.pmf(NodeState.HEALTHY)
+            expected_alerts = float(
+                np.dot(self.observation_model.observations, healthy_pmf)
+            )
+            policy.adaptive_alert_replication = AdaptiveHeuristicReplicationStrategy(
+                alert_mean=max(expected_alerts, 1.0),
+                factor=policy.adaptive_alert_replication.factor,
+            )
+
+        node_params = config.node_params.with_updates(delta_r=config.delta_r, k=config.k)
+        self._node_params = node_params
+        for _ in range(config.initial_nodes):
+            self._add_node()
+
+    # -- node management ----------------------------------------------------------------
+    def _add_node(self) -> str | None:
+        if len(self.nodes) >= self.config.max_nodes:
+            return None
+        node_id = f"node-{self._node_counter}"
+        self._node_counter += 1
+        node = EmulatedNode(
+            node_id=node_id,
+            params=self._node_params,
+            observation_model=self.observation_model,
+            strategy=self.policy.recovery_strategy_factory(node_id),
+            enforce_btr=self.policy.enforce_btr,
+            observation_models_by_container=self.per_container_models,
+            rng=np.random.default_rng(self._rng.integers(2 ** 31)),
+        )
+        self.nodes[node_id] = node
+        return node_id
+
+    def _evict_node(self, node_id: str) -> None:
+        self.nodes.pop(node_id, None)
+        self.attacker.forget(node_id)
+
+    # -- one evaluation step ----------------------------------------------------------------
+    def step(self) -> StepRecord:
+        """Advance the emulation by one 60-second time-step."""
+        self.time_step += 1
+        background_clients = self.background.step()
+
+        # 1. Attacker progress and compromise events.
+        candidates = [
+            (node_id, node.container)
+            for node_id, node in self.nodes.items()
+            if node.state is NodeState.HEALTHY
+            and self.attacker.state_of(node_id).phase is AttackPhase.IDLE
+        ]
+        self.attacker.select_targets(candidates)
+        for node_id, node in self.nodes.items():
+            state = self.attacker.step_node(node_id, node.container, node.state is NodeState.HEALTHY)
+            if state.phase is AttackPhase.COMPROMISED and node.state is NodeState.HEALTHY:
+                node.mark_compromised()
+                self.metrics.record_compromise(node_id)
+
+        # 2. Crash transitions.
+        crashed_this_step = 0
+        for node in self.nodes.values():
+            if node.maybe_crash():
+                crashed_this_step += 1
+
+        # 3. Local control: observations, beliefs, recovery requests.
+        beliefs: dict[str, float] = {}
+        observations: dict[str, int] = {}
+        recovery_requests: list[str] = []
+        for node_id, node in self.nodes.items():
+            if not node.is_alive:
+                continue  # crashed nodes stop reporting
+            intrusion_activity = self.attacker.state_of(node_id).intrusion_activity
+            action, belief, observation = node.observe_and_decide(
+                intrusion_activity, background_clients
+            )
+            beliefs[node_id] = belief
+            observations[node_id] = observation
+            if action is NodeAction.RECOVER:
+                recovery_requests.append(node_id)
+            else:
+                node.controller.last_action = NodeAction.WAIT
+
+        # 4. Grant recoveries; TOLERANCE respects the k-parallel-recovery
+        #    limit of Prop. 1c (most suspicious nodes first), the baselines
+        #    recover on their own schedule.
+        recovery_requests.sort(key=lambda nid: beliefs.get(nid, 0.0), reverse=True)
+        if self.policy.respect_recovery_limit:
+            granted = recovery_requests[: self.config.k]
+        else:
+            granted = recovery_requests
+        for node_id in recovery_requests[len(granted):]:
+            # Deferred recovery: the controller behaves as if it had waited.
+            self.nodes[node_id].controller.last_action = NodeAction.WAIT
+        recoveries = 0
+        for node_id in granted:
+            node = self.nodes[node_id]
+            was_compromised = node.is_compromised
+            node.recover()
+            self.attacker.forget(node_id)
+            recoveries += 1
+            if was_compromised:
+                self.metrics.record_recovery_start(node_id)
+            beliefs[node_id] = node.controller.belief
+
+        # 5. Global control: evictions and node additions.
+        registered = set(self.nodes)
+        decision = self.system_controller.step(
+            reported_beliefs=beliefs,
+            registered_nodes=registered,
+            current_node_count=len(self.nodes),
+        )
+        for node_id in decision.evicted_nodes:
+            self.metrics.record_recovery_start(node_id)  # censored: node replaced
+            self._evict_node(node_id)
+        added = False
+        if decision.add_node:
+            added = self._add_node() is not None
+        if (
+            not added
+            and self.policy.adaptive_alert_replication is not None
+            and observations
+            and self.policy.adaptive_alert_replication.triggered(max(observations.values()))
+        ):
+            added = self._add_node() is not None
+            if added:
+                self.system_controller.total_additions += 1
+
+        # 6. Metrics and invariant auditing.
+        healthy = sum(1 for n in self.nodes.values() if n.state is NodeState.HEALTHY)
+        compromised = sum(1 for n in self.nodes.values() if n.state is NodeState.COMPROMISED)
+        crashed = sum(1 for n in self.nodes.values() if n.state is NodeState.CRASHED)
+        self.metrics.record_step(
+            healthy=healthy,
+            compromised=compromised,
+            crashed=crashed,
+            recoveries=recoveries,
+        )
+        self.auditor.audit_step(
+            time_step=self.time_step,
+            num_nodes=len(self.nodes),
+            num_compromised=compromised,
+            num_crashed=crashed,
+            num_recovering=recoveries,
+        )
+
+        record = StepRecord(
+            time_step=self.time_step,
+            num_nodes=len(self.nodes),
+            healthy=healthy,
+            compromised=compromised,
+            crashed_this_step=crashed_this_step,
+            recoveries=recoveries,
+            added_node=added,
+            evicted=len(decision.evicted_nodes),
+            beliefs=dict(beliefs),
+            observations=dict(observations),
+            system_state=decision.state,
+        )
+        self.trace.append(record)
+        return record
+
+    # -- full episodes ---------------------------------------------------------------------
+    def run(self, horizon: int | None = None) -> EpisodeMetrics:
+        """Run a full evaluation episode and return its metrics."""
+        steps = horizon if horizon is not None else self.config.horizon
+        for _ in range(steps):
+            self.step()
+        return self.metrics.finalize()
+
+    def system_state_transitions(self) -> list[tuple[int, int, int]]:
+        """Observed ``(s_t, a_t, s_{t+1})`` transitions for fitting ``f_S``."""
+        transitions: list[tuple[int, int, int]] = []
+        for previous, current in zip(self.trace, self.trace[1:]):
+            transitions.append(
+                (previous.system_state, int(previous.added_node), current.system_state)
+            )
+        return transitions

@@ -1,0 +1,154 @@
+"""Emulated TOLERANCE node: application domain + privileged domain.
+
+Each node of the emulation bundles
+
+* the ground-truth replica state (healthy / compromised / crashed) that only
+  the environment knows;
+* the container image currently running in the application domain (replaced
+  on every recovery, which implements software diversification);
+* the node's IDS (:class:`~repro.emulation.ids.SnortLikeIDS`) living in the
+  privileged domain; and
+* the node controller (:class:`~repro.core.node_controller.NodeController`)
+  that consumes IDS observations and issues recovery decisions.
+
+The environment owns the hidden-state dynamics (crashes, compromises via the
+attacker); the node exposes ``recover``/``crash`` transitions and the
+``observe_and_decide`` control step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..core.node_controller import NodeController
+from ..core.node_model import NodeAction, NodeParameters, NodeState
+from ..core.observation import ObservationModel
+from ..core.strategies import RecoveryStrategy
+from .containers import CONTAINER_CATALOG, ContainerImage
+from .ids import SnortLikeIDS
+
+__all__ = ["EmulatedNode"]
+
+
+class EmulatedNode:
+    """One emulated node: ground truth + IDS + local controller."""
+
+    def __init__(
+        self,
+        node_id: str,
+        params: NodeParameters,
+        observation_model: ObservationModel,
+        strategy: RecoveryStrategy,
+        container: ContainerImage | None = None,
+        alert_bucket_size: int = 20,
+        enforce_btr: bool = True,
+        observation_models_by_container: Mapping[int, ObservationModel] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.params = params
+        self.alert_bucket_size = alert_bucket_size
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.container: ContainerImage = (
+            container
+            if container is not None
+            else CONTAINER_CATALOG[int(self._rng.integers(len(CONTAINER_CATALOG)))]
+        )
+        self.ids = SnortLikeIDS(self.container)
+        self._default_observation_model = observation_model
+        self._observation_models_by_container = (
+            dict(observation_models_by_container)
+            if observation_models_by_container is not None
+            else {}
+        )
+        self.controller = NodeController(
+            node_id=node_id,
+            params=params,
+            observation_model=self._model_for(self.container),
+            strategy=strategy,
+            enforce_btr=enforce_btr,
+        )
+        self.state = NodeState.HEALTHY
+        self.recoveries = 0
+        self.crashes = 0
+        self.compromises = 0
+
+    def _model_for(self, container: ContainerImage) -> ObservationModel:
+        """Per-container detection model ``\\hat{Z}_i`` (Fig. 11), if available."""
+        return self._observation_models_by_container.get(
+            container.replica_id, self._default_observation_model
+        )
+
+    # -- ground-truth transitions ----------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        return self.state is not NodeState.CRASHED
+
+    @property
+    def is_compromised(self) -> bool:
+        return self.state is NodeState.COMPROMISED
+
+    def mark_compromised(self) -> None:
+        if self.state is NodeState.HEALTHY:
+            self.state = NodeState.COMPROMISED
+            self.compromises += 1
+
+    def maybe_crash(self) -> bool:
+        """Sample the crash transition for this step (Eq. 2b-2c)."""
+        if self.state is NodeState.CRASHED:
+            return False
+        crash_probability = (
+            self.params.p_c1 if self.state is NodeState.HEALTHY else self.params.p_c2
+        )
+        if self._rng.random() < crash_probability:
+            self.state = NodeState.CRASHED
+            self.crashes += 1
+            return True
+        return False
+
+    def recover(self) -> None:
+        """Recover the replica: new randomly-drawn container, healthy state."""
+        if self.state is NodeState.CRASHED:
+            return
+        self.state = NodeState.HEALTHY
+        self.container = CONTAINER_CATALOG[int(self._rng.integers(len(CONTAINER_CATALOG)))]
+        self.ids = SnortLikeIDS(self.container)
+        self.controller.observation_model = self._model_for(self.container)
+        self.recoveries += 1
+        self.controller.notify_recovered()
+
+    # -- control step ----------------------------------------------------------------
+    def sample_observation(
+        self, intrusion_activity: bool, background_clients: int | None = None
+    ) -> int:
+        """Raw weighted alert count for the current interval (bucketed for the model)."""
+        raw = self.ids.sample_alerts(intrusion_activity, self._rng, background_clients)
+        return raw // self.alert_bucket_size
+
+    def observe_and_decide(
+        self, intrusion_activity: bool, background_clients: int | None = None
+    ) -> tuple[NodeAction, float, int]:
+        """One privileged-domain control step.
+
+        Returns the controller's requested action, its reported belief, and
+        the bucketed observation it consumed.  The environment is responsible
+        for actually executing the recovery (so that the ``k`` parallel
+        recovery limit can be enforced globally).
+        """
+        observation = self.sample_observation(intrusion_activity, background_clients)
+        clipped = int(
+            np.clip(observation, 0, int(self.controller.observation_model.observations[-1]))
+        )
+        belief = self.controller.observe(clipped)
+        action = self.controller.decide()
+        if action is NodeAction.RECOVER:
+            # The decision is recorded; the actual recovery (and the
+            # controller's notify_recovered) happens when the environment
+            # grants one of the k recovery slots.
+            self.controller.last_action = NodeAction.RECOVER
+        else:
+            self.controller.time_since_recovery += 1
+        return action, belief, clipped

@@ -1,0 +1,112 @@
+"""Background services and client populations (Section VIII-A).
+
+To make the IDS alert streams realistic, every replica in the paper's
+testbed runs a set of background services (Table 5) consumed by a population
+of background clients that "arrive with a Poisson rate lambda = 20 and have
+exponentially distributed service times with mean mu = 4 time-steps".  The
+service-request workload from the replicated-service clients rides on top.
+
+This module models that load:
+
+* :class:`BackgroundClientPopulation` -- an M/M/inf-style population whose
+  size modulates the benign IDS alert rate and the service request volume;
+* :class:`ServiceWorkload` -- the Poisson stream of read/write requests sent
+  to the replicated service by the paying clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BackgroundClientPopulation", "ServiceRequestEvent", "ServiceWorkload"]
+
+
+class BackgroundClientPopulation:
+    """Poisson-arrival background clients with exponential service times.
+
+    At every time-step ``Poisson(arrival_rate)`` new clients arrive, and each
+    active client departs with probability ``1 / mean_service_time`` (the
+    discrete-time analogue of exponential service times with that mean).
+    """
+
+    def __init__(
+        self,
+        arrival_rate: float = 20.0,
+        mean_service_time: float = 4.0,
+        seed: int | None = None,
+    ) -> None:
+        if arrival_rate < 0.0:
+            raise ValueError("arrival_rate must be non-negative")
+        if mean_service_time <= 0.0:
+            raise ValueError("mean_service_time must be positive")
+        self.arrival_rate = arrival_rate
+        self.mean_service_time = mean_service_time
+        self._rng = np.random.default_rng(seed)
+        self.active_clients = 0
+        self.total_arrivals = 0
+
+    def step(self) -> int:
+        """Advance one time-step; returns the active client count."""
+        arrivals = int(self._rng.poisson(self.arrival_rate))
+        self.total_arrivals += arrivals
+        departure_probability = min(1.0 / self.mean_service_time, 1.0)
+        departures = int(self._rng.binomial(self.active_clients, departure_probability))
+        self.active_clients = max(self.active_clients + arrivals - departures, 0)
+        return self.active_clients
+
+    def expected_steady_state(self) -> float:
+        """Expected active clients in steady state (Little's law)."""
+        return self.arrival_rate * self.mean_service_time
+
+
+@dataclass(frozen=True)
+class ServiceRequestEvent:
+    """One request of the replicated service workload."""
+
+    time_step: int
+    operation: str
+    key: str
+    value: object | None
+
+
+class ServiceWorkload:
+    """Poisson read/write request stream for the replicated service."""
+
+    def __init__(
+        self,
+        requests_per_step: float = 5.0,
+        write_fraction: float = 0.5,
+        key_space: int = 16,
+        seed: int | None = None,
+    ) -> None:
+        if requests_per_step < 0.0:
+            raise ValueError("requests_per_step must be non-negative")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must lie in [0, 1]")
+        if key_space < 1:
+            raise ValueError("key_space must be >= 1")
+        self.requests_per_step = requests_per_step
+        self.write_fraction = write_fraction
+        self.key_space = key_space
+        self._rng = np.random.default_rng(seed)
+        self._counter = 0
+
+    def requests_for_step(self, time_step: int) -> list[ServiceRequestEvent]:
+        """Sample the requests issued during one time-step."""
+        count = int(self._rng.poisson(self.requests_per_step))
+        events: list[ServiceRequestEvent] = []
+        for _ in range(count):
+            self._counter += 1
+            is_write = self._rng.random() < self.write_fraction
+            key = f"key-{int(self._rng.integers(self.key_space))}"
+            events.append(
+                ServiceRequestEvent(
+                    time_step=time_step,
+                    operation="write" if is_write else "read",
+                    key=key,
+                    value=self._counter if is_write else None,
+                )
+            )
+        return events

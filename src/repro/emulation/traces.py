@@ -1,0 +1,128 @@
+"""Intrusion trace dataset generation and (de)serialization.
+
+The paper publishes a dataset of 6 400 intrusion traces collected on the
+testbed.  A *trace* is a time series of per-step records — node states,
+IDS observations, controller beliefs, and actions — for one evaluation
+episode.  This module generates an equivalent synthetic dataset from the
+emulation environment, so that downstream users (e.g. for training intrusion
+detection models or offline RL) have the same artifact to work with, and
+provides simple JSON-lines persistence.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .environment import EmulationConfig, EmulationEnvironment, EvaluationPolicy, tolerance_policy
+
+__all__ = ["IntrusionTrace", "generate_traces", "save_traces", "load_traces"]
+
+
+@dataclass(frozen=True)
+class IntrusionTrace:
+    """One episode trace.
+
+    Attributes:
+        trace_id: Index of the trace within its dataset.
+        seed: Seed used for the episode.
+        policy: Name of the control policy used.
+        steps: Per-step records (time step, node census, observations, beliefs).
+        availability: Episode availability ``T^(A)``.
+        time_to_recovery: Episode ``T^(R)``.
+        recovery_frequency: Episode ``F^(R)``.
+    """
+
+    trace_id: int
+    seed: int
+    policy: str
+    steps: tuple[dict, ...]
+    availability: float
+    time_to_recovery: float
+    recovery_frequency: float
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def generate_traces(
+    num_traces: int = 10,
+    config: EmulationConfig | None = None,
+    policy: EvaluationPolicy | None = None,
+    horizon: int = 100,
+    base_seed: int = 0,
+) -> list[IntrusionTrace]:
+    """Generate a dataset of intrusion traces from the emulation environment."""
+    if num_traces < 1:
+        raise ValueError("num_traces must be >= 1")
+    config = config if config is not None else EmulationConfig(horizon=horizon)
+    policy = policy if policy is not None else tolerance_policy()
+    traces: list[IntrusionTrace] = []
+    for index in range(num_traces):
+        seed = base_seed + index
+        environment = EmulationEnvironment(config, policy, seed=seed)
+        metrics = environment.run(horizon)
+        steps = tuple(
+            {
+                "time_step": record.time_step,
+                "num_nodes": record.num_nodes,
+                "healthy": record.healthy,
+                "compromised": record.compromised,
+                "recoveries": record.recoveries,
+                "added_node": record.added_node,
+                "evicted": record.evicted,
+                "beliefs": record.beliefs,
+                "observations": record.observations,
+                "system_state": record.system_state,
+            }
+            for record in environment.trace
+        )
+        traces.append(
+            IntrusionTrace(
+                trace_id=index,
+                seed=seed,
+                policy=policy.name,
+                steps=steps,
+                availability=metrics.availability,
+                time_to_recovery=metrics.time_to_recovery,
+                recovery_frequency=metrics.recovery_frequency,
+            )
+        )
+    return traces
+
+
+def save_traces(traces: Iterable[IntrusionTrace], path: str | Path) -> int:
+    """Persist traces as JSON lines; returns the number of traces written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for trace in traces:
+            handle.write(json.dumps(asdict(trace)) + "\n")
+            count += 1
+    return count
+
+
+def load_traces(path: str | Path) -> list[IntrusionTrace]:
+    """Load a JSON-lines trace dataset written by :func:`save_traces`."""
+    path = Path(path)
+    traces: list[IntrusionTrace] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            traces.append(
+                IntrusionTrace(
+                    trace_id=int(raw["trace_id"]),
+                    seed=int(raw["seed"]),
+                    policy=str(raw["policy"]),
+                    steps=tuple(raw["steps"]),
+                    availability=float(raw["availability"]),
+                    time_to_recovery=float(raw["time_to_recovery"]),
+                    recovery_frequency=float(raw["recovery_frequency"]),
+                )
+            )
+    return traces

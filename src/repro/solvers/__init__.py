@@ -1,0 +1,83 @@
+"""Solvers for the TOLERANCE control problems.
+
+* Problem 1 (optimal intrusion recovery): :mod:`~repro.solvers.pomdp`
+  (incremental pruning, belief-grid value iteration),
+  :mod:`~repro.solvers.parametric` (Algorithm 1) with the black-box
+  optimizers of :mod:`~repro.solvers.optimizers` and the PPO baseline in
+  :mod:`~repro.solvers.ppo`.
+* Problem 2 (optimal replication factor): :mod:`~repro.solvers.cmdp`
+  (Algorithm 2: occupancy-measure LP and Lagrangian relaxation) on top of
+  the generic MDP solvers of :mod:`~repro.solvers.mdp`.
+"""
+
+from .cmdp import (
+    CMDPSolution,
+    LagrangianSolution,
+    evaluate_replication_strategy,
+    policy_stationary_distribution,
+    solve_replication_lagrangian,
+    solve_replication_lp,
+)
+from .evaluation import RecoveryEpisodeResult, RecoverySimulator
+from .mdp import (
+    MDPSolution,
+    policy_evaluation,
+    policy_iteration,
+    relative_value_iteration,
+    value_iteration,
+)
+from .optimizers import (
+    BayesianOptimization,
+    CrossEntropyMethod,
+    DifferentialEvolution,
+    OptimizationResult,
+    RandomSearch,
+    SPSA,
+)
+from .parametric import RecoverySolution, solve_recovery_problem, threshold_dimension
+from .pomdp import (
+    AlphaVector,
+    BeliefValueIterationResult,
+    IncrementalPruningResult,
+    RecoveryPOMDP,
+    belief_value_iteration,
+    extract_threshold,
+    incremental_pruning,
+)
+from .ppo import PPOConfig, PPOPolicy, PPOResult, train_ppo_recovery
+
+__all__ = [
+    "AlphaVector",
+    "BayesianOptimization",
+    "BeliefValueIterationResult",
+    "CMDPSolution",
+    "CrossEntropyMethod",
+    "DifferentialEvolution",
+    "IncrementalPruningResult",
+    "LagrangianSolution",
+    "MDPSolution",
+    "OptimizationResult",
+    "PPOConfig",
+    "PPOPolicy",
+    "PPOResult",
+    "RandomSearch",
+    "RecoveryEpisodeResult",
+    "RecoveryPOMDP",
+    "RecoverySimulator",
+    "RecoverySolution",
+    "SPSA",
+    "belief_value_iteration",
+    "evaluate_replication_strategy",
+    "extract_threshold",
+    "incremental_pruning",
+    "policy_evaluation",
+    "policy_iteration",
+    "policy_stationary_distribution",
+    "relative_value_iteration",
+    "solve_recovery_problem",
+    "solve_replication_lagrangian",
+    "solve_replication_lp",
+    "threshold_dimension",
+    "train_ppo_recovery",
+    "value_iteration",
+]

@@ -1,0 +1,175 @@
+"""Monte-Carlo policy evaluation for Problem 1.
+
+Algorithm 1 needs an estimate of the objective ``J_i(theta)`` (Eq. 5) for a
+candidate threshold vector ``theta``.  The paper estimates it by simulating
+the node POMDP for ``M`` episodes under the candidate strategy and averaging
+the per-step cost.  :class:`RecoverySimulator` implements that simulator; it
+is also used to evaluate the baselines and the strategies returned by IP and
+PPO so that all Table 2 entries are measured with the same estimator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.belief import update_compromise_belief
+from ..core.costs import node_cost
+from ..core.node_model import (
+    NodeAction,
+    NodeParameters,
+    NodeState,
+    NodeTransitionModel,
+)
+from ..core.observation import ObservationModel
+from ..core.strategies import RecoveryStrategy
+
+__all__ = ["RecoveryEpisodeResult", "RecoverySimulator"]
+
+
+@dataclass(frozen=True)
+class RecoveryEpisodeResult:
+    """Per-episode statistics of one simulated node trajectory."""
+
+    average_cost: float
+    time_to_recovery: float
+    recovery_frequency: float
+    num_recoveries: int
+    num_compromises: int
+    steps: int
+
+
+class RecoverySimulator:
+    """Simulates the node POMDP under a recovery strategy.
+
+    The simulator reproduces the evaluation protocol of Problem 1: the node
+    starts healthy (with the initial belief ``b_1 = p_A``), the hidden state
+    evolves according to ``f_N``, observations are drawn from ``Z``, the
+    strategy maps beliefs to actions, and the BTR constraint forces a
+    recovery every ``Delta_R`` steps.  Crashed nodes are replaced by fresh
+    healthy nodes (the model treats a restarted node as new), so long-run
+    averages are well defined.
+    """
+
+    def __init__(
+        self,
+        params: NodeParameters,
+        observation_model: ObservationModel,
+        horizon: int = 200,
+        enforce_btr: bool = True,
+    ) -> None:
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.params = params
+        self.observation_model = observation_model
+        self.horizon = horizon
+        self.enforce_btr = enforce_btr
+        self.transition_model = NodeTransitionModel(params)
+
+    # -- single episode -----------------------------------------------------------
+    def run_episode(
+        self, strategy: RecoveryStrategy, rng: np.random.Generator
+    ) -> RecoveryEpisodeResult:
+        params = self.params
+        state = NodeState.HEALTHY
+        belief = params.p_a
+        time_since_recovery = 0
+        total_cost = 0.0
+        recoveries = 0
+        compromises = 0
+        recovery_delays: list[int] = []
+        open_compromise: int | None = None
+
+        for _ in range(self.horizon):
+            # Decide based on the current belief.
+            btr_deadline = (
+                self.enforce_btr
+                and params.delta_r != math.inf
+                and time_since_recovery >= int(params.delta_r) - 1
+            )
+            if btr_deadline:
+                action = NodeAction.RECOVER
+            else:
+                action = strategy.action(belief, time_since_recovery)
+
+            total_cost += node_cost(state, action, params.eta)
+            if action is NodeAction.RECOVER:
+                recoveries += 1
+                if open_compromise is not None:
+                    recovery_delays.append(open_compromise)
+                    open_compromise = None
+
+            # Hidden state transition.
+            next_state = self.transition_model.step(state, action, rng)
+            if next_state is NodeState.CRASHED:
+                # The crashed node is evicted and replaced by a fresh node.
+                next_state = NodeState.HEALTHY
+                belief = params.p_a
+                time_since_recovery = 0
+                if open_compromise is not None:
+                    recovery_delays.append(open_compromise)
+                    open_compromise = None
+                state = next_state
+                continue
+
+            if state is not NodeState.COMPROMISED and next_state is NodeState.COMPROMISED:
+                compromises += 1
+                open_compromise = 0
+            elif next_state is NodeState.HEALTHY:
+                if open_compromise is not None and action is not NodeAction.RECOVER:
+                    # Software update restored the node without a recovery.
+                    recovery_delays.append(open_compromise)
+                open_compromise = None
+
+            if open_compromise is not None:
+                open_compromise += 1
+
+            # Observation and belief update.
+            observation = self.observation_model.sample(next_state, rng)
+            belief = update_compromise_belief(
+                belief, action, observation, self.transition_model, self.observation_model
+            )
+
+            if action is NodeAction.RECOVER:
+                time_since_recovery = 0
+                belief = params.p_a
+            else:
+                time_since_recovery += 1
+            state = next_state
+
+        if open_compromise is not None:
+            recovery_delays.append(open_compromise)
+
+        time_to_recovery = float(np.mean(recovery_delays)) if recovery_delays else 0.0
+        return RecoveryEpisodeResult(
+            average_cost=total_cost / self.horizon,
+            time_to_recovery=time_to_recovery,
+            recovery_frequency=recoveries / self.horizon,
+            num_recoveries=recoveries,
+            num_compromises=compromises,
+            steps=self.horizon,
+        )
+
+    # -- Monte-Carlo estimates -------------------------------------------------------
+    def estimate_cost(
+        self,
+        strategy: RecoveryStrategy,
+        num_episodes: int = 20,
+        seed: int | None = None,
+    ) -> float:
+        """Monte-Carlo estimate of ``J_i`` (Eq. 5) under ``strategy``."""
+        rng = np.random.default_rng(seed)
+        costs = [self.run_episode(strategy, rng).average_cost for _ in range(num_episodes)]
+        return float(np.mean(costs))
+
+    def evaluate(
+        self,
+        strategy: RecoveryStrategy,
+        num_episodes: int = 20,
+        seed: int | None = None,
+    ) -> list[RecoveryEpisodeResult]:
+        """Run ``num_episodes`` independent episodes and return their statistics."""
+        rng = np.random.default_rng(seed)
+        return [self.run_episode(strategy, rng) for _ in range(num_episodes)]

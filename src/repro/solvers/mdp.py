@@ -1,0 +1,165 @@
+"""Finite MDP solvers: value iteration and policy iteration.
+
+These solvers back two parts of the reproduction:
+
+* the Lagrangian-relaxed replication MDP of Appendix D (Theorem 2), where
+  the per-step cost is ``c_lambda(s) = s + lambda [s < f + 1]`` and the
+  optimal policy is a threshold ("order-up-to") policy; and
+* generic sanity checks of the structural results (monotone value
+  functions, threshold policies) used by the property-based tests.
+
+The solvers operate on explicit transition arrays ``T[a, s, s']`` and cost
+arrays ``C[a, s]`` and support both the discounted and the (relative) average
+cost criteria.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MDPSolution",
+    "value_iteration",
+    "policy_iteration",
+    "relative_value_iteration",
+    "policy_evaluation",
+]
+
+
+@dataclass
+class MDPSolution:
+    """Solution of a finite MDP.
+
+    Attributes:
+        values: Optimal value function ``V*(s)`` (relative values under the
+            average-cost criterion).
+        policy: Optimal deterministic policy ``pi*(s)`` (action indices).
+        iterations: Number of iterations performed.
+        residual: Final Bellman residual.
+        average_cost: Optimal average cost (average-cost criterion only).
+    """
+
+    values: np.ndarray
+    policy: np.ndarray
+    iterations: int
+    residual: float
+    average_cost: float | None = None
+
+
+def _validate(transition: np.ndarray, costs: np.ndarray) -> tuple[int, int]:
+    transition = np.asarray(transition, dtype=float)
+    costs = np.asarray(costs, dtype=float)
+    if transition.ndim != 3:
+        raise ValueError("transition must have shape (A, S, S)")
+    num_actions, num_states, num_states_2 = transition.shape
+    if num_states != num_states_2:
+        raise ValueError("transition matrices must be square")
+    if costs.shape != (num_actions, num_states):
+        raise ValueError("costs must have shape (A, S)")
+    if not np.allclose(transition.sum(axis=2), 1.0, atol=1e-6):
+        raise ValueError("transition rows must sum to one")
+    return num_actions, num_states
+
+
+def value_iteration(
+    transition: np.ndarray,
+    costs: np.ndarray,
+    discount: float = 0.95,
+    max_iterations: int = 10000,
+    tolerance: float = 1e-9,
+) -> MDPSolution:
+    """Discounted value iteration minimizing expected total discounted cost."""
+    if not 0.0 < discount < 1.0:
+        raise ValueError("discount must lie in (0, 1)")
+    num_actions, num_states = _validate(transition, costs)
+    values = np.zeros(num_states)
+    iteration = 0
+    residual = np.inf
+    for iteration in range(1, max_iterations + 1):
+        q_values = costs + discount * np.einsum("ast,t->as", transition, values)
+        new_values = q_values.min(axis=0)
+        residual = float(np.max(np.abs(new_values - values)))
+        values = new_values
+        if residual < tolerance:
+            break
+    q_values = costs + discount * np.einsum("ast,t->as", transition, values)
+    policy = q_values.argmin(axis=0)
+    return MDPSolution(values=values, policy=policy, iterations=iteration, residual=residual)
+
+
+def policy_evaluation(
+    transition: np.ndarray,
+    costs: np.ndarray,
+    policy: np.ndarray,
+    discount: float = 0.95,
+) -> np.ndarray:
+    """Exact discounted evaluation of a deterministic policy (linear solve)."""
+    num_actions, num_states = _validate(transition, costs)
+    policy = np.asarray(policy, dtype=int)
+    if policy.shape != (num_states,):
+        raise ValueError("policy must assign one action per state")
+    transition_pi = np.array([transition[policy[s], s] for s in range(num_states)])
+    costs_pi = np.array([costs[policy[s], s] for s in range(num_states)])
+    return np.linalg.solve(np.eye(num_states) - discount * transition_pi, costs_pi)
+
+
+def policy_iteration(
+    transition: np.ndarray,
+    costs: np.ndarray,
+    discount: float = 0.95,
+    max_iterations: int = 1000,
+) -> MDPSolution:
+    """Howard policy iteration; converges in finitely many steps."""
+    num_actions, num_states = _validate(transition, costs)
+    policy = np.zeros(num_states, dtype=int)
+    values = np.zeros(num_states)
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        values = policy_evaluation(transition, costs, policy, discount)
+        q_values = costs + discount * np.einsum("ast,t->as", transition, values)
+        new_policy = q_values.argmin(axis=0)
+        if np.array_equal(new_policy, policy):
+            break
+        policy = new_policy
+    residual = float(np.max(np.abs(q_values.min(axis=0) - values)))
+    return MDPSolution(values=values, policy=policy, iterations=iteration, residual=residual)
+
+
+def relative_value_iteration(
+    transition: np.ndarray,
+    costs: np.ndarray,
+    max_iterations: int = 20000,
+    tolerance: float = 1e-9,
+    reference_state: int = 0,
+) -> MDPSolution:
+    """Relative value iteration for the long-run average cost criterion.
+
+    Requires the MDP to be unichain (assumption B of Theorem 2 ensures this
+    for the replication CMDP).  Returns relative values, the optimal policy,
+    and the optimal average cost ``rho*``.
+    """
+    num_actions, num_states = _validate(transition, costs)
+    values = np.zeros(num_states)
+    average_cost = 0.0
+    iteration = 0
+    residual = np.inf
+    for iteration in range(1, max_iterations + 1):
+        q_values = costs + np.einsum("ast,t->as", transition, values)
+        new_values = q_values.min(axis=0)
+        average_cost = float(new_values[reference_state])
+        new_values = new_values - average_cost
+        residual = float(np.max(np.abs(new_values - values)))
+        values = new_values
+        if residual < tolerance:
+            break
+    q_values = costs + np.einsum("ast,t->as", transition, values)
+    policy = q_values.argmin(axis=0)
+    return MDPSolution(
+        values=values,
+        policy=policy,
+        iterations=iteration,
+        residual=residual,
+        average_cost=average_cost,
+    )

@@ -1,0 +1,120 @@
+"""Algorithm 1: parametric optimization of threshold recovery strategies.
+
+Theorem 1 guarantees that an optimal recovery strategy is a threshold
+strategy; Algorithm 1 exploits this by searching directly over the space of
+threshold vectors ``Theta = [0, 1]^d`` with ``d = Delta_R - 1`` (or ``d = 1``
+when ``Delta_R = inf``), estimating the objective ``J_i(theta)`` by
+simulation, and delegating the search to a black-box parametric optimizer
+(CEM, DE, SPSA, BO, ...).
+
+:func:`solve_recovery_problem` is the entry point; it returns both the
+fitted :class:`~repro.core.strategies.MultiThresholdStrategy` and the
+optimizer diagnostics used to reproduce Table 2 and Figures 7-8.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.node_model import NodeParameters
+from ..core.observation import ObservationModel
+from ..core.strategies import MultiThresholdStrategy
+from .evaluation import RecoverySimulator
+from .optimizers import OptimizationResult, ParametricOptimizer
+
+__all__ = ["RecoverySolution", "threshold_dimension", "solve_recovery_problem"]
+
+
+def threshold_dimension(delta_r: float) -> int:
+    """Dimension of the threshold parameter vector (Algorithm 1, line 4)."""
+    if delta_r is math.inf or delta_r == math.inf:
+        return 1
+    if delta_r < 1:
+        raise ValueError("delta_r must be >= 1 or inf")
+    return max(int(delta_r) - 1, 1)
+
+
+@dataclass
+class RecoverySolution:
+    """Output of Algorithm 1.
+
+    Attributes:
+        strategy: The fitted multi-threshold recovery strategy
+            ``\\hat{pi}_{i,theta,t}``.
+        estimated_cost: Monte-Carlo estimate of ``J_i`` under the strategy.
+        optimizer_result: Raw optimizer diagnostics (history, evaluations).
+        wall_clock_seconds: Time spent in the optimizer (the "Time" column of
+            Table 2).
+        optimizer_name: Name of the parametric optimizer used.
+    """
+
+    strategy: MultiThresholdStrategy
+    estimated_cost: float
+    optimizer_result: OptimizationResult
+    wall_clock_seconds: float
+    optimizer_name: str
+
+
+def solve_recovery_problem(
+    params: NodeParameters,
+    observation_model: ObservationModel,
+    optimizer: ParametricOptimizer,
+    horizon: int = 200,
+    episodes_per_evaluation: int = 10,
+    final_evaluation_episodes: int = 50,
+    seed: int | None = None,
+) -> RecoverySolution:
+    """Run Algorithm 1 for one node.
+
+    Args:
+        params: Node model parameters (including ``Delta_R`` and ``eta``).
+        observation_model: The intrusion detection model ``Z`` or ``\\hat{Z}``.
+        optimizer: A parametric optimizer implementing
+            :class:`~repro.solvers.optimizers.ParametricOptimizer` (the ``PO``
+            input of Algorithm 1).
+        horizon: Episode length used by the Monte-Carlo cost estimator.
+        episodes_per_evaluation: Episodes per objective evaluation during the
+            search (Appendix E uses ``M = 50``; smaller values trade accuracy
+            for speed).
+        final_evaluation_episodes: Episodes used to score the returned
+            strategy.
+        seed: Seed controlling both the optimizer and the simulator.
+
+    Returns:
+        The fitted strategy and diagnostics.
+    """
+    dimension = threshold_dimension(params.delta_r)
+    simulator = RecoverySimulator(params, observation_model, horizon=horizon)
+    seed_sequence = np.random.SeedSequence(seed)
+    evaluation_seed = int(seed_sequence.generate_state(1)[0])
+
+    evaluation_counter = 0
+
+    def objective(theta: np.ndarray) -> float:
+        nonlocal evaluation_counter
+        evaluation_counter += 1
+        strategy = MultiThresholdStrategy.from_vector(theta, delta_r=params.delta_r)
+        # Common random numbers across candidates reduce estimator variance.
+        return simulator.estimate_cost(
+            strategy, num_episodes=episodes_per_evaluation, seed=evaluation_seed
+        )
+
+    start = time.perf_counter()
+    result = optimizer.optimize(objective, dimension=dimension, seed=seed)
+    elapsed = time.perf_counter() - start
+
+    strategy = MultiThresholdStrategy.from_vector(result.best_parameters, delta_r=params.delta_r)
+    estimated_cost = simulator.estimate_cost(
+        strategy, num_episodes=final_evaluation_episodes, seed=evaluation_seed + 1
+    )
+    return RecoverySolution(
+        strategy=strategy,
+        estimated_cost=estimated_cost,
+        optimizer_result=result,
+        wall_clock_seconds=elapsed,
+        optimizer_name=getattr(optimizer, "name", type(optimizer).__name__.lower()),
+    )

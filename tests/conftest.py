@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BetaBinomialObservationModel,
+    NodeParameters,
+    NodeTransitionModel,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def params() -> NodeParameters:
+    """Default node parameters from Appendix E."""
+    return NodeParameters(p_a=0.1, p_c1=1e-5, p_c2=1e-3, p_u=0.02, eta=2.0)
+
+
+@pytest.fixture
+def transition_model(params: NodeParameters) -> NodeTransitionModel:
+    return NodeTransitionModel(params)
+
+
+@pytest.fixture
+def observation_model() -> BetaBinomialObservationModel:
+    """The Beta-Binomial observation model of Appendix E."""
+    return BetaBinomialObservationModel()

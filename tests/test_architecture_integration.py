@@ -1,0 +1,72 @@
+"""End-to-end integration tests of the TOLERANCE architecture (Fig. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NodeParameters, ToleranceArchitecture
+from repro.emulation import EmulationConfig, no_recovery_policy, tolerance_policy
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    """One short integrated run shared by the read-only assertions below."""
+    architecture = ToleranceArchitecture(
+        config=EmulationConfig(
+            initial_nodes=4, horizon=12, node_params=NodeParameters(p_a=0.1)
+        ),
+        policy=tolerance_policy(0.75),
+        requests_per_step=2.0,
+        seed=11,
+    )
+    report = architecture.run()
+    return architecture, report
+
+
+class TestIntegratedArchitecture:
+    def test_safety_holds(self, small_run):
+        _, report = small_run
+        assert report.safety_holds
+
+    def test_validity_holds(self, small_run):
+        _, report = small_run
+        assert report.validity_holds
+
+    def test_client_requests_complete(self, small_run):
+        """Liveness: the replicated service keeps serving requests while the
+        attacker compromises replicas and controllers recover them."""
+        _, report = small_run
+        assert report.requests_submitted > 0
+        assert report.requests_completed > 0
+        assert report.requests_completed <= report.requests_submitted
+
+    def test_availability_reported(self, small_run):
+        _, report = small_run
+        assert 0.0 <= report.metrics.availability <= 1.0
+
+    def test_consensus_membership_tracks_emulation(self, small_run):
+        architecture, _ = small_run
+        # Every emulated node is mapped to a live replica.
+        assert len(architecture.environment.nodes) >= 3
+        mapped = set(architecture._node_to_replica.values())
+        assert mapped <= set(architecture.cluster.replicas)
+
+    def test_controller_log_is_consistent(self, small_run):
+        architecture, report = small_run
+        committed = architecture.controller_log.committed_commands()
+        lengths = {len(v) for v in committed.values() if v}
+        # All nodes that applied commands applied the same number (prefix property).
+        assert len(lengths) <= 2
+        assert report.controller_log_entries >= 0
+
+    def test_no_recovery_policy_degrades_availability(self):
+        architecture = ToleranceArchitecture(
+            config=EmulationConfig(
+                initial_nodes=4, horizon=40, node_params=NodeParameters(p_a=0.1)
+            ),
+            policy=no_recovery_policy(),
+            requests_per_step=0.5,
+            seed=5,
+        )
+        report = architecture.run()
+        assert report.metrics.availability < 0.9

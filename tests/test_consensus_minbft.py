@@ -1,0 +1,237 @@
+"""Tests for the reconfigurable MinBFT protocol (Appendix G, Fig. 17)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus import (
+    ByzantineBehavior,
+    MinBFTClient,
+    MinBFTCluster,
+    MinBFTConfig,
+    NetworkConfig,
+)
+from repro.core import check_safety
+
+
+@pytest.fixture
+def cluster():
+    return MinBFTCluster(num_replicas=4, seed=0)
+
+
+@pytest.fixture
+def client(cluster):
+    return MinBFTClient("client-0", cluster)
+
+
+class TestNormalCase:
+    def test_write_completes_with_quorum(self, cluster, client):
+        result = client.write_and_wait("x", 1)
+        assert result is not None
+        assert result.result == 1
+
+    def test_read_returns_written_value(self, cluster, client):
+        client.write_and_wait("x", 42)
+        result = client.read_and_wait("x")
+        assert result is not None
+        assert result.result == 42
+
+    def test_all_replicas_execute_same_sequence(self, cluster, client):
+        for i in range(5):
+            client.write_and_wait(f"k{i}", i)
+        cluster.run(ticks=30)
+        sequences = list(cluster.executed_sequences().values())
+        assert check_safety(sequences)
+        assert all(len(seq) == 5 for seq in sequences)
+
+    def test_state_digests_agree(self, cluster, client):
+        for i in range(4):
+            client.write_and_wait("x", i)
+        cluster.run(ticks=30)
+        digests = set(cluster.state_digests().values())
+        assert len(digests) == 1
+
+    def test_tolerance_threshold_hybrid_model(self):
+        """MinBFT tolerates f = (N - 1 - k) / 2 failures."""
+        assert MinBFTCluster(num_replicas=4).f == 1
+        assert MinBFTCluster(num_replicas=6).f == 2
+        assert MinBFTCluster(num_replicas=7).f == 2  # k = 1
+        assert MinBFTCluster(num_replicas=10).f == 4
+
+    def test_requires_two_replicas(self):
+        with pytest.raises(ValueError):
+            MinBFTCluster(num_replicas=1)
+
+    def test_unsigned_request_is_ignored(self, cluster):
+        from repro.consensus import ClientRequest
+
+        bogus = ClientRequest(
+            client_id="client-x", request_id=1, operation="write", key="x", value=1,
+            signature=None,
+        )
+        # Requests with signatures that do not verify are dropped (validity);
+        # unsigned requests are accepted only if signature is None is allowed —
+        # here we inject a forged signature and expect no execution.
+        from repro.consensus.crypto import Signature
+
+        forged = ClientRequest(
+            client_id="client-x", request_id=2, operation="write", key="x", value=1,
+            signature=Signature(signer="client-x", tag="not-a-real-tag"),
+        )
+        leader = cluster.current_leader()
+        cluster.network.send("client-x", leader, forged)
+        cluster.run(ticks=30)
+        assert all(
+            replica.executed_sequence == 0 for replica in cluster.replicas.values()
+        )
+
+    def test_throughput_positive_under_load(self):
+        from repro.consensus import ClientWorkload
+
+        cluster = MinBFTCluster(num_replicas=4, seed=1)
+        workload = ClientWorkload(cluster, num_clients=2)
+        stats = workload.run(total_ticks=150)
+        assert stats["completed_requests"] > 0
+        assert stats["throughput_rps"] > 0
+
+
+class TestByzantineFaults:
+    def test_silent_replica_does_not_block_progress(self, cluster, client):
+        cluster.compromise("replica-2", ByzantineBehavior.SILENT)
+        result = client.write_and_wait("x", 5)
+        assert result is not None and result.result == 5
+
+    def test_arbitrary_replica_does_not_corrupt_state(self, cluster, client):
+        cluster.compromise("replica-3", ByzantineBehavior.ARBITRARY)
+        for i in range(4):
+            client.write_and_wait("x", i)
+        cluster.run(ticks=30)
+        correct = [
+            replica
+            for replica_id, replica in cluster.replicas.items()
+            if replica_id != "replica-3"
+        ]
+        digests = {replica.state_machine.state_digest() for replica in correct}
+        assert len(digests) == 1
+        assert correct[0].state_machine.read("x") == 3
+
+    def test_crashed_replica_tolerated(self, cluster, client):
+        cluster.crash("replica-1")
+        result = client.write_and_wait("x", 7)
+        assert result is not None and result.result == 7
+
+    def test_recovery_restores_replica_state(self, cluster, client):
+        cluster.compromise("replica-2", ByzantineBehavior.SILENT)
+        for i in range(3):
+            client.write_and_wait("x", i)
+        cluster.recover_replica("replica-2")
+        cluster.run(ticks=30)
+        recovered = cluster.replicas["replica-2"]
+        healthy = cluster.replicas["replica-0"]
+        assert recovered.state_machine.state_digest() == healthy.state_machine.state_digest()
+
+    def test_too_many_byzantine_replicas_break_progress(self):
+        """With more than f compromised (silent) replicas, requests cannot complete."""
+        cluster = MinBFTCluster(num_replicas=4, seed=2)
+        client = MinBFTClient("client-0", cluster)
+        cluster.compromise("replica-1", ByzantineBehavior.SILENT)
+        cluster.compromise("replica-2", ByzantineBehavior.SILENT)
+        cluster.compromise("replica-3", ByzantineBehavior.SILENT)
+        result = client.write_and_wait("x", 1, max_ticks=80)
+        assert result is None
+
+
+class TestViewChange:
+    def test_crashed_leader_is_replaced(self):
+        config = MinBFTConfig(view_change_timeout=10)
+        cluster = MinBFTCluster(num_replicas=4, config=config, seed=3)
+        client = MinBFTClient("client-0", cluster)
+        leader = cluster.current_leader()
+        cluster.crash(leader)
+        result = client.write_and_wait("x", 123, max_ticks=400)
+        assert result is not None
+        assert result.result == 123
+        assert cluster.current_leader() != leader
+
+    def test_silent_leader_triggers_view_change(self):
+        config = MinBFTConfig(view_change_timeout=10)
+        cluster = MinBFTCluster(num_replicas=4, config=config, seed=4)
+        client = MinBFTClient("client-0", cluster)
+        leader = cluster.current_leader()
+        cluster.compromise(leader, ByzantineBehavior.SILENT)
+        result = client.write_and_wait("x", 9, max_ticks=400)
+        assert result is not None and result.result == 9
+
+    def test_view_number_increases_after_view_change(self):
+        config = MinBFTConfig(view_change_timeout=10)
+        cluster = MinBFTCluster(num_replicas=4, config=config, seed=5)
+        client = MinBFTClient("client-0", cluster)
+        initial_views = {r.view for r in cluster.replicas.values()}
+        leader = cluster.current_leader()
+        cluster.crash(leader)
+        client.write_and_wait("x", 1, max_ticks=400)
+        surviving_views = {
+            r.view for rid, r in cluster.replicas.items() if rid != leader
+        }
+        assert max(surviving_views) > max(initial_views)
+
+
+class TestReconfiguration:
+    def test_join_adds_replica_and_preserves_service(self, cluster, client):
+        client.write_and_wait("x", 1)
+        new_id = cluster.add_replica()
+        assert new_id in cluster.membership
+        assert len(cluster.membership) == 5
+        result = client.write_and_wait("y", 2)
+        assert result is not None and result.result == 2
+
+    def test_joined_replica_receives_state_transfer(self, cluster, client):
+        for i in range(3):
+            client.write_and_wait("x", i)
+        new_id = cluster.add_replica()
+        cluster.run(ticks=30)
+        assert cluster.replicas[new_id].state_machine.read("x") == 2
+
+    def test_evict_removes_replica_and_preserves_service(self, cluster, client):
+        client.write_and_wait("x", 1)
+        cluster.evict_replica("replica-3")
+        assert "replica-3" not in cluster.membership
+        result = client.write_and_wait("y", 2)
+        assert result is not None and result.result == 2
+
+    def test_evicting_unknown_replica_is_noop(self, cluster):
+        before = list(cluster.membership)
+        cluster.evict_replica("replica-99")
+        assert cluster.membership == before
+
+    def test_join_then_evict_round_trip(self, cluster, client):
+        new_id = cluster.add_replica()
+        cluster.evict_replica(new_id)
+        assert len(cluster.membership) == 4
+        result = client.write_and_wait("z", 3)
+        assert result is not None and result.result == 3
+
+    def test_checkpointing_garbage_collects_logs(self):
+        config = MinBFTConfig(checkpoint_interval=3)
+        cluster = MinBFTCluster(num_replicas=4, config=config, seed=6)
+        client = MinBFTClient("client-0", cluster)
+        for i in range(8):
+            client.write_and_wait("x", i)
+        cluster.run(ticks=50)
+        for replica in cluster.replicas.values():
+            assert replica.last_checkpoint_sequence >= 3
+            assert all(seq > replica.last_checkpoint_sequence - 1 for seq in replica.prepare_log) or \
+                len(replica.prepare_log) < 8
+
+
+class TestLossyNetwork:
+    def test_progress_with_packet_loss(self):
+        """Liveness with NETEM-style loss and reliable retransmission (Prop. 1b)."""
+        cluster = MinBFTCluster(
+            num_replicas=4,
+            network_config=NetworkConfig(loss_probability=0.05, reliable=True),
+            seed=7,
+        )
+        client = MinBFTClient("client-0", cluster)
+        result = client.write_and_wait("x", 11, max_ticks=400)
+        assert result is not None and result.result == 11

@@ -1,0 +1,267 @@
+"""Tests for the simulated network, signatures, USIG and the state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus import (
+    ClientRequest,
+    KeyRegistry,
+    KeyValueStateMachine,
+    NetworkConfig,
+    SimulatedNetwork,
+    USIG,
+    USIGVerifier,
+    digest,
+)
+
+
+class Recorder:
+    """Minimal process that records delivered messages."""
+
+    def __init__(self, process_id: str) -> None:
+        self.process_id = process_id
+        self.received: list[tuple[str, object, int]] = []
+
+    def on_message(self, sender: str, payload: object, tick: int) -> None:
+        self.received.append((sender, payload, tick))
+
+
+class TestSimulatedNetwork:
+    def test_delivers_messages_in_order_of_delay(self):
+        network = SimulatedNetwork(NetworkConfig(base_delay=1))
+        a, b = Recorder("a"), Recorder("b")
+        network.register(a)
+        network.register(b)
+        network.send("a", "b", "hello")
+        network.run()
+        assert b.received[0][1] == "hello"
+        assert b.received[0][0] == "a"
+
+    def test_duplicate_registration_rejected(self):
+        network = SimulatedNetwork()
+        network.register(Recorder("a"))
+        with pytest.raises(ValueError):
+            network.register(Recorder("a"))
+
+    def test_unknown_destination_is_dropped(self):
+        network = SimulatedNetwork()
+        network.register(Recorder("a"))
+        network.send("a", "ghost", "boo")
+        assert network.pending_messages() == 0
+
+    def test_crashed_process_receives_nothing(self):
+        network = SimulatedNetwork()
+        a, b = Recorder("a"), Recorder("b")
+        network.register(a)
+        network.register(b)
+        network.crash("b")
+        network.send("a", "b", "x")
+        network.run()
+        assert b.received == []
+        assert network.messages_dropped == 1
+
+    def test_restart_resumes_delivery(self):
+        network = SimulatedNetwork()
+        a, b = Recorder("a"), Recorder("b")
+        network.register(a)
+        network.register(b)
+        network.crash("b")
+        network.restart("b")
+        network.send("a", "b", "x")
+        network.run()
+        assert len(b.received) == 1
+
+    def test_broadcast_excludes_sender_by_default(self):
+        network = SimulatedNetwork()
+        procs = [Recorder(f"p{i}") for i in range(3)]
+        for proc in procs:
+            network.register(proc)
+        network.broadcast("p0", "msg")
+        network.run()
+        assert procs[0].received == []
+        assert len(procs[1].received) == 1
+        assert len(procs[2].received) == 1
+
+    def test_partition_delays_cross_group_messages(self):
+        network = SimulatedNetwork()
+        a, b = Recorder("a"), Recorder("b")
+        network.register(a)
+        network.register(b)
+        network.partition([["a"], ["b"]])
+        network.send("a", "b", "x")
+        network.run(max_ticks=20)
+        assert b.received == []
+        network.heal_partition()
+        network.run(max_ticks=20)
+        assert len(b.received) == 1
+
+    def test_reliable_links_retransmit_losses(self):
+        network = SimulatedNetwork(
+            NetworkConfig(loss_probability=0.5, reliable=True), seed=0
+        )
+        a, b = Recorder("a"), Recorder("b")
+        network.register(a)
+        network.register(b)
+        for _ in range(50):
+            network.send("a", "b", "x")
+        network.run(max_ticks=500)
+        assert len(b.received) == 50
+
+    def test_unreliable_links_drop_messages(self):
+        network = SimulatedNetwork(
+            NetworkConfig(loss_probability=0.5, reliable=False), seed=0
+        )
+        a, b = Recorder("a"), Recorder("b")
+        network.register(a)
+        network.register(b)
+        for _ in range(100):
+            network.send("a", "b", "x")
+        network.run(max_ticks=500)
+        assert len(b.received) < 100
+        assert network.messages_dropped > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(base_delay=-1)
+        with pytest.raises(ValueError):
+            NetworkConfig(loss_probability=1.0)
+
+
+class TestCrypto:
+    def test_sign_and_verify(self):
+        registry = KeyRegistry()
+        key = registry.create("client-1")
+        signature = key.sign({"op": "write"})
+        assert registry.verify({"op": "write"}, signature)
+
+    def test_tampered_payload_rejected(self):
+        registry = KeyRegistry()
+        key = registry.create("client-1")
+        signature = key.sign({"op": "write"})
+        assert not registry.verify({"op": "delete"}, signature)
+
+    def test_cannot_forge_other_principals_signature(self):
+        """Proposition 1a: the attacker cannot forge signatures."""
+        registry = KeyRegistry()
+        registry.create("honest")
+        attacker_key = registry.create("attacker")
+        forged = attacker_key.sign({"op": "write"})
+        forged_signature = type(forged)(signer="honest", tag=forged.tag)
+        assert not registry.verify({"op": "write"}, forged_signature)
+
+    def test_unknown_signer_rejected(self):
+        registry = KeyRegistry()
+        other = KeyRegistry().create("ghost")
+        signature = other.sign("x")
+        assert not registry.verify("x", signature)
+
+    def test_duplicate_key_creation_rejected(self):
+        registry = KeyRegistry()
+        registry.create("a")
+        with pytest.raises(ValueError):
+            registry.create("a")
+
+    def test_digest_deterministic(self):
+        assert digest({"a": 1, "b": 2}) == digest({"b": 2, "a": 1})
+        assert digest({"a": 1}) != digest({"a": 2})
+
+
+class TestUSIG:
+    def test_counter_is_monotonic(self):
+        registry = KeyRegistry()
+        usig = USIG("replica-0", registry)
+        ui1 = usig.create_ui("m1")
+        ui2 = usig.create_ui("m2")
+        assert ui2.counter == ui1.counter + 1
+
+    def test_verifier_accepts_valid_ui(self):
+        registry = KeyRegistry()
+        usig = USIG("replica-0", registry)
+        verifier = USIGVerifier(registry)
+        ui = usig.create_ui("message")
+        assert verifier.verify("message", ui)
+
+    def test_verifier_rejects_wrong_message(self):
+        registry = KeyRegistry()
+        usig = USIG("replica-0", registry)
+        verifier = USIGVerifier(registry)
+        ui = usig.create_ui("message")
+        assert not verifier.verify("different", ui)
+
+    def test_fifo_order_enforced(self):
+        """No gaps and no reuse: the anti-equivocation property of MinBFT."""
+        registry = KeyRegistry()
+        usig = USIG("replica-0", registry)
+        verifier = USIGVerifier(registry)
+        ui1 = usig.create_ui("m1")
+        ui2 = usig.create_ui("m2")
+        ui3 = usig.create_ui("m3")
+        assert verifier.verify("m1", ui1)
+        # Skipping ui2 is rejected when order is enforced.
+        assert not verifier.verify("m3", ui3)
+        assert verifier.verify("m2", ui2)
+
+    def test_order_not_enforced_mode(self):
+        registry = KeyRegistry()
+        usig = USIG("replica-0", registry)
+        verifier = USIGVerifier(registry)
+        usig.create_ui("m1")
+        ui2 = usig.create_ui("m2")
+        assert verifier.verify("m2", ui2, enforce_order=False)
+
+    def test_cross_replica_ui_rejected(self):
+        registry = KeyRegistry()
+        usig_a = USIG("replica-a", registry)
+        verifier = USIGVerifier(registry)
+        ui = usig_a.create_ui("m")
+        tampered = type(ui)(
+            replica_id="replica-b",
+            counter=ui.counter,
+            message_digest=ui.message_digest,
+            signature=ui.signature,
+        )
+        assert not verifier.verify("m", tampered)
+
+
+class TestStateMachine:
+    def _request(self, request_id: int, operation: str, key: str, value=None) -> ClientRequest:
+        return ClientRequest(
+            client_id="c", request_id=request_id, operation=operation, key=key, value=value
+        )
+
+    def test_write_then_read(self):
+        machine = KeyValueStateMachine()
+        machine.apply(self._request(1, "write", "x", 10), sequence=1)
+        result = machine.apply(self._request(2, "read", "x"), sequence=2)
+        assert result.value == 10
+
+    def test_duplicate_request_is_idempotent(self):
+        machine = KeyValueStateMachine()
+        request = self._request(1, "write", "x", 10)
+        machine.apply(request, 1)
+        machine.apply(request, 2)
+        assert machine.executed_requests() == (("c", 1),)
+
+    def test_unknown_operation_fails(self):
+        machine = KeyValueStateMachine()
+        result = machine.apply(self._request(1, "delete", "x"), 1)
+        assert not result.success
+
+    def test_state_digest_reflects_content(self):
+        a, b = KeyValueStateMachine(), KeyValueStateMachine()
+        a.apply(self._request(1, "write", "x", 1), 1)
+        b.apply(self._request(1, "write", "x", 1), 1)
+        assert a.state_digest() == b.state_digest()
+        b.apply(self._request(2, "write", "x", 2), 2)
+        assert a.state_digest() != b.state_digest()
+
+    def test_snapshot_restore(self):
+        a = KeyValueStateMachine()
+        a.apply(self._request(1, "write", "x", 1), 1)
+        snapshot = a.snapshot()
+        b = KeyValueStateMachine()
+        b.restore(snapshot)
+        assert b.read("x") == 1
+        assert b.last_sequence == 1
+        assert b.state_digest() == a.state_digest()

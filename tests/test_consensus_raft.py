@@ -1,0 +1,106 @@
+"""Tests for the Raft substrate of the system controller (Section IV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus import RaftCluster, RaftRole
+
+
+class TestLeaderElection:
+    def test_single_leader_elected(self):
+        cluster = RaftCluster(num_nodes=3, seed=1)
+        leader = cluster.elect_leader()
+        assert leader is not None
+        leaders = [
+            node_id
+            for node_id, node in cluster.nodes.items()
+            if node.role is RaftRole.LEADER
+        ]
+        assert len(leaders) == 1
+
+    def test_leader_has_majority_term(self):
+        cluster = RaftCluster(num_nodes=5, seed=2)
+        leader = cluster.elect_leader()
+        assert leader is not None
+        term = cluster.nodes[leader].current_term
+        followers_on_term = sum(
+            1 for node in cluster.nodes.values() if node.current_term == term
+        )
+        assert followers_on_term >= 3
+
+    def test_new_leader_after_crash(self):
+        cluster = RaftCluster(num_nodes=3, seed=3)
+        first = cluster.elect_leader()
+        cluster.crash(first)
+        second = cluster.elect_leader()
+        assert second is not None
+        assert second != first
+
+    def test_no_leader_without_majority(self):
+        cluster = RaftCluster(num_nodes=3, seed=4)
+        cluster.elect_leader()
+        node_ids = list(cluster.nodes)
+        cluster.crash(node_ids[0])
+        cluster.crash(node_ids[1])
+        cluster.crash(node_ids[2])
+        # All nodes crashed: no new leader can arise.
+        cluster.run(ticks=100)
+        assert cluster.leader() is None
+
+    def test_single_node_cluster(self):
+        cluster = RaftCluster(num_nodes=1, seed=5)
+        leader = cluster.elect_leader()
+        assert leader is not None
+
+    def test_requires_at_least_one_node(self):
+        with pytest.raises(ValueError):
+            RaftCluster(num_nodes=0)
+
+
+class TestLogReplication:
+    def test_committed_command_reaches_majority(self):
+        cluster = RaftCluster(num_nodes=3, seed=6)
+        assert cluster.propose({"action": "add", "node": "n1"})
+        cluster.run(ticks=30)
+        applied = cluster.committed_commands()
+        replicated = sum(1 for commands in applied.values() if commands)
+        assert replicated >= 2
+
+    def test_commands_applied_in_order(self):
+        cluster = RaftCluster(num_nodes=3, seed=7)
+        for index in range(4):
+            assert cluster.propose({"seq": index})
+        cluster.run(ticks=50)
+        leader = cluster.leader()
+        commands = cluster.nodes[leader].applied_commands
+        assert [c["seq"] for c in commands] == [0, 1, 2, 3]
+
+    def test_survives_minority_crash(self):
+        """The system controller stays operational when a minority crashes (Section IV)."""
+        cluster = RaftCluster(num_nodes=3, seed=8)
+        cluster.propose({"decision": 1})
+        leader = cluster.leader()
+        followers = [n for n in cluster.nodes if n != leader]
+        cluster.crash(followers[0])
+        assert cluster.propose({"decision": 2})
+        surviving = cluster.nodes[cluster.leader()]
+        assert {c["decision"] for c in surviving.applied_commands} == {1, 2}
+
+    def test_follower_rejects_proposals(self):
+        cluster = RaftCluster(num_nodes=3, seed=9)
+        cluster.elect_leader()
+        leader = cluster.leader()
+        follower_id = next(n for n in cluster.nodes if n != leader)
+        assert not cluster.nodes[follower_id].propose({"x": 1})
+
+    def test_crashed_leader_log_recovered_by_new_leader(self):
+        cluster = RaftCluster(num_nodes=3, seed=10)
+        assert cluster.propose({"entry": "committed-before-crash"})
+        old_leader = cluster.leader()
+        cluster.crash(old_leader)
+        new_leader = cluster.elect_leader()
+        assert new_leader is not None
+        assert cluster.propose({"entry": "after-crash"})
+        commands = cluster.nodes[new_leader].applied_commands
+        assert {c["entry"] for c in commands} == {"committed-before-crash", "after-crash"}

@@ -1,0 +1,171 @@
+"""Tests for belief computation (Eq. 4, Appendix A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BeliefFilter,
+    BeliefState,
+    NodeAction,
+    NodeParameters,
+    NodeState,
+    NodeTransitionModel,
+    belief_transition_distribution,
+    update_compromise_belief,
+)
+
+
+class TestBeliefState:
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            BeliefState(0.5, 0.5, 0.5)
+
+    def test_initial_belief(self):
+        belief = BeliefState.initial(0.1)
+        assert belief.compromised == pytest.approx(0.1)
+        assert belief.healthy == pytest.approx(0.9)
+        assert belief.crashed == 0.0
+
+    def test_from_vector_normalizes(self):
+        belief = BeliefState.from_vector(np.array([2.0, 1.0, 1.0]))
+        assert belief.healthy == pytest.approx(0.5)
+
+    def test_compromise_probability(self):
+        belief = BeliefState(0.6, 0.3, 0.1)
+        assert belief.compromise_probability == pytest.approx(0.3)
+        assert belief.failure_probability == pytest.approx(0.4)
+
+    def test_live_compromise_probability(self):
+        belief = BeliefState(0.6, 0.3, 0.1)
+        assert belief.live_compromise_probability == pytest.approx(0.3 / 0.9)
+
+    def test_as_vector_roundtrip(self):
+        belief = BeliefState(0.6, 0.3, 0.1)
+        again = BeliefState.from_vector(belief.as_vector())
+        assert again.healthy == pytest.approx(belief.healthy)
+
+
+class TestBeliefFilter:
+    def test_high_alerts_increase_belief(self, transition_model, observation_model):
+        filt = BeliefFilter(transition_model, observation_model)
+        prior = BeliefState.initial(0.1)
+        posterior = filt.update(prior, NodeAction.WAIT, 9)
+        assert posterior.compromised > prior.compromised
+
+    def test_low_alerts_decrease_belief(self, transition_model, observation_model):
+        filt = BeliefFilter(transition_model, observation_model)
+        prior = BeliefState(0.5, 0.5, 0.0)
+        posterior = filt.update(prior, NodeAction.WAIT, 0)
+        assert posterior.compromised < prior.compromised
+
+    def test_predict_moves_mass_toward_compromise(self, transition_model, observation_model):
+        filt = BeliefFilter(transition_model, observation_model)
+        prior = BeliefState.initial(0.0 + 1e-9)
+        predicted = filt.predict(prior, NodeAction.WAIT)
+        assert predicted.compromised > 0.0
+
+    def test_run_produces_one_belief_per_observation(self, transition_model, observation_model):
+        filt = BeliefFilter(transition_model, observation_model)
+        beliefs = filt.run(
+            BeliefState.initial(0.1),
+            [NodeAction.WAIT, NodeAction.WAIT, NodeAction.RECOVER],
+            [3, 8, 1],
+        )
+        assert len(beliefs) == 4
+
+    def test_run_requires_matching_lengths(self, transition_model, observation_model):
+        filt = BeliefFilter(transition_model, observation_model)
+        with pytest.raises(ValueError):
+            filt.run(BeliefState.initial(0.1), [NodeAction.WAIT], [1, 2])
+
+
+class TestScalarBeliefUpdate:
+    def test_stays_in_unit_interval(self, transition_model, observation_model, rng):
+        belief = 0.1
+        for _ in range(200):
+            observation = int(rng.integers(0, 10))
+            action = NodeAction.WAIT if rng.random() < 0.9 else NodeAction.RECOVER
+            belief = update_compromise_belief(
+                belief, action, observation, transition_model, observation_model
+            )
+            assert 0.0 <= belief <= 1.0
+
+    def test_rejects_invalid_belief(self, transition_model, observation_model):
+        with pytest.raises(ValueError):
+            update_compromise_belief(1.5, NodeAction.WAIT, 0, transition_model, observation_model)
+
+    def test_high_observation_raises_belief(self, transition_model, observation_model):
+        low = update_compromise_belief(0.2, NodeAction.WAIT, 0, transition_model, observation_model)
+        high = update_compromise_belief(0.2, NodeAction.WAIT, 9, transition_model, observation_model)
+        assert high > low
+
+    def test_recovery_lowers_posterior_compared_with_waiting(
+        self, transition_model, observation_model
+    ):
+        after_wait = update_compromise_belief(
+            0.9, NodeAction.WAIT, 5, transition_model, observation_model
+        )
+        after_recover = update_compromise_belief(
+            0.9, NodeAction.RECOVER, 5, transition_model, observation_model
+        )
+        assert after_recover < after_wait
+
+    def test_repeated_intrusion_evidence_converges_up(self, transition_model, observation_model):
+        belief = 0.05
+        for _ in range(20):
+            belief = update_compromise_belief(
+                belief, NodeAction.WAIT, 9, transition_model, observation_model
+            )
+        assert belief > 0.9
+
+    def test_repeated_benign_evidence_converges_down(self, transition_model, observation_model):
+        belief = 0.9
+        for _ in range(50):
+            belief = update_compromise_belief(
+                belief, NodeAction.WAIT, 0, transition_model, observation_model
+            )
+        assert belief < 0.2
+
+    def test_bayes_rule_against_manual_computation(self):
+        """Two-state analytic check of the Appendix A recursion."""
+        params = NodeParameters(p_a=0.2, p_c1=1e-9, p_c2=1e-9, p_u=0.0 + 1e-9)
+        model = NodeTransitionModel(params)
+        from repro.core import DiscreteObservationModel
+
+        obs = DiscreteObservationModel([0, 1], [0.9, 0.1], [0.2, 0.8])
+        belief = 0.3
+        # Manual prediction: P[C'] = b*(1-pu)(1-pc2) + (1-b)*pa*(1-pc1)
+        predicted_c = 0.3 * (1 - 1e-9) * (1 - 1e-9) + 0.7 * 0.2 * (1 - 1e-9)
+        predicted_h = 1.0 - predicted_c - (0.3 * 1e-9 + 0.7 * 1e-9)
+        post = predicted_c * 0.8 / (predicted_c * 0.8 + predicted_h * 0.1)
+        computed = update_compromise_belief(belief, NodeAction.WAIT, 1, model, obs)
+        assert computed == pytest.approx(post, rel=1e-4)
+
+
+class TestBeliefTransitionDistribution:
+    def test_probabilities_sum_to_one(self, transition_model, observation_model):
+        entries = belief_transition_distribution(
+            0.3, NodeAction.WAIT, transition_model, observation_model
+        )
+        assert sum(p for p, _ in entries) == pytest.approx(1.0)
+
+    def test_next_beliefs_valid(self, transition_model, observation_model):
+        entries = belief_transition_distribution(
+            0.3, NodeAction.WAIT, transition_model, observation_model
+        )
+        for _, next_belief in entries:
+            assert 0.0 <= next_belief <= 1.0
+
+    def test_expected_next_belief_larger_when_waiting(self, transition_model, observation_model):
+        """E[B' | W] >= E[B' | R], the key inequality in the Cor. 1 proof."""
+        wait_entries = belief_transition_distribution(
+            0.8, NodeAction.WAIT, transition_model, observation_model
+        )
+        recover_entries = belief_transition_distribution(
+            0.8, NodeAction.RECOVER, transition_model, observation_model
+        )
+        wait_mean = sum(p * b for p, b in wait_entries)
+        recover_mean = sum(p * b for p, b in recover_entries)
+        assert wait_mean >= recover_mean

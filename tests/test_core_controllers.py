@@ -1,0 +1,157 @@
+"""Tests for the node controller and the system controller (Section IV-V)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    NodeAction,
+    NodeController,
+    NodeParameters,
+    ReplicationThresholdStrategy,
+    SystemController,
+    ThresholdStrategy,
+)
+
+
+class TestNodeController:
+    def test_initial_belief_is_prior(self, params, observation_model):
+        controller = NodeController("n1", params, observation_model)
+        assert controller.belief == pytest.approx(params.p_a)
+
+    def test_high_alerts_trigger_recovery(self, params, observation_model):
+        controller = NodeController(
+            "n1", params, observation_model, strategy=ThresholdStrategy(0.6)
+        )
+        actions = []
+        for _ in range(6):
+            action, belief = controller.step(9)
+            actions.append(action)
+        assert NodeAction.RECOVER in actions
+
+    def test_low_alerts_do_not_trigger_recovery(self, params, observation_model):
+        controller = NodeController(
+            "n1", params, observation_model, strategy=ThresholdStrategy(0.6)
+        )
+        for _ in range(20):
+            action, _ = controller.step(0)
+            assert action is NodeAction.WAIT
+
+    def test_recovery_resets_belief_and_clock(self, params, observation_model):
+        controller = NodeController(
+            "n1", params, observation_model, strategy=ThresholdStrategy(0.3)
+        )
+        for _ in range(10):
+            action, _ = controller.step(9)
+            if action is NodeAction.RECOVER:
+                break
+        assert controller.belief == pytest.approx(params.p_a)
+        assert controller.time_since_recovery == 0
+        assert controller.total_recoveries >= 1
+
+    def test_btr_constraint_forces_recovery(self, observation_model):
+        params = NodeParameters(delta_r=5)
+        controller = NodeController(
+            "n1", params, observation_model, strategy=ThresholdStrategy(1.0)
+        )
+        actions = [controller.step(0)[0] for _ in range(12)]
+        assert actions[:4] == [NodeAction.WAIT] * 4
+        assert NodeAction.RECOVER in actions[4:6]
+
+    def test_btr_disabled(self, observation_model):
+        params = NodeParameters(delta_r=5)
+        controller = NodeController(
+            "n1", params, observation_model, strategy=ThresholdStrategy(1.0), enforce_btr=False
+        )
+        actions = [controller.step(0)[0] for _ in range(12)]
+        assert all(action is NodeAction.WAIT for action in actions)
+
+    def test_infinite_delta_r_never_forces(self, observation_model):
+        params = NodeParameters(delta_r=math.inf)
+        controller = NodeController(
+            "n1", params, observation_model, strategy=ThresholdStrategy(1.0)
+        )
+        assert not controller.btr_deadline_reached()
+
+    def test_state_snapshot(self, params, observation_model):
+        controller = NodeController("n1", params, observation_model)
+        controller.step(3)
+        state = controller.state()
+        assert state.last_observation == 3
+        assert 0.0 <= state.belief <= 1.0
+
+    def test_reset(self, params, observation_model):
+        controller = NodeController("n1", params, observation_model)
+        controller.step(9)
+        controller.reset()
+        assert controller.belief == pytest.approx(params.p_a)
+        assert controller.time_since_recovery == 0
+
+
+class TestSystemController:
+    def test_minimum_nodes(self):
+        controller = SystemController(f=2, k=1)
+        assert controller.minimum_nodes == 6
+
+    def test_expected_healthy_nodes_floor(self):
+        controller = SystemController(f=1, smax=10)
+        beliefs = {"a": 0.1, "b": 0.2, "c": 0.9}
+        # sum of (1 - b) = 0.9 + 0.8 + 0.1 = 1.8 -> floor 1
+        assert controller.expected_healthy_nodes(beliefs) == 1
+
+    def test_missing_reports_are_evicted(self):
+        controller = SystemController(f=1, enforce_invariant=False)
+        decision = controller.step(
+            reported_beliefs={"a": 0.1},
+            registered_nodes={"a", "b"},
+            current_node_count=2,
+        )
+        assert decision.evicted_nodes == ("b",)
+        assert controller.total_evictions == 1
+
+    def test_strategy_drives_addition(self):
+        controller = SystemController(
+            f=1, strategy=ReplicationThresholdStrategy(beta=5), smax=10, enforce_invariant=False
+        )
+        decision = controller.step({"a": 0.5, "b": 0.5}, current_node_count=2)
+        assert decision.add_node
+
+    def test_no_addition_above_threshold(self):
+        controller = SystemController(
+            f=1, strategy=ReplicationThresholdStrategy(beta=1), smax=10, enforce_invariant=False
+        )
+        beliefs = {f"n{i}": 0.0 for i in range(8)}
+        decision = controller.step(beliefs, current_node_count=8)
+        assert not decision.add_node
+
+    def test_invariant_forces_addition(self):
+        controller = SystemController(f=1, k=1, enforce_invariant=True, smax=10)
+        decision = controller.step({"a": 0.1, "b": 0.1}, current_node_count=2)
+        assert decision.add_node
+        assert decision.emergency_add
+
+    def test_addition_capped_at_smax(self):
+        controller = SystemController(
+            f=1, strategy=ReplicationThresholdStrategy(beta=100), smax=3, enforce_invariant=False
+        )
+        beliefs = {f"n{i}": 0.0 for i in range(3)}
+        decision = controller.step(beliefs, current_node_count=3)
+        assert not decision.add_node
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            SystemController(f=-1)
+        with pytest.raises(ValueError):
+            SystemController(f=1, k=0)
+        with pytest.raises(ValueError):
+            SystemController(f=1, smax=0)
+
+    def test_counts_additions(self):
+        controller = SystemController(
+            f=1, strategy=ReplicationThresholdStrategy(beta=100), smax=20, enforce_invariant=False
+        )
+        for _ in range(3):
+            controller.step({"a": 0.0, "b": 0.0}, current_node_count=2)
+        assert controller.total_additions == 3

@@ -1,0 +1,158 @@
+"""Tests for the Proposition 1 auditor and the global system model (Eq. 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BinomialSystemModel,
+    CorrectnessAuditor,
+    EmpiricalSystemModel,
+    check_safety,
+    check_validity,
+    system_model_from_node_beliefs,
+    tolerance_threshold,
+)
+
+
+class TestToleranceThreshold:
+    def test_hybrid_model_threshold(self):
+        """f = (N - 1 - k) / 2 for the hybrid failure model (Prop. 1)."""
+        assert tolerance_threshold(4, k=1) == 1
+        assert tolerance_threshold(6, k=1) == 2
+        assert tolerance_threshold(10, k=1) == 4
+
+    def test_small_systems(self):
+        assert tolerance_threshold(1, k=1) == 0
+        assert tolerance_threshold(2, k=1) == 0
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            tolerance_threshold(0)
+        with pytest.raises(ValueError):
+            tolerance_threshold(4, k=-1)
+
+
+class TestCorrectnessAuditor:
+    def test_all_invariants_hold(self):
+        auditor = CorrectnessAuditor(f=1, k=1)
+        assert auditor.audit_step(1, num_nodes=4, num_compromised=1, num_crashed=0, num_recovering=1)
+        assert auditor.all_invariants_held()
+        assert auditor.availability == 1.0
+
+    def test_parallel_recovery_violation(self):
+        auditor = CorrectnessAuditor(f=1, k=1)
+        assert not auditor.audit_step(1, 4, 0, 0, num_recovering=2)
+        assert auditor.violation_counts()["parallel-recoveries"] == 1
+
+    def test_replication_factor_violation(self):
+        auditor = CorrectnessAuditor(f=1, k=1)
+        assert not auditor.audit_step(1, num_nodes=3, num_compromised=0, num_crashed=0, num_recovering=0)
+        assert "replication-factor" in auditor.violation_counts()
+
+    def test_failure_bound_violation_reduces_availability(self):
+        auditor = CorrectnessAuditor(f=1, k=1)
+        auditor.audit_step(1, 4, 2, 0, 0)
+        auditor.audit_step(2, 4, 0, 0, 0)
+        assert auditor.availability == pytest.approx(0.5)
+
+    def test_negative_counts_rejected(self):
+        auditor = CorrectnessAuditor(f=1)
+        with pytest.raises(ValueError):
+            auditor.audit_step(1, -1, 0, 0, 0)
+
+
+class TestSafetyValidity:
+    def test_identical_sequences_are_safe(self):
+        assert check_safety([[("c", 1), ("c", 2)], [("c", 1), ("c", 2)]])
+
+    def test_prefix_sequences_are_safe(self):
+        assert check_safety([[("c", 1)], [("c", 1), ("c", 2)]])
+
+    def test_divergent_sequences_violate_safety(self):
+        assert not check_safety([[("c", 1), ("c", 2)], [("c", 2), ("c", 1)]])
+
+    def test_single_replica_is_safe(self):
+        assert check_safety([[("c", 1)]])
+
+    def test_validity(self):
+        assert check_validity([("c", 1)], [("c", 1), ("c", 2)])
+        assert not check_validity([("x", 9)], [("c", 1)])
+
+
+class TestBinomialSystemModel:
+    def test_transition_shape_and_stochasticity(self):
+        model = BinomialSystemModel(smax=8, f=2)
+        assert model.transition.shape == (2, 9, 9)
+        assert np.allclose(model.transition.sum(axis=2), 1.0)
+
+    def test_assumption_b_positive_probabilities(self):
+        model = BinomialSystemModel(smax=6, f=1)
+        assert model.satisfies_assumption_b()
+
+    def test_assumption_c_monotone_tails(self):
+        model = BinomialSystemModel(smax=6, f=1, per_node_failure_probability=0.1)
+        assert model.satisfies_assumption_c()
+
+    def test_add_action_shifts_mass_upward(self):
+        model = BinomialSystemModel(smax=8, f=2, per_node_failure_probability=0.1)
+        expected_no_add = float(model.transition[0, 4] @ model.states)
+        expected_add = float(model.transition[1, 4] @ model.states)
+        assert expected_add > expected_no_add
+
+    def test_availability_indicator(self):
+        model = BinomialSystemModel(smax=8, f=2)
+        assert model.availability_indicator(3) == 1.0
+        assert model.availability_indicator(2) == 0.0
+
+    def test_cost_is_state(self):
+        model = BinomialSystemModel(smax=8, f=2)
+        assert model.cost(5) == 5.0
+
+    def test_step_sampling(self, rng):
+        model = BinomialSystemModel(smax=8, f=2)
+        next_state = model.step(4, 1, rng)
+        assert 0 <= next_state <= 8
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            BinomialSystemModel(smax=0, f=1)
+        with pytest.raises(ValueError):
+            BinomialSystemModel(smax=5, f=1, per_node_failure_probability=1.5)
+        with pytest.raises(ValueError):
+            BinomialSystemModel(smax=5, f=1, epsilon_a=0.0)
+
+
+class TestEmpiricalSystemModel:
+    def test_fits_observed_transitions(self):
+        transitions = [(3, 0, 3), (3, 0, 2), (2, 1, 3), (3, 1, 4)] * 5
+        model = EmpiricalSystemModel(transitions, smax=5, f=1)
+        assert model.num_observed_transitions == 20
+        assert np.allclose(model.transition.sum(axis=2), 1.0)
+
+    def test_requires_transitions(self):
+        with pytest.raises(ValueError):
+            EmpiricalSystemModel([], smax=5, f=1)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            EmpiricalSystemModel([(9, 0, 3)], smax=5, f=1)
+        with pytest.raises(ValueError):
+            EmpiricalSystemModel([(3, 7, 3)], smax=5, f=1)
+
+
+class TestModelFromBeliefs:
+    def test_builds_model(self):
+        model = system_model_from_node_beliefs([0.1, 0.2, 0.05], smax=10, f=2)
+        assert model.smax == 10
+        assert model.satisfies_assumption_b()
+
+    def test_high_beliefs_increase_failure_probability(self):
+        low = system_model_from_node_beliefs([0.01] * 4, smax=10, f=2)
+        high = system_model_from_node_beliefs([0.5] * 4, smax=10, f=2)
+        assert high.per_node_failure_probability > low.per_node_failure_probability
+
+    def test_requires_beliefs(self):
+        with pytest.raises(ValueError):
+            system_model_from_node_beliefs([], smax=10, f=2)

@@ -1,0 +1,207 @@
+"""Tests for the cost functions (Eq. 5, Eq. 9) and the control strategies."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MixedReplicationStrategy,
+    MultiThresholdStrategy,
+    NeverAddStrategy,
+    NoRecoveryStrategy,
+    NodeAction,
+    NodeCostFunction,
+    NodeState,
+    PeriodicStrategy,
+    ReplicationThresholdStrategy,
+    SystemCostFunction,
+    TabularReplicationStrategy,
+    ThresholdStrategy,
+    expected_node_cost,
+    lagrangian_system_cost,
+    node_cost,
+    system_cost,
+)
+from repro.core.strategies import AdaptiveHeuristicReplicationStrategy, BeliefPeriodicStrategy
+
+
+class TestNodeCost:
+    def test_wait_while_healthy_is_free(self):
+        assert node_cost(NodeState.HEALTHY, NodeAction.WAIT) == 0.0
+
+    def test_wait_while_compromised_costs_eta(self):
+        assert node_cost(NodeState.COMPROMISED, NodeAction.WAIT, eta=2.0) == 2.0
+        assert node_cost(NodeState.COMPROMISED, NodeAction.WAIT, eta=3.0) == 3.0
+
+    def test_recovery_costs_one(self):
+        assert node_cost(NodeState.HEALTHY, NodeAction.RECOVER) == 1.0
+        assert node_cost(NodeState.COMPROMISED, NodeAction.RECOVER) == 1.0
+
+    def test_crashed_state_has_no_cost(self):
+        assert node_cost(NodeState.CRASHED, NodeAction.WAIT) == 0.0
+
+    def test_rejects_eta_below_one(self):
+        with pytest.raises(ValueError):
+            node_cost(NodeState.HEALTHY, NodeAction.WAIT, eta=0.5)
+
+    def test_expected_cost_on_belief(self):
+        assert expected_node_cost(0.5, NodeAction.WAIT, eta=2.0) == pytest.approx(1.0)
+        assert expected_node_cost(0.5, NodeAction.RECOVER, eta=2.0) == pytest.approx(1.0)
+        assert expected_node_cost(0.9, NodeAction.WAIT, eta=2.0) == pytest.approx(1.8)
+
+    def test_expected_cost_rejects_invalid_belief(self):
+        with pytest.raises(ValueError):
+            expected_node_cost(-0.1, NodeAction.WAIT)
+
+    def test_cost_function_matrix(self):
+        matrix = NodeCostFunction(eta=2.0).matrix()
+        assert matrix.shape == (2, 3)
+        assert matrix[0, 1] == 2.0  # wait while compromised
+        assert matrix[1, 0] == 1.0  # recover while healthy
+
+    def test_indifference_belief_is_one_over_eta(self):
+        """c(b, W) = c(b, R) exactly at b = 1/eta, the myopic threshold."""
+        eta = 2.0
+        b = 1.0 / eta
+        assert expected_node_cost(b, NodeAction.WAIT, eta) == pytest.approx(
+            expected_node_cost(b, NodeAction.RECOVER, eta)
+        )
+
+
+class TestSystemCost:
+    def test_cost_is_node_count(self):
+        assert system_cost(7) == 7.0
+
+    def test_rejects_negative_state(self):
+        with pytest.raises(ValueError):
+            system_cost(-1)
+
+    def test_lagrangian_penalty_applied_below_f_plus_one(self):
+        assert lagrangian_system_cost(3, f=3, lagrange_multiplier=10.0) == 13.0
+        assert lagrangian_system_cost(4, f=3, lagrange_multiplier=10.0) == 4.0
+
+    def test_lagrangian_rejects_negative_multiplier(self):
+        with pytest.raises(ValueError):
+            lagrangian_system_cost(3, f=3, lagrange_multiplier=-1.0)
+
+    def test_system_cost_function_vector(self):
+        cost = SystemCostFunction(f=1, lagrange_multiplier=5.0)
+        vector = cost.vector(4)
+        assert vector.tolist() == [5.0, 6.0, 2.0, 3.0]
+
+    def test_availability_indicator(self):
+        cost = SystemCostFunction(f=2)
+        assert cost.availability_indicator(3) == 1.0
+        assert cost.availability_indicator(2) == 0.0
+
+
+class TestRecoveryStrategies:
+    def test_threshold_strategy(self):
+        strategy = ThresholdStrategy(0.5)
+        assert strategy.action(0.6) is NodeAction.RECOVER
+        assert strategy.action(0.4) is NodeAction.WAIT
+        assert strategy.action(0.5) is NodeAction.RECOVER
+
+    def test_threshold_strategy_validates(self):
+        with pytest.raises(ValueError):
+            ThresholdStrategy(1.5)
+
+    def test_no_recovery_never_recovers(self):
+        strategy = NoRecoveryStrategy()
+        assert strategy.action(1.0, 1000) is NodeAction.WAIT
+
+    def test_periodic_recovers_on_schedule(self):
+        strategy = PeriodicStrategy(5)
+        assert strategy.action(0.0, 3) is NodeAction.WAIT
+        assert strategy.action(0.0, 4) is NodeAction.RECOVER
+        assert strategy.action(1.0, 0) is NodeAction.WAIT
+
+    def test_periodic_with_infinite_period_never_recovers(self):
+        strategy = PeriodicStrategy(math.inf)
+        assert strategy.action(1.0, 10_000) is NodeAction.WAIT
+
+    def test_periodic_validates_period(self):
+        with pytest.raises(ValueError):
+            PeriodicStrategy(0)
+
+    def test_belief_periodic_emergency_trigger(self):
+        strategy = BeliefPeriodicStrategy(period=100, alpha=0.9)
+        assert strategy.action(0.95, 1) is NodeAction.RECOVER
+        assert strategy.action(0.5, 1) is NodeAction.WAIT
+
+    def test_multi_threshold_uses_time_index(self):
+        strategy = MultiThresholdStrategy((0.9, 0.5, 0.1), delta_r=4)
+        assert strategy.action(0.6, 0) is NodeAction.WAIT  # threshold 0.9
+        assert strategy.action(0.6, 1) is NodeAction.RECOVER  # threshold 0.5
+        assert strategy.action(0.6, 10) is NodeAction.RECOVER  # clamps to last
+
+    def test_multi_threshold_dimension_rule(self):
+        assert MultiThresholdStrategy.parameter_dimension(math.inf) == 1
+        assert MultiThresholdStrategy.parameter_dimension(5) == 4
+        assert MultiThresholdStrategy.parameter_dimension(1) == 1
+
+    def test_multi_threshold_from_vector(self):
+        strategy = MultiThresholdStrategy.from_vector(np.array([0.4, 0.6]))
+        assert strategy.thresholds == (0.4, 0.6)
+
+    def test_multi_threshold_validates(self):
+        with pytest.raises(ValueError):
+            MultiThresholdStrategy(())
+        with pytest.raises(ValueError):
+            MultiThresholdStrategy((1.5,))
+
+
+class TestReplicationStrategies:
+    def test_threshold_strategy_adds_below_beta(self):
+        strategy = ReplicationThresholdStrategy(beta=4)
+        assert strategy.action(3) == 1
+        assert strategy.action(4) == 1
+        assert strategy.action(5) == 0
+
+    def test_mixed_strategy_interpolates(self):
+        low = ReplicationThresholdStrategy(beta=2)
+        high = ReplicationThresholdStrategy(beta=5)
+        mixed = MixedReplicationStrategy(low, high, kappa=0.25)
+        # state 4: only the high-threshold strategy adds.
+        assert mixed.add_probability(4) == pytest.approx(0.75)
+        assert mixed.add_probability(1) == pytest.approx(1.0)
+        assert mixed.add_probability(6) == pytest.approx(0.0)
+
+    def test_mixed_strategy_validates_kappa(self):
+        low = ReplicationThresholdStrategy(beta=2)
+        with pytest.raises(ValueError):
+            MixedReplicationStrategy(low, low, kappa=1.5)
+
+    def test_mixed_strategy_sampling(self, rng):
+        low = ReplicationThresholdStrategy(beta=2)
+        high = ReplicationThresholdStrategy(beta=5)
+        mixed = MixedReplicationStrategy(low, high, kappa=0.5)
+        samples = [mixed.action(4, rng) for _ in range(2000)]
+        assert 0.4 < np.mean(samples) < 0.6
+
+    def test_tabular_strategy_lookup_and_default(self, rng):
+        strategy = TabularReplicationStrategy({2: 1.0, 5: 0.0}, default_add_probability=0.5)
+        assert strategy.add_probability(2) == 1.0
+        assert strategy.add_probability(5) == 0.0
+        assert strategy.add_probability(9) == 0.5
+        assert strategy.action(2, rng) == 1
+
+    def test_tabular_threshold_like(self):
+        monotone = TabularReplicationStrategy({0: 1.0, 1: 1.0, 2: 0.3, 3: 0.0})
+        not_monotone = TabularReplicationStrategy({0: 0.0, 1: 1.0})
+        assert monotone.is_threshold_like()
+        assert not not_monotone.is_threshold_like()
+
+    def test_never_add(self, rng):
+        strategy = NeverAddStrategy()
+        assert strategy.action(0, rng) == 0
+        assert strategy.add_probability(0) == 0.0
+
+    def test_adaptive_heuristic_trigger(self):
+        heuristic = AdaptiveHeuristicReplicationStrategy(alert_mean=3.0)
+        assert heuristic.triggered(6.0)
+        assert not heuristic.triggered(5.0)
+        assert heuristic.add_probability(3) == 0.0

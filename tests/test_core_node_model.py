@@ -1,0 +1,230 @@
+"""Tests for the node transition model (Eq. 2, Fig. 3, Fig. 5)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NODE_ACTIONS,
+    NODE_STATES,
+    NodeAction,
+    NodeParameters,
+    NodeState,
+    NodeTransitionModel,
+    expected_time_to_failure,
+    failure_probability_curve,
+    geometric_failure_pmf,
+)
+from repro.core.node_model import states_from_symbols
+
+
+class TestNodeState:
+    def test_values_match_paper_convention(self):
+        assert NodeState.HEALTHY == 0
+        assert NodeState.COMPROMISED == 1
+
+    def test_symbols(self):
+        assert NodeState.HEALTHY.symbol == "H"
+        assert NodeState.COMPROMISED.symbol == "C"
+        assert NodeState.CRASHED.symbol == "0"
+
+    def test_is_failed(self):
+        assert not NodeState.HEALTHY.is_failed
+        assert NodeState.COMPROMISED.is_failed
+        assert NodeState.CRASHED.is_failed
+
+    def test_states_from_symbols(self):
+        assert states_from_symbols("HC0") == [
+            NodeState.HEALTHY,
+            NodeState.COMPROMISED,
+            NodeState.CRASHED,
+        ]
+
+    def test_states_from_symbols_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            states_from_symbols("X")
+
+
+class TestNodeAction:
+    def test_values(self):
+        assert NodeAction.WAIT == 0
+        assert NodeAction.RECOVER == 1
+
+    def test_symbols(self):
+        assert NodeAction.WAIT.symbol == "W"
+        assert NodeAction.RECOVER.symbol == "R"
+
+
+class TestNodeParameters:
+    def test_defaults_are_valid(self):
+        params = NodeParameters()
+        assert params.satisfies_theorem_1_assumptions()
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            NodeParameters(p_a=1.5)
+
+    def test_rejects_eta_below_one(self):
+        with pytest.raises(ValueError):
+            NodeParameters(eta=0.5)
+
+    def test_rejects_bad_delta_r(self):
+        with pytest.raises(ValueError):
+            NodeParameters(delta_r=0.5)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            NodeParameters(k=0)
+
+    def test_assumption_a_requires_interior_probabilities(self):
+        params = NodeParameters(p_a=0.0)
+        assert not params.satisfies_assumption_a()
+
+    def test_assumption_b(self):
+        assert NodeParameters(p_a=0.5, p_u=0.4).satisfies_assumption_b()
+        assert not NodeParameters(p_a=0.9, p_u=0.2).satisfies_assumption_b()
+
+    def test_assumption_c_holds_for_paper_parameters(self):
+        params = NodeParameters(p_a=0.1, p_c1=1e-5, p_c2=1e-3, p_u=0.02)
+        assert params.satisfies_assumption_c()
+
+    def test_with_updates(self):
+        params = NodeParameters()
+        updated = params.with_updates(p_a=0.25)
+        assert updated.p_a == 0.25
+        assert params.p_a == 0.1
+
+    def test_infinite_delta_r_allowed(self):
+        assert NodeParameters(delta_r=math.inf).delta_r == math.inf
+
+
+class TestNodeTransitionModel:
+    def test_rows_are_stochastic(self, transition_model):
+        assert transition_model.is_stochastic()
+
+    def test_crashed_is_absorbing(self, transition_model):
+        for action in NODE_ACTIONS:
+            assert transition_model.probability(NodeState.CRASHED, NodeState.CRASHED, action) == 1.0
+
+    def test_equation_2b_crash_from_healthy(self, params, transition_model):
+        for action in NODE_ACTIONS:
+            assert transition_model.probability(
+                NodeState.CRASHED, NodeState.HEALTHY, action
+            ) == pytest.approx(params.p_c1)
+
+    def test_equation_2c_crash_from_compromised(self, params, transition_model):
+        for action in NODE_ACTIONS:
+            assert transition_model.probability(
+                NodeState.CRASHED, NodeState.COMPROMISED, action
+            ) == pytest.approx(params.p_c2)
+
+    def test_equation_2d_2e_stay_healthy(self, params, transition_model):
+        expected = (1 - params.p_a) * (1 - params.p_c1)
+        for action in NODE_ACTIONS:
+            assert transition_model.probability(
+                NodeState.HEALTHY, NodeState.HEALTHY, action
+            ) == pytest.approx(expected)
+
+    def test_equation_2f_recovery_restores_health(self, params, transition_model):
+        expected = (1 - params.p_a) * (1 - params.p_c2)
+        assert transition_model.probability(
+            NodeState.HEALTHY, NodeState.COMPROMISED, NodeAction.RECOVER
+        ) == pytest.approx(expected)
+
+    def test_equation_2g_update_restores_health(self, params, transition_model):
+        expected = (1 - params.p_c2) * params.p_u
+        assert transition_model.probability(
+            NodeState.HEALTHY, NodeState.COMPROMISED, NodeAction.WAIT
+        ) == pytest.approx(expected)
+
+    def test_equation_2h_compromise_from_healthy(self, params, transition_model):
+        expected = (1 - params.p_c1) * params.p_a
+        for action in NODE_ACTIONS:
+            assert transition_model.probability(
+                NodeState.COMPROMISED, NodeState.HEALTHY, action
+            ) == pytest.approx(expected)
+
+    def test_equation_2i_recompromise_after_recovery(self, params, transition_model):
+        expected = (1 - params.p_c2) * params.p_a
+        assert transition_model.probability(
+            NodeState.COMPROMISED, NodeState.COMPROMISED, NodeAction.RECOVER
+        ) == pytest.approx(expected)
+
+    def test_equation_2j_stay_compromised_while_waiting(self, params, transition_model):
+        expected = (1 - params.p_c2) * (1 - params.p_u)
+        assert transition_model.probability(
+            NodeState.COMPROMISED, NodeState.COMPROMISED, NodeAction.WAIT
+        ) == pytest.approx(expected)
+
+    def test_recovery_more_likely_to_restore_than_waiting(self, transition_model):
+        recover = transition_model.probability(
+            NodeState.HEALTHY, NodeState.COMPROMISED, NodeAction.RECOVER
+        )
+        wait = transition_model.probability(
+            NodeState.HEALTHY, NodeState.COMPROMISED, NodeAction.WAIT
+        )
+        assert recover > wait
+
+    def test_matrix_shape(self, transition_model):
+        assert transition_model.matrices().shape == (2, 3, 3)
+        assert transition_model.matrix(NodeAction.WAIT).shape == (3, 3)
+
+    def test_step_returns_valid_state(self, transition_model, rng):
+        state = transition_model.step(NodeState.HEALTHY, NodeAction.WAIT, rng)
+        assert state in NODE_STATES
+
+    def test_sample_trajectory_length(self, transition_model, rng):
+        trajectory = transition_model.sample_trajectory(10, rng=rng)
+        assert len(trajectory) == 11
+        assert trajectory[0] is NodeState.HEALTHY
+
+    def test_sample_trajectory_requires_enough_actions(self, transition_model, rng):
+        with pytest.raises(ValueError):
+            transition_model.sample_trajectory(5, actions=[NodeAction.WAIT], rng=rng)
+
+    def test_crash_trajectory_stays_crashed(self, rng):
+        params = NodeParameters(p_a=0.01, p_c1=0.99, p_c2=0.99)
+        model = NodeTransitionModel(params)
+        trajectory = model.sample_trajectory(20, initial_state=NodeState.CRASHED, rng=rng)
+        assert all(state is NodeState.CRASHED for state in trajectory)
+
+
+class TestFailureCurves:
+    def test_failure_probability_is_monotone(self, params):
+        curve = failure_probability_curve(params, 50)
+        assert np.all(np.diff(curve) >= -1e-12)
+
+    def test_failure_probability_bounded(self, params):
+        curve = failure_probability_curve(params, 50)
+        assert np.all(curve >= 0.0)
+        assert np.all(curve <= 1.0)
+
+    def test_larger_attack_probability_fails_faster(self):
+        """Reproduces the ordering of the Fig. 5 curves."""
+        slow = failure_probability_curve(NodeParameters(p_a=0.01, p_u=0.0), 50)
+        fast = failure_probability_curve(NodeParameters(p_a=0.1, p_u=0.0), 50)
+        assert np.all(fast >= slow - 1e-12)
+        assert fast[10] > slow[10]
+
+    def test_failure_probability_requires_positive_horizon(self, params):
+        with pytest.raises(ValueError):
+            failure_probability_curve(params, 0)
+
+    def test_geometric_pmf_sums_close_to_one(self, params):
+        pmf = geometric_failure_pmf(params, 2000)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_geometric_pmf_matches_expected_time(self):
+        params = NodeParameters(p_a=0.1, p_c1=1e-5)
+        pmf = geometric_failure_pmf(params, 5000)
+        expected = expected_time_to_failure(params)
+        mean = float(np.sum(np.arange(1, 5001) * pmf))
+        assert mean == pytest.approx(expected, rel=1e-3)
+
+    def test_expected_time_to_failure_decreases_with_attack_rate(self):
+        assert expected_time_to_failure(NodeParameters(p_a=0.1)) < expected_time_to_failure(
+            NodeParameters(p_a=0.01)
+        )

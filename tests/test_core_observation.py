@@ -1,0 +1,181 @@
+"""Tests for the observation models Z (Eq. 3, Fig. 11, Fig. 14, Appendix H)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BetaBinomialObservationModel,
+    DiscreteObservationModel,
+    EmpiricalObservationModel,
+    NodeState,
+    is_tp2,
+    kl_divergence,
+    poisson_observation_model,
+)
+
+
+class TestKLDivergence:
+    def test_zero_for_identical_distributions(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_for_different_distributions(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.1, 0.9])
+        assert kl_divergence(p, q) > 0.0
+
+    def test_asymmetry(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            kl_divergence(np.array([0.5, 0.5]), np.array([1.0]))
+
+    def test_handles_zeros_in_q(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([1.0, 0.0])
+        assert np.isfinite(kl_divergence(p, q))
+
+
+class TestTP2:
+    def test_identity_is_tp2(self):
+        assert is_tp2(np.eye(2) + 0.1)
+
+    def test_monotone_likelihood_ratio_matrix_is_tp2(self):
+        matrix = np.array([[0.6, 0.3, 0.1], [0.1, 0.3, 0.6]])
+        assert is_tp2(matrix)
+
+    def test_reversed_matrix_is_not_tp2(self):
+        matrix = np.array([[0.1, 0.3, 0.6], [0.6, 0.3, 0.1]])
+        assert not is_tp2(matrix)
+
+
+class TestBetaBinomialModel:
+    def test_pmfs_normalized(self, observation_model):
+        for state in (NodeState.HEALTHY, NodeState.COMPROMISED):
+            assert observation_model.pmf(state).sum() == pytest.approx(1.0)
+
+    def test_assumption_d_full_support(self, observation_model):
+        assert observation_model.satisfies_assumption_d()
+
+    def test_assumption_e_tp2(self, observation_model):
+        """The Appendix E parameters satisfy assumption E of Theorem 1."""
+        assert observation_model.satisfies_assumption_e()
+
+    def test_compromised_mean_larger(self, observation_model):
+        obs = observation_model.observations
+        healthy_mean = float(obs @ observation_model.pmf(NodeState.HEALTHY))
+        compromised_mean = float(obs @ observation_model.pmf(NodeState.COMPROMISED))
+        assert compromised_mean > healthy_mean
+
+    def test_num_observations(self, observation_model):
+        assert observation_model.num_observations == 10
+
+    def test_sampling_within_support(self, observation_model, rng):
+        samples = observation_model.sample_many(NodeState.COMPROMISED, 100, rng)
+        assert samples.min() >= 0
+        assert samples.max() <= 9
+
+    def test_probability_lookup(self, observation_model):
+        pmf = observation_model.pmf(NodeState.HEALTHY)
+        assert observation_model.probability(0, NodeState.HEALTHY) == pytest.approx(pmf[0])
+
+    def test_probability_outside_support_raises(self, observation_model):
+        with pytest.raises(ValueError):
+            observation_model.probability(99, NodeState.HEALTHY)
+
+    def test_detection_divergence_positive(self, observation_model):
+        assert observation_model.detection_divergence() > 0.0
+
+    def test_matrix_rows(self, observation_model):
+        matrix = observation_model.matrix()
+        assert matrix.shape == (3, 10)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+
+class TestDiscreteModel:
+    def test_requires_two_observations(self):
+        with pytest.raises(ValueError):
+            DiscreteObservationModel([0], [1.0], [1.0])
+
+    def test_pmf_lengths_must_match(self):
+        with pytest.raises(ValueError):
+            DiscreteObservationModel([0, 1, 2], [0.5, 0.5], [0.2, 0.8])
+
+    def test_crashed_defaults_to_healthy(self):
+        model = DiscreteObservationModel([0, 1], [0.8, 0.2], [0.1, 0.9])
+        assert np.allclose(model.pmf(NodeState.CRASHED), model.pmf(NodeState.HEALTHY))
+
+    def test_explicit_crashed_pmf(self):
+        model = DiscreteObservationModel([0, 1], [0.8, 0.2], [0.1, 0.9], crashed_pmf=[1.0, 0.0])
+        assert model.probability(0, NodeState.CRASHED) == pytest.approx(1.0)
+
+    def test_divergence_to_other_model(self):
+        a = DiscreteObservationModel([0, 1], [0.8, 0.2], [0.1, 0.9])
+        b = DiscreteObservationModel([0, 1], [0.5, 0.5], [0.5, 0.5])
+        assert a.divergence_to(b, NodeState.HEALTHY) > 0.0
+
+    def test_divergence_requires_same_support(self):
+        a = DiscreteObservationModel([0, 1], [0.8, 0.2], [0.1, 0.9])
+        b = DiscreteObservationModel([0, 1, 2], [0.6, 0.2, 0.2], [0.1, 0.4, 0.5])
+        with pytest.raises(ValueError):
+            a.divergence_to(b, NodeState.HEALTHY)
+
+
+class TestEmpiricalModel:
+    def test_fit_from_samples(self, rng):
+        healthy = rng.poisson(2, size=500)
+        compromised = rng.poisson(6, size=500)
+        model = EmpiricalObservationModel(healthy, compromised)
+        assert model.satisfies_assumption_d()
+        healthy_mean = float(model.observations @ model.pmf(NodeState.HEALTHY))
+        compromised_mean = float(model.observations @ model.pmf(NodeState.COMPROMISED))
+        assert compromised_mean > healthy_mean
+
+    def test_rejects_empty_samples(self):
+        with pytest.raises(ValueError):
+            EmpiricalObservationModel([], [1, 2, 3])
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            EmpiricalObservationModel([-1, 2], [3, 4])
+
+    def test_from_traces(self):
+        traces = [(1, False), (2, False), (8, True), (9, True)]
+        model = EmpiricalObservationModel.from_traces(traces)
+        assert model.num_healthy_samples == 2
+        assert model.num_compromised_samples == 2
+
+    def test_glivenko_cantelli_convergence(self, rng):
+        """The MLE converges to the generating distribution (large-sample check)."""
+        truth = BetaBinomialObservationModel()
+        healthy = truth.sample_many(NodeState.HEALTHY, 20000, rng)
+        compromised = truth.sample_many(NodeState.COMPROMISED, 20000, rng)
+        fitted = EmpiricalObservationModel(
+            healthy, compromised, num_observations=10, smoothing=0.0 + 1e-9
+        )
+        assert fitted.divergence_to(truth, NodeState.HEALTHY) < 0.01
+        assert fitted.divergence_to(truth, NodeState.COMPROMISED) < 0.01
+
+    def test_explicit_num_observations(self):
+        model = EmpiricalObservationModel([0, 1], [2, 3], num_observations=8)
+        assert model.num_observations == 8
+
+
+class TestPoissonModel:
+    def test_tp2_property(self):
+        model = poisson_observation_model(12, healthy_rate=1.0, compromised_rate=5.0)
+        assert model.satisfies_assumption_e()
+
+    def test_requires_higher_compromised_rate(self):
+        with pytest.raises(ValueError):
+            poisson_observation_model(12, healthy_rate=5.0, compromised_rate=1.0)
+
+    def test_pmfs_normalized(self):
+        model = poisson_observation_model(12, healthy_rate=1.0, compromised_rate=5.0)
+        assert model.pmf(NodeState.HEALTHY).sum() == pytest.approx(1.0)
+        assert model.pmf(NodeState.COMPROMISED).sum() == pytest.approx(1.0)

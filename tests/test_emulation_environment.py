@@ -1,0 +1,162 @@
+"""Tests for the evaluation environment (Section VIII) and the trace dataset."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import NodeParameters, summarize_runs
+from repro.emulation import (
+    EmulationConfig,
+    EmulationEnvironment,
+    generate_traces,
+    load_traces,
+    no_recovery_policy,
+    periodic_adaptive_policy,
+    periodic_policy,
+    save_traces,
+    tolerance_policy,
+)
+
+
+@pytest.fixture
+def config():
+    return EmulationConfig(initial_nodes=3, horizon=150, delta_r=15, node_params=NodeParameters(p_a=0.1))
+
+
+class TestEnvironmentMechanics:
+    def test_initial_nodes_created(self, config):
+        env = EmulationEnvironment(config, tolerance_policy(), seed=0)
+        assert len(env.nodes) == 3
+
+    def test_tolerance_threshold_rule(self):
+        """Appendix E: f = min[(N1 - 1) / 2, 2]."""
+        assert EmulationConfig(initial_nodes=3).tolerance_threshold() == 1
+        assert EmulationConfig(initial_nodes=6).tolerance_threshold() == 2
+        assert EmulationConfig(initial_nodes=9).tolerance_threshold() == 2
+        assert EmulationConfig(initial_nodes=5, f=1).tolerance_threshold() == 1
+
+    def test_step_produces_record(self, config):
+        env = EmulationEnvironment(config, tolerance_policy(), seed=0)
+        record = env.step()
+        assert record.time_step == 1
+        assert record.num_nodes >= 3
+        assert set(record.beliefs) <= set(env.nodes)
+
+    def test_run_returns_metrics(self, config):
+        env = EmulationEnvironment(config, tolerance_policy(), seed=0)
+        metrics = env.run(50)
+        assert metrics.episode_length == 50
+        assert 0.0 <= metrics.availability <= 1.0
+
+    def test_node_count_never_exceeds_smax(self, config):
+        env = EmulationEnvironment(config, periodic_adaptive_policy(10), seed=0)
+        env.run(100)
+        assert all(record.num_nodes <= config.max_nodes for record in env.trace)
+
+    def test_tolerance_respects_parallel_recovery_limit(self, config):
+        """Prop. 1c: TOLERANCE never recovers more than k nodes per step."""
+        env = EmulationEnvironment(config, tolerance_policy(0.5), seed=0)
+        env.run(100)
+        assert all(record.recoveries <= config.k for record in env.trace)
+
+    def test_tolerance_maintains_replication_invariant(self, config):
+        """Prop. 1d: with the feedback replication strategy the system keeps
+        N_t >= 2f + 1 + k (emergency additions)."""
+        env = EmulationEnvironment(config, tolerance_policy(), seed=1)
+        env.run(100)
+        minimum = 2 * env.f + 1 + config.k
+        # After the first few steps (initial ramp-up) the invariant holds.
+        assert all(record.num_nodes >= minimum for record in env.trace[3:])
+
+    def test_crashed_nodes_are_evicted(self):
+        config = EmulationConfig(
+            initial_nodes=4,
+            horizon=30,
+            node_params=NodeParameters(p_a=0.01, p_c1=0.2, p_c2=0.2),
+        )
+        env = EmulationEnvironment(config, no_recovery_policy(), seed=2)
+        env.run(30)
+        total_evictions = sum(record.evicted for record in env.trace)
+        assert total_evictions > 0
+
+    def test_system_state_transitions_exported(self, config):
+        env = EmulationEnvironment(config, tolerance_policy(), seed=0)
+        env.run(20)
+        transitions = env.system_state_transitions()
+        assert len(transitions) == 19
+        assert all(0 <= s <= config.max_nodes for s, _, _ in transitions)
+
+    def test_reproducible_with_seed(self, config):
+        metrics_a = EmulationEnvironment(config, tolerance_policy(), seed=7).run(50)
+        metrics_b = EmulationEnvironment(config, tolerance_policy(), seed=7).run(50)
+        assert metrics_a.availability == metrics_b.availability
+        assert metrics_a.recovery_frequency == metrics_b.recovery_frequency
+
+
+class TestPolicyComparison:
+    """Small-scale version of the Table 7 / Fig. 12 comparison."""
+
+    def _run(self, policy_factory, config, seeds=(0, 1, 2)):
+        return [
+            EmulationEnvironment(config, policy_factory(), seed=seed).run()
+            for seed in seeds
+        ]
+
+    def test_tolerance_has_higher_availability_than_no_recovery(self, config):
+        tolerance_runs = self._run(lambda: tolerance_policy(0.75), config)
+        no_recovery_runs = self._run(no_recovery_policy, config)
+        assert summarize_runs(tolerance_runs)["availability"][0] > (
+            summarize_runs(no_recovery_runs)["availability"][0] + 0.3
+        )
+
+    def test_tolerance_recovers_faster_than_periodic(self, config):
+        tolerance_runs = self._run(lambda: tolerance_policy(0.75), config)
+        periodic_runs = self._run(lambda: periodic_policy(15), config)
+        assert summarize_runs(tolerance_runs)["time_to_recovery"][0] < (
+            summarize_runs(periodic_runs)["time_to_recovery"][0]
+        )
+
+    def test_no_recovery_never_recovers(self, config):
+        runs = self._run(no_recovery_policy, config)
+        assert all(run.recovery_frequency == 0.0 for run in runs)
+
+    def test_periodic_frequency_matches_period(self, config):
+        runs = self._run(lambda: periodic_policy(15), config)
+        frequency = summarize_runs(runs)["recovery_frequency"][0]
+        assert abs(frequency - 1.0 / 15.0) < 0.03
+
+    def test_periodic_with_infinite_period_equals_no_recovery(self):
+        config = EmulationConfig(
+            initial_nodes=3, horizon=150, delta_r=math.inf, node_params=NodeParameters(p_a=0.1)
+        )
+        periodic_runs = self._run(lambda: periodic_policy(math.inf), config)
+        no_recovery_runs = self._run(no_recovery_policy, config)
+        assert abs(
+            summarize_runs(periodic_runs)["availability"][0]
+            - summarize_runs(no_recovery_runs)["availability"][0]
+        ) < 0.15
+
+
+class TestTraceDataset:
+    def test_generate_traces(self):
+        traces = generate_traces(num_traces=3, horizon=30, base_seed=0)
+        assert len(traces) == 3
+        assert all(len(trace) == 30 for trace in traces)
+        assert all(trace.policy == "tolerance" for trace in traces)
+
+    def test_roundtrip_serialization(self, tmp_path):
+        traces = generate_traces(num_traces=2, horizon=20, base_seed=1)
+        path = tmp_path / "traces.jsonl"
+        written = save_traces(traces, path)
+        assert written == 2
+        loaded = load_traces(path)
+        assert len(loaded) == 2
+        assert loaded[0].availability == pytest.approx(traces[0].availability)
+        assert len(loaded[0].steps) == 20
+
+    def test_generate_traces_validation(self):
+        with pytest.raises(ValueError):
+            generate_traces(num_traces=0)

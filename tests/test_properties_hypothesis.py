@@ -1,0 +1,227 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These tests check the structural properties the paper's proofs rely on, over
+randomly generated parameters and inputs:
+
+* transition kernels are stochastic for every admissible parameter set;
+* belief updates always produce valid beliefs and are monotone in the
+  observation (the MLR/TP-2 machinery behind Theorem 1);
+* threshold strategies induce monotone (in belief) action rules;
+* the metrics collector's outputs always lie in their admissible ranges;
+* the key-value state machine is deterministic (safety across replicas);
+* reliability curves are monotone in time and in the number of nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus import ClientRequest, KeyValueStateMachine
+from repro.core import (
+    BetaBinomialObservationModel,
+    MetricsCollector,
+    NodeAction,
+    NodeParameters,
+    NodeTransitionModel,
+    ThresholdStrategy,
+    healthy_nodes_transition_matrix,
+    mean_time_to_failure,
+    node_cost,
+    reliability_function,
+    update_compromise_belief,
+)
+
+_OBSERVATION_MODEL = BetaBinomialObservationModel()
+
+probabilities = st.floats(min_value=1e-6, max_value=0.99, allow_nan=False)
+beliefs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def node_parameters(draw):
+    return NodeParameters(
+        p_a=draw(probabilities),
+        p_c1=draw(probabilities),
+        p_c2=draw(probabilities),
+        p_u=draw(probabilities),
+        eta=draw(st.floats(min_value=1.0, max_value=10.0)),
+    )
+
+
+class TestTransitionKernelProperties:
+    @given(params=node_parameters())
+    @settings(max_examples=50, deadline=None)
+    def test_rows_always_stochastic(self, params):
+        model = NodeTransitionModel(params)
+        assert model.is_stochastic()
+
+    @given(params=node_parameters())
+    @settings(max_examples=50, deadline=None)
+    def test_all_probabilities_in_unit_interval(self, params):
+        matrices = NodeTransitionModel(params).matrices()
+        assert np.all(matrices >= 0.0)
+        assert np.all(matrices <= 1.0)
+
+    @given(params=node_parameters())
+    @settings(max_examples=50, deadline=None)
+    def test_recovery_never_hurts(self, params):
+        """P[healthy next | compromised, R] >= P[healthy next | compromised, W]."""
+        model = NodeTransitionModel(params)
+        from repro.core import NodeState
+
+        recover = model.probability(NodeState.HEALTHY, NodeState.COMPROMISED, NodeAction.RECOVER)
+        wait = model.probability(NodeState.HEALTHY, NodeState.COMPROMISED, NodeAction.WAIT)
+        # Holds whenever 1 - p_a >= p_u, i.e. assumption B of Theorem 1.
+        if params.p_a + params.p_u <= 1.0:
+            assert recover >= wait - 1e-12
+
+
+class TestBeliefProperties:
+    @given(belief=beliefs, observation=st.integers(min_value=0, max_value=9))
+    @settings(max_examples=100, deadline=None)
+    def test_update_stays_in_unit_interval(self, belief, observation):
+        params = NodeParameters(p_a=0.1)
+        model = NodeTransitionModel(params)
+        for action in (NodeAction.WAIT, NodeAction.RECOVER):
+            updated = update_compromise_belief(
+                belief, action, observation, model, _OBSERVATION_MODEL
+            )
+            assert 0.0 <= updated <= 1.0
+
+    @given(belief=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_update_monotone_in_observation(self, belief):
+        """Higher alert counts never decrease the posterior (TP-2 / MLR property)."""
+        params = NodeParameters(p_a=0.1)
+        model = NodeTransitionModel(params)
+        posteriors = [
+            update_compromise_belief(belief, NodeAction.WAIT, o, model, _OBSERVATION_MODEL)
+            for o in range(10)
+        ]
+        assert all(b <= a + 1e-9 for b, a in zip(posteriors, posteriors[1:]))
+
+    @given(
+        belief_low=st.floats(min_value=0.0, max_value=1.0),
+        belief_high=st.floats(min_value=0.0, max_value=1.0),
+        observation=st.integers(min_value=0, max_value=9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_update_monotone_in_prior(self, belief_low, belief_high, observation):
+        """A larger prior belief never yields a smaller posterior."""
+        if belief_low > belief_high:
+            belief_low, belief_high = belief_high, belief_low
+        params = NodeParameters(p_a=0.1)
+        model = NodeTransitionModel(params)
+        post_low = update_compromise_belief(
+            belief_low, NodeAction.WAIT, observation, model, _OBSERVATION_MODEL
+        )
+        post_high = update_compromise_belief(
+            belief_high, NodeAction.WAIT, observation, model, _OBSERVATION_MODEL
+        )
+        assert post_high >= post_low - 1e-9
+
+
+class TestStrategyProperties:
+    @given(alpha=beliefs, low=beliefs, high=beliefs)
+    @settings(max_examples=100, deadline=None)
+    def test_threshold_strategy_monotone_in_belief(self, alpha, low, high):
+        """If the strategy recovers at a belief, it recovers at any larger belief."""
+        if low > high:
+            low, high = high, low
+        strategy = ThresholdStrategy(alpha)
+        if strategy.action(low) is NodeAction.RECOVER:
+            assert strategy.action(high) is NodeAction.RECOVER
+
+    @given(belief=beliefs, eta=st.floats(min_value=1.0, max_value=10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_node_cost_non_negative(self, belief, eta):
+        from repro.core import NodeState, expected_node_cost
+
+        for action in (NodeAction.WAIT, NodeAction.RECOVER):
+            assert expected_node_cost(belief, action, eta) >= 0.0
+            for state in (NodeState.HEALTHY, NodeState.COMPROMISED, NodeState.CRASHED):
+                assert node_cost(state, action, eta) >= 0.0
+
+
+class TestMetricsProperties:
+    @given(
+        census=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10),
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=2),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_metrics_always_in_range(self, census):
+        collector = MetricsCollector(f=1)
+        for healthy, compromised, crashed, recoveries in census:
+            collector.record_step(healthy, compromised, crashed, recoveries)
+        metrics = collector.finalize()
+        assert 0.0 <= metrics.availability <= 1.0
+        assert 0.0 <= metrics.recovery_frequency <= 1.0
+        assert metrics.time_to_recovery >= 0.0
+        assert metrics.average_nodes >= 0.0
+
+
+class TestStateMachineProperties:
+    @given(
+        operations=st.lists(
+            st.tuples(
+                st.sampled_from(["read", "write"]),
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(min_value=0, max_value=100),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_replicas_applying_same_sequence_agree(self, operations):
+        """Determinism: two replicas applying the same request sequence end in
+        the same state (the mechanism behind the Safety property)."""
+        replica_a, replica_b = KeyValueStateMachine(), KeyValueStateMachine()
+        for index, (operation, key, value) in enumerate(operations, start=1):
+            request = ClientRequest(
+                client_id="c",
+                request_id=index,
+                operation=operation,
+                key=key,
+                value=value if operation == "write" else None,
+            )
+            replica_a.apply(request, index)
+            replica_b.apply(request, index)
+        assert replica_a.state_digest() == replica_b.state_digest()
+        assert replica_a.executed_requests() == replica_b.executed_requests()
+
+
+class TestReliabilityProperties:
+    @given(
+        num_nodes=st.integers(min_value=2, max_value=20),
+        p_fail=st.floats(min_value=0.01, max_value=0.9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reliability_curve_monotone(self, num_nodes, p_fail):
+        matrix = healthy_nodes_transition_matrix(num_nodes, p_fail)
+        threshold = min(1, num_nodes - 1)
+        curve = reliability_function(matrix, threshold, num_nodes, horizon=30)
+        assert np.all(np.diff(curve) <= 1e-9)
+        assert np.all((curve >= -1e-9) & (curve <= 1.0 + 1e-9))
+
+    @given(
+        num_nodes=st.integers(min_value=3, max_value=15),
+        p_fail=st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mttf_positive_and_decreasing_in_failure_rate(self, num_nodes, p_fail):
+        matrix_low = healthy_nodes_transition_matrix(num_nodes, p_fail / 2.0)
+        matrix_high = healthy_nodes_transition_matrix(num_nodes, p_fail)
+        mttf_low = mean_time_to_failure(matrix_low, 1, num_nodes)
+        mttf_high = mean_time_to_failure(matrix_high, 1, num_nodes)
+        assert mttf_low >= mttf_high > 0.0

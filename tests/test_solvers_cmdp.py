@@ -1,0 +1,151 @@
+"""Tests for Algorithm 2 (the occupancy-measure LP) and Theorem 2."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BinomialSystemModel
+from repro.solvers import (
+    evaluate_replication_strategy,
+    policy_stationary_distribution,
+    solve_replication_lagrangian,
+    solve_replication_lp,
+)
+
+
+@pytest.fixture
+def model():
+    return BinomialSystemModel(
+        smax=10,
+        f=2,
+        per_node_failure_probability=0.1,
+        regeneration_probability=0.05,
+        epsilon_a=0.9,
+    )
+
+
+class TestAlgorithm2LP:
+    def test_feasible_solution(self, model):
+        solution = solve_replication_lp(model)
+        assert solution.feasible
+
+    def test_meets_availability_constraint(self, model):
+        solution = solve_replication_lp(model)
+        assert solution.availability >= model.epsilon_a - 1e-6
+
+    def test_occupancy_is_a_distribution(self, model):
+        solution = solve_replication_lp(model)
+        assert solution.occupancy.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(solution.occupancy >= -1e-9)
+
+    def test_cost_not_below_minimum_required_nodes(self, model):
+        """Meeting the availability constraint requires at least f + 1 nodes on average."""
+        solution = solve_replication_lp(model)
+        assert solution.expected_cost >= (model.f + 1) * model.epsilon_a - 1e-6
+
+    def test_theorem_2_mixture_is_threshold_like(self, model):
+        """Theorem 2: there *exists* an optimal strategy that mixes two
+        threshold strategies.  The Lagrangian construction produces it, and
+        its add-probability is non-increasing in the state."""
+        lagrangian = solve_replication_lagrangian(model)
+        probs = [lagrangian.strategy.add_probability(s) for s in range(model.num_states)]
+        assert all(a >= b - 1e-9 for a, b in zip(probs, probs[1:]))
+
+    def test_lp_is_at_least_as_good_as_threshold_mixture(self, model):
+        """The exact LP optimum is a lower bound on any feasible strategy's cost."""
+        lp = solve_replication_lp(model)
+        lagrangian = solve_replication_lagrangian(model)
+        add_probs = np.array(
+            [lagrangian.strategy.add_probability(s) for s in range(model.num_states)]
+        )
+        mixture_cost, mixture_availability = evaluate_replication_strategy(model, add_probs)
+        if mixture_availability >= model.epsilon_a - 1e-9:
+            assert lp.expected_cost <= mixture_cost + 1e-6
+
+    def test_tighter_constraint_costs_more(self):
+        loose = BinomialSystemModel(smax=10, f=2, per_node_failure_probability=0.1,
+                                    regeneration_probability=0.05, epsilon_a=0.6)
+        tight = BinomialSystemModel(smax=10, f=2, per_node_failure_probability=0.1,
+                                    regeneration_probability=0.05, epsilon_a=0.95)
+        assert (
+            solve_replication_lp(tight).expected_cost
+            >= solve_replication_lp(loose).expected_cost - 1e-6
+        )
+
+    def test_infeasible_constraint_detected(self):
+        """A failure probability so high that even smax nodes cannot stay available."""
+        model = BinomialSystemModel(
+            smax=3, f=2, per_node_failure_probability=0.95,
+            regeneration_probability=0.001, epsilon_a=0.999,
+        )
+        solution = solve_replication_lp(model)
+        assert not solution.feasible
+
+    def test_scaling_with_smax(self):
+        """Alg. 2 stays solvable as smax grows (the Fig. 9 experiment)."""
+        for smax in (4, 16, 48):
+            model = BinomialSystemModel(
+                smax=smax, f=3, per_node_failure_probability=0.1,
+                regeneration_probability=0.05, epsilon_a=0.9,
+            )
+            assert solve_replication_lp(model).feasible
+
+
+class TestLagrangianRelaxation:
+    def test_produces_mixture_of_thresholds(self, model):
+        solution = solve_replication_lagrangian(model)
+        assert solution.threshold_low <= solution.threshold_high
+        assert 0.0 <= solution.kappa <= 1.0
+
+    def test_mixture_meets_constraint(self, model):
+        solution = solve_replication_lagrangian(model)
+        add_probs = np.array(
+            [solution.strategy.add_probability(s) for s in range(model.num_states)]
+        )
+        _, availability = evaluate_replication_strategy(model, add_probs)
+        assert availability >= model.epsilon_a - 0.02
+
+    def test_near_lp_optimal(self, model):
+        """The Theorem 2 mixture achieves a cost close to the exact LP optimum."""
+        lp = solve_replication_lp(model)
+        lagrangian = solve_replication_lagrangian(model)
+        add_probs = np.array(
+            [lagrangian.strategy.add_probability(s) for s in range(model.num_states)]
+        )
+        cost, _ = evaluate_replication_strategy(model, add_probs)
+        assert cost <= lp.expected_cost * 1.25 + 0.5
+
+    def test_infeasible_raises(self):
+        model = BinomialSystemModel(
+            smax=3, f=2, per_node_failure_probability=0.95,
+            regeneration_probability=0.001, epsilon_a=0.999,
+        )
+        with pytest.raises(ValueError):
+            solve_replication_lagrangian(model)
+
+
+class TestStrategyEvaluation:
+    def test_stationary_distribution_sums_to_one(self, model):
+        policy = np.zeros(model.num_states, dtype=int)
+        distribution = policy_stationary_distribution(model, policy)
+        assert distribution.sum() == pytest.approx(1.0)
+        assert np.all(distribution >= 0.0)
+
+    def test_always_add_increases_availability(self, model):
+        never = np.zeros(model.num_states)
+        always = np.ones(model.num_states)
+        _, availability_never = evaluate_replication_strategy(model, never)
+        _, availability_always = evaluate_replication_strategy(model, always)
+        assert availability_always >= availability_never
+
+    def test_always_add_costs_more(self, model):
+        never = np.zeros(model.num_states)
+        always = np.ones(model.num_states)
+        cost_never, _ = evaluate_replication_strategy(model, never)
+        cost_always, _ = evaluate_replication_strategy(model, always)
+        assert cost_always >= cost_never
+
+    def test_shape_validation(self, model):
+        with pytest.raises(ValueError):
+            evaluate_replication_strategy(model, np.zeros(3))

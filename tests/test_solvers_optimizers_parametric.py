@@ -1,0 +1,197 @@
+"""Tests for the black-box optimizers, Algorithm 1, the simulator and PPO."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BetaBinomialObservationModel,
+    NodeParameters,
+    NoRecoveryStrategy,
+    PeriodicStrategy,
+    ThresholdStrategy,
+)
+from repro.solvers import (
+    BayesianOptimization,
+    CrossEntropyMethod,
+    DifferentialEvolution,
+    PPOConfig,
+    RandomSearch,
+    RecoverySimulator,
+    SPSA,
+    solve_recovery_problem,
+    threshold_dimension,
+    train_ppo_recovery,
+)
+
+
+def sphere(theta: np.ndarray) -> float:
+    """Convex test objective with minimum at 0.3 in every coordinate."""
+    return float(np.sum((theta - 0.3) ** 2))
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize(
+        "optimizer",
+        [
+            CrossEntropyMethod(population_size=30, iterations=15),
+            DifferentialEvolution(population_size=8, iterations=25),
+            SPSA(iterations=80),
+            BayesianOptimization(iterations=20, initial_samples=5),
+            RandomSearch(iterations=300),
+        ],
+        ids=["cem", "de", "spsa", "bo", "random"],
+    )
+    def test_minimizes_sphere(self, optimizer):
+        result = optimizer.optimize(sphere, dimension=2, seed=0)
+        assert result.best_value < 0.1
+        assert np.all(result.best_parameters >= 0.0)
+        assert np.all(result.best_parameters <= 1.0)
+
+    def test_history_is_non_increasing(self):
+        result = CrossEntropyMethod(population_size=20, iterations=10).optimize(
+            sphere, dimension=3, seed=1
+        )
+        assert all(b <= a + 1e-12 for a, b in zip(result.history, result.history[1:]))
+
+    def test_evaluation_counts_recorded(self):
+        optimizer = RandomSearch(iterations=10)
+        result = optimizer.optimize(sphere, dimension=2, seed=0)
+        assert result.evaluations == 11
+
+    def test_reproducible_with_seed(self):
+        optimizer = DifferentialEvolution(population_size=6, iterations=10)
+        a = optimizer.optimize(sphere, dimension=2, seed=7)
+        b = optimizer.optimize(sphere, dimension=2, seed=7)
+        assert np.allclose(a.best_parameters, b.best_parameters)
+
+    def test_cem_respects_bounds_in_high_dimension(self):
+        result = CrossEntropyMethod(population_size=20, iterations=5).optimize(
+            sphere, dimension=14, seed=0
+        )
+        assert np.all(result.best_parameters >= 0.0)
+        assert np.all(result.best_parameters <= 1.0)
+
+
+class TestRecoverySimulator:
+    @pytest.fixture
+    def simulator(self, observation_model):
+        return RecoverySimulator(NodeParameters(p_a=0.1), observation_model, horizon=100)
+
+    def test_no_recovery_costs_more_than_threshold(self, simulator):
+        threshold_cost = simulator.estimate_cost(ThresholdStrategy(0.7), num_episodes=10, seed=0)
+        no_recovery_cost = simulator.estimate_cost(NoRecoveryStrategy(), num_episodes=10, seed=0)
+        assert threshold_cost < no_recovery_cost
+
+    def test_always_recover_frequency_is_one(self, simulator, rng):
+        result = simulator.run_episode(ThresholdStrategy(0.0), rng)
+        assert result.recovery_frequency == pytest.approx(1.0)
+        assert result.average_cost == pytest.approx(1.0)
+
+    def test_periodic_recovery_frequency(self, simulator, rng):
+        result = simulator.run_episode(PeriodicStrategy(10), rng)
+        assert 0.05 <= result.recovery_frequency <= 0.25
+
+    def test_btr_constraint_enforced(self, observation_model, rng):
+        params = NodeParameters(p_a=0.01, delta_r=10)
+        simulator = RecoverySimulator(params, observation_model, horizon=100)
+        result = simulator.run_episode(NoRecoveryStrategy(), rng)
+        # Forced recoveries every 10 steps -> frequency around 0.1.
+        assert result.recovery_frequency >= 0.08
+
+    def test_evaluate_returns_per_episode_results(self, simulator):
+        results = simulator.evaluate(ThresholdStrategy(0.7), num_episodes=5, seed=0)
+        assert len(results) == 5
+        assert all(r.steps == 100 for r in results)
+
+    def test_validates_horizon(self, observation_model):
+        with pytest.raises(ValueError):
+            RecoverySimulator(NodeParameters(), observation_model, horizon=0)
+
+
+class TestAlgorithm1:
+    def test_threshold_dimension_rule(self):
+        assert threshold_dimension(math.inf) == 1
+        assert threshold_dimension(5) == 4
+        assert threshold_dimension(1) == 1
+        with pytest.raises(ValueError):
+            threshold_dimension(0.2)
+
+    def test_finds_reasonable_threshold(self, observation_model):
+        params = NodeParameters(p_a=0.1, delta_r=math.inf)
+        solution = solve_recovery_problem(
+            params,
+            observation_model,
+            CrossEntropyMethod(population_size=20, iterations=8),
+            horizon=80,
+            episodes_per_evaluation=4,
+            final_evaluation_episodes=10,
+            seed=0,
+        )
+        assert len(solution.strategy.thresholds) == 1
+        assert solution.estimated_cost < 0.6  # far better than never recovering
+        assert solution.wall_clock_seconds > 0.0
+
+    def test_respects_delta_r_dimension(self, observation_model):
+        params = NodeParameters(p_a=0.1, delta_r=5)
+        solution = solve_recovery_problem(
+            params,
+            observation_model,
+            RandomSearch(iterations=10),
+            horizon=40,
+            episodes_per_evaluation=2,
+            final_evaluation_episodes=4,
+            seed=0,
+        )
+        assert len(solution.strategy.thresholds) == 4
+
+    def test_better_than_no_recovery(self, observation_model):
+        params = NodeParameters(p_a=0.1, delta_r=math.inf)
+        simulator = RecoverySimulator(params, observation_model, horizon=80)
+        baseline = simulator.estimate_cost(NoRecoveryStrategy(), num_episodes=10, seed=1)
+        solution = solve_recovery_problem(
+            params,
+            observation_model,
+            RandomSearch(iterations=30),
+            horizon=80,
+            episodes_per_evaluation=4,
+            final_evaluation_episodes=10,
+            seed=1,
+        )
+        assert solution.estimated_cost < baseline
+
+    def test_optimizer_name_recorded(self, observation_model):
+        solution = solve_recovery_problem(
+            NodeParameters(delta_r=math.inf),
+            observation_model,
+            RandomSearch(iterations=5),
+            horizon=30,
+            episodes_per_evaluation=2,
+            final_evaluation_episodes=2,
+            seed=0,
+        )
+        assert solution.optimizer_name == "random"
+
+
+class TestPPOBaseline:
+    def test_training_runs_and_produces_policy(self, observation_model):
+        config = PPOConfig(updates=3, rollout_episodes=2, horizon=30, hidden_size=8)
+        result = train_ppo_recovery(NodeParameters(p_a=0.1), observation_model, config, seed=0)
+        assert len(result.history) == 3
+        assert np.isfinite(result.estimated_cost)
+        assert result.wall_clock_seconds > 0.0
+
+    def test_policy_action_interface(self, observation_model):
+        config = PPOConfig(updates=1, rollout_episodes=1, horizon=20, hidden_size=8)
+        result = train_ppo_recovery(NodeParameters(p_a=0.1), observation_model, config, seed=0)
+        action = result.policy.action(0.9, 3)
+        assert action in (0, 1) or hasattr(action, "name")
+
+    def test_ppo_cost_bounded_by_always_recover(self, observation_model):
+        """PPO should not be worse than the trivial always-recover policy by much."""
+        config = PPOConfig(updates=5, rollout_episodes=3, horizon=40, hidden_size=16)
+        result = train_ppo_recovery(NodeParameters(p_a=0.1), observation_model, config, seed=0)
+        assert result.estimated_cost <= 1.6

@@ -1,0 +1,183 @@
+"""Tests for the POMDP machinery (Theorem 1, Fig. 4) and the MDP solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NodeAction, NodeParameters
+from repro.solvers import (
+    RecoveryPOMDP,
+    belief_value_iteration,
+    extract_threshold,
+    incremental_pruning,
+    policy_evaluation,
+    policy_iteration,
+    relative_value_iteration,
+    value_iteration,
+)
+
+
+@pytest.fixture
+def pomdp(observation_model):
+    return RecoveryPOMDP(NodeParameters(p_a=0.1), observation_model, discount=0.9)
+
+
+class TestRecoveryPOMDP:
+    def test_live_transition_is_stochastic(self, pomdp):
+        assert np.allclose(pomdp.transition.sum(axis=2), 1.0)
+
+    def test_observation_matrix_is_stochastic(self, pomdp):
+        assert np.allclose(pomdp.observation.sum(axis=1), 1.0)
+
+    def test_belief_cost_matches_paper(self, pomdp):
+        assert pomdp.belief_cost(0.5, NodeAction.WAIT) == pytest.approx(1.0)
+        assert pomdp.belief_cost(0.5, NodeAction.RECOVER) == pytest.approx(1.0)
+
+    def test_observation_probabilities_sum_to_one(self, pomdp):
+        total = sum(
+            pomdp.observation_probability(0.3, NodeAction.WAIT, o)
+            for o in range(pomdp.num_observations)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_belief_update_consistency(self, pomdp):
+        updated = pomdp.belief_update(0.3, NodeAction.WAIT, pomdp.num_observations - 1)
+        assert updated > 0.3
+
+    def test_rejects_bad_discount(self, observation_model):
+        with pytest.raises(ValueError):
+            RecoveryPOMDP(NodeParameters(), observation_model, discount=1.5)
+
+
+class TestBeliefValueIteration:
+    def test_converges(self, pomdp):
+        result = belief_value_iteration(pomdp, grid_size=51, max_iterations=500)
+        assert result.residual < 1e-6
+
+    def test_value_function_is_monotone_in_belief(self, pomdp):
+        """V*(b) is non-decreasing in b (costs rise with compromise probability)."""
+        result = belief_value_iteration(pomdp, grid_size=51, max_iterations=500)
+        assert np.all(np.diff(result.values) >= -1e-9)
+
+    def test_policy_has_threshold_structure(self, pomdp):
+        """Theorem 1: the recovery region is an upper interval [alpha*, 1]."""
+        result = belief_value_iteration(pomdp, grid_size=101, max_iterations=500)
+        policy = result.policy
+        first_recover = int(np.argmax(policy)) if policy.any() else len(policy)
+        # After the first RECOVER grid point, the policy never switches back to WAIT.
+        assert np.all(policy[first_recover:] == 1)
+
+    def test_threshold_below_one(self, pomdp):
+        result = belief_value_iteration(pomdp, grid_size=101, max_iterations=500)
+        assert 0.0 < result.threshold() < 1.0
+
+    def test_value_at_interpolates(self, pomdp):
+        result = belief_value_iteration(pomdp, grid_size=51, max_iterations=300)
+        assert result.value_at(0.0) <= result.value_at(1.0)
+
+    def test_action_at_threshold(self, pomdp):
+        result = belief_value_iteration(pomdp, grid_size=101, max_iterations=300)
+        threshold = result.threshold()
+        assert result.action_at(min(threshold + 0.05, 1.0)) is NodeAction.RECOVER
+
+    def test_extract_threshold_never_recover(self):
+        assert extract_threshold(np.linspace(0, 1, 5), np.zeros(5, dtype=int)) == 1.0
+
+
+class TestIncrementalPruning:
+    def test_produces_alpha_vectors(self, pomdp):
+        result = incremental_pruning(pomdp, horizon=8)
+        assert len(result.alpha_vectors) >= 1
+
+    def test_value_function_is_lower_envelope(self, pomdp):
+        result = incremental_pruning(pomdp, horizon=8)
+        for belief in (0.0, 0.25, 0.5, 0.75, 1.0):
+            value = result.value_at(belief)
+            assert value <= min(a.value(belief) for a in result.alpha_vectors) + 1e-9
+
+    def test_value_function_convex(self, pomdp):
+        """Lower envelope of linear functions is concave; for minimization the
+        optimal cost-to-go is concave in the belief, so midpoint >= average."""
+        result = incremental_pruning(pomdp, horizon=8)
+        for a, b in [(0.0, 1.0), (0.2, 0.8), (0.1, 0.5)]:
+            mid = 0.5 * (a + b)
+            assert result.value_at(mid) >= 0.5 * (result.value_at(a) + result.value_at(b)) - 1e-9
+
+    def test_agrees_with_value_iteration_threshold(self, pomdp):
+        """IP and belief-grid VI find approximately the same threshold (Table 2)."""
+        vi = belief_value_iteration(pomdp, grid_size=101, max_iterations=500)
+        ip = incremental_pruning(pomdp, horizon=40)
+        assert abs(vi.threshold() - ip.threshold()) < 0.1
+
+    def test_longer_horizon_does_not_reduce_vector_count_to_zero(self, pomdp):
+        short = incremental_pruning(pomdp, horizon=3)
+        long = incremental_pruning(pomdp, horizon=10)
+        assert len(long.alpha_vectors) >= 1
+        assert long.backups >= short.backups
+
+    def test_action_at_extremes(self, pomdp):
+        result = incremental_pruning(pomdp, horizon=15)
+        assert result.action_at(0.0) is NodeAction.WAIT
+        assert result.action_at(1.0) is NodeAction.RECOVER
+
+
+class TestMDPSolvers:
+    @pytest.fixture
+    def simple_mdp(self):
+        """Two-state MDP where action 1 is clearly better in state 1."""
+        transition = np.array(
+            [
+                [[0.9, 0.1], [0.1, 0.9]],  # action 0
+                [[0.9, 0.1], [0.8, 0.2]],  # action 1: escape state 1
+            ]
+        )
+        costs = np.array([[0.0, 2.0], [0.5, 1.0]])
+        return transition, costs
+
+    def test_value_iteration_converges(self, simple_mdp):
+        transition, costs = simple_mdp
+        solution = value_iteration(transition, costs, discount=0.9)
+        assert solution.residual < 1e-8
+        assert solution.policy[1] == 1
+
+    def test_policy_iteration_matches_value_iteration(self, simple_mdp):
+        transition, costs = simple_mdp
+        vi = value_iteration(transition, costs, discount=0.9)
+        pi = policy_iteration(transition, costs, discount=0.9)
+        assert np.array_equal(vi.policy, pi.policy)
+        assert np.allclose(vi.values, pi.values, atol=1e-5)
+
+    def test_policy_evaluation_fixed_point(self, simple_mdp):
+        transition, costs = simple_mdp
+        solution = value_iteration(transition, costs, discount=0.9)
+        values = policy_evaluation(transition, costs, solution.policy, discount=0.9)
+        assert np.allclose(values, solution.values, atol=1e-5)
+
+    def test_relative_value_iteration_average_cost(self, simple_mdp):
+        transition, costs = simple_mdp
+        solution = relative_value_iteration(transition, costs)
+        assert solution.average_cost is not None
+        assert 0.0 <= solution.average_cost <= 2.0
+        assert solution.policy[1] == 1
+
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            value_iteration(np.zeros((2, 2)), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            value_iteration(np.ones((2, 2, 2)) / 2.0, np.zeros((3, 2)))
+
+    def test_rejects_non_stochastic(self):
+        transition = np.ones((2, 2, 2))
+        with pytest.raises(ValueError):
+            value_iteration(transition, np.zeros((2, 2)))
+
+    def test_rejects_bad_discount(self, simple_mdp):
+        transition, costs = simple_mdp
+        with pytest.raises(ValueError):
+            value_iteration(transition, costs, discount=1.0)
+
+    def test_policy_evaluation_validates_policy(self, simple_mdp):
+        transition, costs = simple_mdp
+        with pytest.raises(ValueError):
+            policy_evaluation(transition, costs, np.zeros(3, dtype=int))
