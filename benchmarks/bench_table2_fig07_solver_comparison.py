@@ -23,6 +23,7 @@ from repro.core import (
     NoRecoveryStrategy,
     ThresholdStrategy,
 )
+from repro.sim import BatchRecoveryEngine, FleetScenario
 from repro.solvers import (
     CrossEntropyMethod,
     DifferentialEvolution,
@@ -101,3 +102,43 @@ def test_table2_fig07_solver_comparison(benchmark, table_printer):
         assert results[("de", delta_r)] < never
     # The threshold parameterization (CEM) is competitive with PPO.
     assert results[("cem", math.inf)] <= results[("ppo", math.inf)] + 0.1
+
+
+def test_table2_fleet_sweep_batch_engine(benchmark, table_printer):
+    """Fleet sweep opened by the batch engine: per-node attack-rate scaling.
+
+    Re-scores a fixed threshold strategy over a heterogeneous fleet
+    (per-node p_A in {0.05, 0.1, 0.2}) with 500 batched episodes per cell —
+    a workload that would take minutes in the scalar simulator — and checks
+    the monotone trend: higher attack rates cost more and recover more.
+    """
+
+    def _sweep():
+        p_as = (0.05, 0.1, 0.2)
+        scenario = FleetScenario(
+            tuple(NodeParameters(p_a=p_a, delta_r=15.0) for p_a in p_as),
+            (OBSERVATION_MODEL,) * len(p_as),
+            horizon=HORIZON,
+            f=1,
+        )
+        engine = BatchRecoveryEngine(scenario)
+        result = engine.run(ThresholdStrategy(0.6), num_episodes=500, seed=0)
+        return p_as, result
+
+    p_as, result = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    mean_costs = result.average_cost.mean(axis=0)
+    mean_freq = result.recovery_frequency.mean(axis=0)
+    table_printer(
+        "Fleet sweep: per-node p_A vs cost/recovery (500 batched episodes)",
+        ["p_A", "J_i", "F(R)"],
+        [
+            [p_a, f"{mean_costs[j]:.3f}", f"{mean_freq[j]:.3f}"]
+            for j, p_a in enumerate(p_as)
+        ],
+    )
+
+    # Monotone trend: a higher attack rate costs more and recovers more often.
+    assert mean_costs[0] < mean_costs[1] < mean_costs[2]
+    assert mean_freq[0] < mean_freq[1] < mean_freq[2]
+    assert result.availability is not None and result.availability.mean() > 0.5

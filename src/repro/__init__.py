@@ -9,6 +9,9 @@ The package is organised as:
 * :mod:`repro.solvers` -- Algorithm 1 (parametric threshold optimization with
   CEM/DE/SPSA/BO), Algorithm 2 (occupancy-measure LP), incremental pruning,
   value/policy iteration and the PPO baseline;
+* :mod:`repro.sim` -- the NumPy-vectorized batch simulation engine: advances
+  B episodes x N nodes simultaneously with bit-exact parity to the scalar
+  simulator, powering fast Monte-Carlo evaluation and fleet scenario sweeps;
 * :mod:`repro.consensus` -- the substrates: reconfigurable MinBFT, clients,
   Raft, the simulated authenticated network, signatures, and the USIG;
 * :mod:`repro.emulation` -- the evaluation testbed: containers, IDS,
@@ -26,8 +29,8 @@ Quickstart::
     print(solution.strategy.thresholds, solution.estimated_cost)
 """
 
-from . import consensus, core, emulation, solvers
+from . import consensus, core, emulation, sim, solvers
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["consensus", "core", "emulation", "solvers", "__version__"]
+__all__ = ["consensus", "core", "emulation", "sim", "solvers", "__version__"]

@@ -14,6 +14,7 @@ from .architecture import ArchitectureReport, ToleranceArchitecture
 from .belief import (
     BeliefFilter,
     BeliefState,
+    batch_update_compromise_belief,
     belief_transition_distribution,
     update_compromise_belief,
 )
@@ -37,6 +38,7 @@ from .metrics import (
     MetricsCollector,
     confidence_interval,
     metric_divergence_report,
+    summarize_metric_arrays,
     summarize_runs,
 )
 from .node_controller import NodeController, NodeControllerState
@@ -129,6 +131,7 @@ __all__ = [
     "TabularReplicationStrategy",
     "ThresholdStrategy",
     "ToleranceArchitecture",
+    "batch_update_compromise_belief",
     "belief_transition_distribution",
     "check_safety",
     "check_validity",
@@ -146,6 +149,7 @@ __all__ = [
     "node_cost",
     "poisson_observation_model",
     "reliability_function",
+    "summarize_metric_arrays",
     "summarize_runs",
     "system_cost",
     "system_model_from_node_beliefs",

@@ -21,7 +21,24 @@ This module implements that filter in two flavours:
   and the architecture layer use;
 * :func:`update_compromise_belief` -- the scalar update over ``b = P[C]``
   restricted to the two live states, which is what the POMDP solvers and the
-  threshold strategies of Theorem 1 operate on.
+  threshold strategies of Theorem 1 operate on;
+* :func:`batch_update_compromise_belief` -- the vectorized counterpart of
+  the scalar update, operating on arrays of beliefs/actions/observations at
+  once.  It is the numerical core of the batch simulation engine in
+  :mod:`repro.sim` and is bit-compatible with the scalar update.
+
+Degenerate-observation convention
+---------------------------------
+
+An observation with zero likelihood under every tracked state leaves the
+Bayesian update undefined (the normalizer is zero).  All updates in this
+package then follow one convention: *drop the observation* and return the
+prediction (the Chapman-Kolmogorov prior), renormalized over the tracked
+support.  For the three-state filter the tracked support is ``(H, C,
+crash)``; for the two-state update it is the live states ``{H, C}`` (with
+``b = 1`` when even the live mass is zero: the node is certainly not
+healthy).  Because both fallbacks keep the same prediction, they agree on
+the live-conditioned compromise probability ``P[C | alive]``.
 """
 
 from __future__ import annotations
@@ -37,6 +54,7 @@ __all__ = [
     "BeliefState",
     "BeliefFilter",
     "update_compromise_belief",
+    "batch_update_compromise_belief",
     "belief_transition_distribution",
 ]
 
@@ -127,7 +145,9 @@ class BeliefFilter:
         unnormalized = likelihood * prior
         total = unnormalized.sum()
         if total <= 0.0:
-            # Observation impossible under the model; fall back to the prior.
+            # Degenerate-observation convention (module docstring): drop the
+            # observation and keep the prediction, renormalized over the
+            # tracked support (H, C, crash).
             return BeliefState.from_vector(prior)
         return BeliefState.from_vector(unnormalized / total)
 
@@ -185,12 +205,127 @@ def update_compromise_belief(
     )
     total = weights.sum()
     if total <= 0.0:
-        # Degenerate case: renormalize the prior over live states.
+        # Degenerate-observation convention (module docstring): drop the
+        # observation and keep the prediction, renormalized over the tracked
+        # support {H, C}; an empty live mass means the node cannot be healthy.
         live_mass = prior_vector[NodeState.HEALTHY] + prior_vector[NodeState.COMPROMISED]
         if live_mass <= 0.0:
             return 1.0
         return float(prior_vector[NodeState.COMPROMISED] / live_mass)
     return float(weights[1] / total)
+
+
+def _batch_two_state_posterior(
+    beliefs: np.ndarray,
+    recover_mask: np.ndarray,
+    likelihood_healthy: np.ndarray,
+    likelihood_compromised: np.ndarray,
+    wait_matrix: np.ndarray,
+    recover_matrix: np.ndarray,
+) -> np.ndarray:
+    """Vectorized core of the two-state belief recursion.
+
+    Computes, for every element of the batch, the same quantities as
+    :func:`update_compromise_belief`: the Chapman-Kolmogorov prediction
+    ``[1 - b, b, 0] @ f_N(a)`` followed by the Bayes correction restricted
+    to the live states, with the shared degenerate-observation fallback.
+
+    The prediction is evaluated with a batched matrix product so the
+    floating-point rounding matches the scalar ``vector @ matrix`` product
+    bit for bit; this is what makes the batch simulator in :mod:`repro.sim`
+    reproduce scalar trajectories exactly.
+
+    Args:
+        beliefs: Previous beliefs ``b_{t-1}``, shape ``(B,)``.
+        recover_mask: Boolean array, ``True`` where ``a_{t-1} = R``.
+        likelihood_healthy: ``Z(o_t | H)`` per element, shape ``(B,)``.
+        likelihood_compromised: ``Z(o_t | C)`` per element, shape ``(B,)``.
+        wait_matrix: ``3 x 3`` transition matrix ``f_N(. | ., W)``.
+        recover_matrix: ``3 x 3`` transition matrix ``f_N(. | ., R)``.
+
+    Returns:
+        Posterior beliefs ``b_t``, shape ``(B,)``.
+    """
+    beliefs = np.asarray(beliefs, dtype=float)
+    batch = beliefs.shape[0]
+    embedded = np.zeros((batch, 3))
+    embedded[:, 0] = 1.0 - beliefs
+    embedded[:, 1] = beliefs
+    prior_wait = embedded @ wait_matrix
+    prior_recover = embedded @ recover_matrix
+    prior = np.where(recover_mask[:, None], prior_recover, prior_wait)
+
+    weight_healthy = likelihood_healthy * prior[:, 0]
+    weight_compromised = likelihood_compromised * prior[:, 1]
+    total = weight_healthy + weight_compromised
+
+    live_mass = prior[:, 0] + prior[:, 1]
+    fallback = np.divide(
+        prior[:, 1],
+        live_mass,
+        out=np.ones(batch),
+        where=live_mass > 0.0,
+    )
+    posterior = np.divide(
+        weight_compromised,
+        total,
+        out=fallback,
+        where=total > 0.0,
+    )
+    return posterior
+
+
+def batch_update_compromise_belief(
+    beliefs: np.ndarray,
+    actions: np.ndarray,
+    observations: np.ndarray,
+    transition_model: NodeTransitionModel,
+    observation_model: ObservationModel,
+) -> np.ndarray:
+    """Vectorized scalar belief update over arrays of ``(b, a, o)`` triples.
+
+    Semantically identical to calling :func:`update_compromise_belief`
+    element by element (including the degenerate-observation fallback), but
+    evaluated as batched array operations.  The batch simulation engine in
+    :mod:`repro.sim` relies on this routine matching the scalar update bit
+    for bit on regular inputs; the equivalence test suite asserts agreement
+    to ``1e-10`` on adversarial inputs.
+
+    Args:
+        beliefs: Previous beliefs, shape ``(B,)``, each in ``[0, 1]``.
+        actions: Actions taken, shape ``(B,)``; values in ``{0, 1}``
+            (``NodeAction`` members are accepted, being ``IntEnum``).
+        observations: Observations received, shape ``(B,)``; values must lie
+            in the observation model's support.
+        transition_model: Node transition kernel ``f_N``.
+        observation_model: Observation model ``Z``.
+
+    Returns:
+        Posterior beliefs, shape ``(B,)``.
+    """
+    beliefs = np.asarray(beliefs, dtype=float)
+    if beliefs.ndim != 1:
+        raise ValueError("beliefs must be a one-dimensional array")
+    if np.any(beliefs < 0.0) or np.any(beliefs > 1.0):
+        raise ValueError("beliefs must lie in [0, 1]")
+    actions = np.asarray(actions, dtype=int)
+    observations = np.asarray(observations, dtype=int)
+    if actions.shape != beliefs.shape or observations.shape != beliefs.shape:
+        raise ValueError("beliefs, actions and observations must share one shape")
+    if not np.all(np.isin(actions, (int(NodeAction.WAIT), int(NodeAction.RECOVER)))):
+        raise ValueError("actions must be NodeAction values (0 = WAIT, 1 = RECOVER)")
+
+    indices = observation_model.indices_of(observations)
+    pmf_healthy = observation_model.pmf(NodeState.HEALTHY)
+    pmf_compromised = observation_model.pmf(NodeState.COMPROMISED)
+    return _batch_two_state_posterior(
+        beliefs,
+        actions == int(NodeAction.RECOVER),
+        pmf_healthy[indices],
+        pmf_compromised[indices],
+        transition_model.matrix(NodeAction.WAIT),
+        transition_model.matrix(NodeAction.RECOVER),
+    )
 
 
 def belief_transition_distribution(

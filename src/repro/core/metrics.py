@@ -31,6 +31,7 @@ __all__ = [
     "MetricsCollector",
     "confidence_interval",
     "summarize_runs",
+    "summarize_metric_arrays",
     "metric_divergence_report",
 ]
 
@@ -210,6 +211,24 @@ def summarize_runs(
         "time_to_recovery": confidence_interval([r.time_to_recovery for r in runs], confidence),
         "recovery_frequency": confidence_interval([r.recovery_frequency for r in runs], confidence),
         "average_nodes": confidence_interval([r.average_nodes for r in runs], confidence),
+    }
+
+
+def summarize_metric_arrays(
+    metric_arrays: Mapping[str, Sequence[float]], confidence: float = 0.95
+) -> dict[str, tuple[float, float]]:
+    """Aggregate per-episode metric arrays into ``(mean, ci)`` pairs.
+
+    The array-native counterpart of :func:`summarize_runs`, used to
+    summarize the per-episode statistics produced by the batch simulation
+    engine (:mod:`repro.sim`), where each metric arrives as one array over
+    episodes instead of a list of :class:`EpisodeMetrics` objects.
+    """
+    if not metric_arrays:
+        raise ValueError("at least one metric array is required")
+    return {
+        name: confidence_interval(np.asarray(values, dtype=float).ravel(), confidence)
+        for name, values in metric_arrays.items()
     }
 
 

@@ -227,6 +227,20 @@ class NodeTransitionModel:
         """Return all transition matrices as an ``(|A|, |S|, |S|)`` array."""
         return self._matrices.copy()
 
+    def sampling_cdf(self) -> np.ndarray:
+        """Per-``(action, state)`` sampling CDFs, shape ``(|A|, |S|, |S|)``.
+
+        Each row ``cdf[a, s]`` is the cumulative sum of ``f_N(. | s, a)``
+        normalized by its final entry — the CDF that
+        ``numpy.random.Generator.choice`` inverts internally.  Inverting it
+        with ``searchsorted(cdf[a, s], u, side='right')`` on a uniform draw
+        ``u`` reproduces :meth:`step` bit for bit, which is what the batch
+        simulator in :mod:`repro.sim` does for whole batches at once.
+        """
+        cdf = self._matrices.cumsum(axis=2)
+        cdf /= cdf[:, :, -1:]
+        return cdf
+
     def is_stochastic(self, atol: float = 1e-12) -> bool:
         """Check that every row of every transition matrix sums to one."""
         row_sums = self._matrices.sum(axis=2)

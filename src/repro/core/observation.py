@@ -129,11 +129,41 @@ class ObservationModel:
         """Observation matrix with rows ``(H, C, crash)`` and columns ``O``."""
         return np.vstack([self._pmfs[state] for state in NODE_STATES])
 
-    def _index_of(self, observation: int) -> int:
+    def sampling_cdf(self) -> np.ndarray:
+        """Per-state sampling CDFs, shape ``(|S|, |O|)``.
+
+        Each row is the cumulative sum of the state's pmf normalized by its
+        final entry — exactly the CDF that ``numpy.random.Generator.choice``
+        inverts internally, so ``searchsorted(cdf[s], u, side='right')`` on a
+        uniform draw ``u`` reproduces :meth:`sample` bit for bit.  Used by
+        the vectorized simulator in :mod:`repro.sim`.
+        """
+        cdf = self.matrix().cumsum(axis=1)
+        cdf /= cdf[:, -1:]
+        return cdf
+
+    def index_of(self, observation: int) -> int:
+        """Index of ``observation`` in the support array :attr:`observations`."""
         matches = np.nonzero(self.observations == observation)[0]
         if matches.size == 0:
             raise ValueError(f"observation {observation} outside the model support")
         return int(matches[0])
+
+    def indices_of(self, observations: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`index_of` over an array of observation values."""
+        observations = np.asarray(observations)
+        if np.all(np.diff(self.observations) > 0):
+            indices = np.searchsorted(self.observations, observations)
+            indices = np.clip(indices, 0, self.num_observations - 1)
+        else:
+            indices = np.array([self.index_of(int(o)) for o in observations.ravel()])
+            indices = indices.reshape(observations.shape)
+        if not np.array_equal(self.observations[indices], observations):
+            raise ValueError("some observations lie outside the model support")
+        return indices
+
+    def _index_of(self, observation: int) -> int:
+        return self.index_of(observation)
 
     # -- sampling -------------------------------------------------------------
     def sample(self, state: NodeState, rng: np.random.Generator) -> int:

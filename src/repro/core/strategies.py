@@ -54,6 +54,12 @@ class RecoveryStrategy(Protocol):
     ``time_since_recovery`` counts the number of steps since the last
     recovery (or since the node joined); strategies that enforce the BTR
     constraint or use time-dependent thresholds (Cor. 1) depend on it.
+
+    Strategies may additionally provide ``action_batch(beliefs, times)``
+    mapping same-shaped arrays of beliefs and times-since-recovery to a
+    boolean recover mask; the batch simulator in :mod:`repro.sim` uses it to
+    apply a strategy to whole batches at once and falls back to an
+    element-wise loop over :meth:`action` when it is absent.
     """
 
     def action(self, belief: float, time_since_recovery: int) -> NodeAction:
@@ -74,6 +80,13 @@ class ThresholdStrategy:
     def action(self, belief: float, time_since_recovery: int = 0) -> NodeAction:
         del time_since_recovery
         return NodeAction.RECOVER if belief >= self.alpha else NodeAction.WAIT
+
+    def action_batch(
+        self, beliefs: np.ndarray, time_since_recovery: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`action`: boolean recover mask over a belief batch."""
+        del time_since_recovery
+        return np.asarray(beliefs) >= self.alpha
 
 
 @dataclass(frozen=True)
@@ -120,6 +133,14 @@ class MultiThresholdStrategy:
             return NodeAction.RECOVER
         return NodeAction.WAIT
 
+    def action_batch(
+        self, beliefs: np.ndarray, time_since_recovery: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`action`: per-element threshold lookup + compare."""
+        thresholds = np.asarray(self.thresholds)
+        indices = np.clip(np.asarray(time_since_recovery), 0, len(thresholds) - 1)
+        return np.asarray(beliefs) >= thresholds[indices]
+
 
 @dataclass(frozen=True)
 class NoRecoveryStrategy:
@@ -128,6 +149,12 @@ class NoRecoveryStrategy:
     def action(self, belief: float, time_since_recovery: int = 0) -> NodeAction:
         del belief, time_since_recovery
         return NodeAction.WAIT
+
+    def action_batch(
+        self, beliefs: np.ndarray, time_since_recovery: np.ndarray
+    ) -> np.ndarray:
+        del time_since_recovery
+        return np.zeros(np.asarray(beliefs).shape, dtype=bool)
 
 
 @dataclass(frozen=True)
@@ -153,6 +180,14 @@ class PeriodicStrategy:
             return NodeAction.RECOVER
         return NodeAction.WAIT
 
+    def action_batch(
+        self, beliefs: np.ndarray, time_since_recovery: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`action`: schedule check over a batch of timers."""
+        if self.period == math.inf:
+            return np.zeros(np.asarray(beliefs).shape, dtype=bool)
+        return np.asarray(time_since_recovery) >= int(self.period) - 1
+
 
 @dataclass(frozen=True)
 class BeliefPeriodicStrategy:
@@ -170,6 +205,15 @@ class BeliefPeriodicStrategy:
         if belief >= self.alpha:
             return NodeAction.RECOVER
         return PeriodicStrategy(self.period).action(belief, time_since_recovery)
+
+    def action_batch(
+        self, beliefs: np.ndarray, time_since_recovery: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`action`: belief trigger OR periodic schedule."""
+        beliefs = np.asarray(beliefs)
+        return (beliefs >= self.alpha) | PeriodicStrategy(self.period).action_batch(
+            beliefs, time_since_recovery
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,64 @@
+"""Vectorized batch simulation of the node POMDP (``repro.sim``).
+
+This package is the hardware-speed counterpart of the scalar
+:class:`~repro.solvers.evaluation.RecoverySimulator`: it advances **B
+episodes x N nodes simultaneously** as NumPy array operations instead of one
+Python-level step at a time.
+
+Batch layout
+------------
+
+All per-stream state and all per-episode results are arrays of shape
+``(B, N)``:
+
+* axis 0 (``B``) indexes **episodes** — independent Monte-Carlo rollouts,
+  each with its own child of the episode seed tree;
+* axis 1 (``N``) indexes **nodes** — the (possibly heterogeneous) members of
+  a :class:`~repro.sim.scenario.FleetScenario`, each with its own ``p_A``,
+  ``Delta_R``, ``eta`` and observation model.
+
+One simulation step updates every ``(episode, node)`` stream at once:
+batched hidden-state transitions through ``f_N``, batched observation
+sampling from ``Z``, the batched two-state belief recursion of Appendix A
+(:func:`~repro.core.belief.batch_update_compromise_belief`), batched
+strategy application, and batched cost/metric accumulation.
+
+The engine reproduces the scalar simulator **bit for bit** under a shared
+seed (see :mod:`repro.sim.engine` for why), so every consumer — Algorithm
+1's objective estimator, the Table 2 solver comparison, the Table 7 baseline
+sweeps — can switch to the batch path without shifting results.
+
+Quickstart::
+
+    from repro.core import BetaBinomialObservationModel, NodeParameters, ThresholdStrategy
+    from repro.sim import BatchRecoveryEngine, FleetScenario
+
+    scenario = FleetScenario.single_node(
+        NodeParameters(p_a=0.1), BetaBinomialObservationModel(), horizon=200
+    )
+    result = BatchRecoveryEngine(scenario).run(
+        ThresholdStrategy(0.75), num_episodes=1000, seed=0
+    )
+    print(result.summary())
+"""
+
+from ..core.belief import batch_update_compromise_belief
+from .engine import BatchRecoveryEngine, BatchSimulationResult
+from .scenario import FleetScenario
+from .strategies import (
+    BatchMultiThreshold,
+    BatchStrategy,
+    LoopedBatchStrategy,
+    as_batch_strategy,
+)
+
+__all__ = [
+    "BatchMultiThreshold",
+    "BatchRecoveryEngine",
+    "BatchSimulationResult",
+    "BatchStrategy",
+    "FleetScenario",
+    "LoopedBatchStrategy",
+    "as_batch_strategy",
+    "batch_update_compromise_belief",
+]

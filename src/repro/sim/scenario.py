@@ -1,0 +1,136 @@
+"""Scenario configuration for the batch simulation engine.
+
+A :class:`FleetScenario` describes the population of node POMDPs that one
+batch simulation advances: one :class:`~repro.core.node_model.NodeParameters`
+and one :class:`~repro.core.observation.ObservationModel` per node, plus the
+episode horizon and the BTR enforcement flag shared by all nodes.  Nodes may
+be fully heterogeneous (per-node ``p_A``, ``Delta_R``, ``eta``, observation
+model), which is what opens the multi-node scenario sweeps of Table 7 /
+Figure 12 to the vectorized engine.
+
+All observation models in one scenario must share the same alphabet size so
+their pmfs stack into one ``(N, |S|, |O|)`` array; this is the only
+homogeneity the engine requires.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.node_model import NodeParameters, NodeTransitionModel
+from ..core.observation import ObservationModel
+
+__all__ = ["FleetScenario"]
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """Configuration of a batch of ``N`` (possibly heterogeneous) nodes.
+
+    Attributes:
+        node_params: Per-node model parameters ``(p_A, Delta_R, eta, ...)``.
+        observation_models: Per-node observation models ``Z_i``; all must
+            share the same number of observations.
+        horizon: Episode length ``T`` in time-steps.
+        enforce_btr: Whether the BTR constraint (Eq. 6b) forces a recovery
+            every ``Delta_R`` steps, as in the scalar
+            :class:`~repro.solvers.evaluation.RecoverySimulator`.
+        f: Optional tolerance threshold: when given, the engine additionally
+            tracks the fleet availability ``T^(A)`` = fraction of steps with
+            at most ``f`` failed nodes (Section III-C).
+    """
+
+    node_params: tuple[NodeParameters, ...]
+    observation_models: tuple[ObservationModel, ...]
+    horizon: int = 200
+    enforce_btr: bool = True
+    f: int | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.node_params) == 0:
+            raise ValueError("a scenario requires at least one node")
+        if len(self.node_params) != len(self.observation_models):
+            raise ValueError("need exactly one observation model per node")
+        if self.horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        sizes = {model.num_observations for model in self.observation_models}
+        if len(sizes) > 1:
+            raise ValueError(
+                "all observation models in a scenario must share one alphabet size, "
+                f"got {sorted(sizes)}"
+            )
+        if self.f is not None and self.f < 0:
+            raise ValueError("f must be non-negative")
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def single_node(
+        cls,
+        params: NodeParameters,
+        observation_model: ObservationModel,
+        horizon: int = 200,
+        enforce_btr: bool = True,
+    ) -> "FleetScenario":
+        """Scenario with one node: the batch counterpart of the scalar simulator."""
+        return cls((params,), (observation_model,), horizon=horizon, enforce_btr=enforce_btr)
+
+    @classmethod
+    def homogeneous(
+        cls,
+        params: NodeParameters,
+        observation_model: ObservationModel,
+        num_nodes: int,
+        horizon: int = 200,
+        enforce_btr: bool = True,
+        f: int | None = None,
+    ) -> "FleetScenario":
+        """Fleet of ``num_nodes`` identical nodes."""
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        return cls(
+            (params,) * num_nodes,
+            (observation_model,) * num_nodes,
+            horizon=horizon,
+            enforce_btr=enforce_btr,
+            f=f,
+        )
+
+    # -- derived quantities -----------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_params)
+
+    @property
+    def num_observations(self) -> int:
+        return self.observation_models[0].num_observations
+
+    def transition_models(self) -> list[NodeTransitionModel]:
+        """One :class:`~repro.core.node_model.NodeTransitionModel` per node."""
+        return [NodeTransitionModel(p) for p in self.node_params]
+
+    def initial_beliefs(self) -> np.ndarray:
+        """Per-node initial beliefs ``b_1 = p_A`` (Eq. 6a), shape ``(N,)``."""
+        return np.array([p.p_a for p in self.node_params], dtype=float)
+
+    def cost_weights(self) -> np.ndarray:
+        """Per-node cost weights ``eta``, shape ``(N,)``."""
+        return np.array([p.eta for p in self.node_params], dtype=float)
+
+    def btr_deadlines(self) -> np.ndarray:
+        """Per-node step index at which the BTR constraint forces a recovery.
+
+        The scalar simulator forces ``RECOVER`` when ``time_since_recovery
+        >= int(Delta_R) - 1``; this returns that per-node bound, with an
+        unreachable sentinel for ``Delta_R = inf`` or ``enforce_btr=False``.
+        """
+        sentinel = np.iinfo(np.int64).max
+        deadlines = np.full(self.num_nodes, sentinel, dtype=np.int64)
+        if not self.enforce_btr:
+            return deadlines
+        for j, params in enumerate(self.node_params):
+            if params.delta_r != math.inf:
+                deadlines[j] = int(params.delta_r) - 1
+        return deadlines

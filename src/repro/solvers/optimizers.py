@@ -76,6 +76,25 @@ def _clip_box(theta: np.ndarray) -> np.ndarray:
     return np.clip(theta, 0.0, 1.0)
 
 
+def _evaluate_population(
+    objective: ObjectiveFunction, population: np.ndarray
+) -> np.ndarray:
+    """Evaluate a ``(K, d)`` candidate population, batched when possible.
+
+    Objectives exposing an ``evaluate_population(thetas)`` method (e.g. the
+    batch-engine objective built by
+    :func:`~repro.solvers.parametric.solve_recovery_problem`) score the
+    whole population in one vectorized simulation; plain callables are
+    evaluated candidate by candidate in population order.  Both paths return
+    the same values, so optimizer trajectories do not depend on which one
+    runs.
+    """
+    batch = getattr(objective, "evaluate_population", None)
+    if batch is not None:
+        return np.asarray(batch(np.asarray(population)), dtype=float)
+    return np.array([objective(theta) for theta in population], dtype=float)
+
+
 @dataclass
 class CrossEntropyMethod:
     """Cross-entropy method (Rubinstein; Appendix E: K=100, elite fraction 0.15)."""
@@ -102,7 +121,7 @@ class CrossEntropyMethod:
             population = _clip_box(
                 rng.normal(mean, std, size=(self.population_size, dimension))
             )
-            values = np.array([objective(theta) for theta in population])
+            values = _evaluate_population(objective, population)
             evaluations += self.population_size
             order = np.argsort(values)
             elites = population[order[:num_elite]]
@@ -130,7 +149,7 @@ class DifferentialEvolution:
     ) -> OptimizationResult:
         rng = np.random.default_rng(seed)
         population = rng.uniform(0.0, 1.0, size=(self.population_size, dimension))
-        values = np.array([objective(theta) for theta in population])
+        values = _evaluate_population(objective, population)
         evaluations = self.population_size
         best_index = int(np.argmin(values))
         best_theta = population[best_index].copy()
@@ -191,8 +210,12 @@ class SPSA:
             delta = rng.choice([-1.0, 1.0], size=dimension)
             theta_plus = _clip_box(theta + c_k * delta)
             theta_minus = _clip_box(theta - c_k * delta)
-            value_plus = objective(theta_plus)
-            value_minus = objective(theta_minus)
+            # The two perturbed points are independent: score them as one
+            # two-candidate population so batch objectives simulate them in a
+            # single pass (plain callables are evaluated in the same order).
+            value_plus, value_minus = _evaluate_population(
+                objective, np.stack([theta_plus, theta_minus])
+            )
             evaluations += 2
             gradient = (value_plus - value_minus) / (2.0 * c_k * delta)
             theta = _clip_box(theta - a_k * gradient)
@@ -240,7 +263,7 @@ class BayesianOptimization:
     ) -> OptimizationResult:
         rng = np.random.default_rng(seed)
         observed_x = rng.uniform(0.0, 1.0, size=(self.initial_samples, dimension))
-        observed_y = np.array([objective(x) for x in observed_x])
+        observed_y = _evaluate_population(objective, observed_x)
         evaluations = self.initial_samples
         best_index = int(np.argmin(observed_y))
         best_theta = observed_x[best_index].copy()
@@ -289,14 +312,17 @@ class RandomSearch:
         self, objective: ObjectiveFunction, dimension: int, seed: int | None = None
     ) -> OptimizationResult:
         rng = np.random.default_rng(seed)
-        best_theta = rng.uniform(0.0, 1.0, size=dimension)
-        best_value = objective(best_theta)
-        evaluations = 1
+        # Candidates are independent of past evaluations, so they can be
+        # drawn up front (the same draws as the sequential loop) and scored
+        # as one population; the best-so-far fold preserves the original
+        # history semantics.
+        candidates = rng.uniform(0.0, 1.0, size=(self.iterations + 1, dimension))
+        values = _evaluate_population(objective, candidates)
+        evaluations = self.iterations + 1
+        best_theta = candidates[0]
+        best_value = float(values[0])
         history = [best_value]
-        for _ in range(self.iterations):
-            theta = rng.uniform(0.0, 1.0, size=dimension)
-            value = objective(theta)
-            evaluations += 1
+        for theta, value in zip(candidates[1:], values[1:]):
             if value < best_value:
                 best_value = float(value)
                 best_theta = theta

@@ -10,6 +10,14 @@ simulation, and delegating the search to a black-box parametric optimizer
 :func:`solve_recovery_problem` is the entry point; it returns both the
 fitted :class:`~repro.core.strategies.MultiThresholdStrategy` and the
 optimizer diagnostics used to reproduce Table 2 and Figures 7-8.
+
+By default the objective estimator routes through the vectorized batch
+engine (:mod:`repro.sim`): a single candidate is simulated as one batch of
+episodes, and optimizers that evaluate whole populations (CEM, and the
+initial designs of DE/BO/random search) submit all candidates as one ``K x
+M`` episode batch with common random numbers.  Because the batch engine is
+bit-exact against the scalar simulator, ``batch=True`` changes wall-clock
+time only — never the solver's output.
 """
 
 from __future__ import annotations
@@ -27,6 +35,32 @@ from .evaluation import RecoverySimulator
 from .optimizers import OptimizationResult, ParametricOptimizer
 
 __all__ = ["RecoverySolution", "threshold_dimension", "solve_recovery_problem"]
+
+
+class _BatchThresholdObjective:
+    """Simulated objective ``J(theta)`` backed by the batch engine.
+
+    Implements the plain callable protocol expected by every optimizer plus
+    the optional ``evaluate_population`` hook that population-based
+    optimizers use to estimate all candidates in one vectorized simulation.
+    Both entry points use common random numbers (the same episode seed tree)
+    so candidate comparisons are low-variance and identical to the scalar
+    estimator's.
+    """
+
+    def __init__(self, engine, num_episodes: int, seed: int) -> None:
+        self._engine = engine
+        self._num_episodes = num_episodes
+        self._seed = seed
+
+    def __call__(self, theta: np.ndarray) -> float:
+        return float(self.evaluate_population(np.atleast_2d(theta))[0])
+
+    def evaluate_population(self, thetas: np.ndarray) -> np.ndarray:
+        thetas = np.atleast_2d(np.asarray(thetas, dtype=float))
+        return self._engine.run_threshold_population(
+            thetas, num_episodes=self._num_episodes, seed=self._seed
+        )
 
 
 def threshold_dimension(delta_r: float) -> int:
@@ -67,6 +101,7 @@ def solve_recovery_problem(
     episodes_per_evaluation: int = 10,
     final_evaluation_episodes: int = 50,
     seed: int | None = None,
+    batch: bool = True,
 ) -> RecoverySolution:
     """Run Algorithm 1 for one node.
 
@@ -83,6 +118,10 @@ def solve_recovery_problem(
         final_evaluation_episodes: Episodes used to score the returned
             strategy.
         seed: Seed controlling both the optimizer and the simulator.
+        batch: Route the objective estimator through the vectorized batch
+            engine (:mod:`repro.sim`).  The returned solution is identical
+            to ``batch=False`` under the same seed — the batch engine is
+            bit-exact against the scalar simulator — only faster.
 
     Returns:
         The fitted strategy and diagnostics.
@@ -92,16 +131,23 @@ def solve_recovery_problem(
     seed_sequence = np.random.SeedSequence(seed)
     evaluation_seed = int(seed_sequence.generate_state(1)[0])
 
-    evaluation_counter = 0
-
-    def objective(theta: np.ndarray) -> float:
-        nonlocal evaluation_counter
-        evaluation_counter += 1
-        strategy = MultiThresholdStrategy.from_vector(theta, delta_r=params.delta_r)
-        # Common random numbers across candidates reduce estimator variance.
-        return simulator.estimate_cost(
-            strategy, num_episodes=episodes_per_evaluation, seed=evaluation_seed
+    if batch:
+        # Common random numbers across candidates reduce estimator variance;
+        # population-based optimizers evaluate all K candidates in one
+        # K x M episode batch through `evaluate_population`.
+        objective = _BatchThresholdObjective(
+            simulator._batch_engine(),
+            episodes_per_evaluation,
+            evaluation_seed,
         )
+    else:
+
+        def objective(theta: np.ndarray) -> float:
+            strategy = MultiThresholdStrategy.from_vector(theta, delta_r=params.delta_r)
+            # Common random numbers across candidates reduce estimator variance.
+            return simulator.estimate_cost(
+                strategy, num_episodes=episodes_per_evaluation, seed=evaluation_seed
+            )
 
     start = time.perf_counter()
     result = optimizer.optimize(objective, dimension=dimension, seed=seed)
@@ -109,7 +155,10 @@ def solve_recovery_problem(
 
     strategy = MultiThresholdStrategy.from_vector(result.best_parameters, delta_r=params.delta_r)
     estimated_cost = simulator.estimate_cost(
-        strategy, num_episodes=final_evaluation_episodes, seed=evaluation_seed + 1
+        strategy,
+        num_episodes=final_evaluation_episodes,
+        seed=evaluation_seed + 1,
+        batch=batch,
     )
     return RecoverySolution(
         strategy=strategy,

@@ -1,0 +1,161 @@
+"""Regression pins and determinism guarantees around the solver stack.
+
+The vectorization refactor (repro.sim) must not shift solver results.  These
+tests pin the exact numeric outputs of the quantities Algorithm 1 and the
+POMDP machinery depend on — ``belief_transition_distribution`` and
+``extract_threshold`` — on a fixed parameter set (the Appendix E defaults),
+assert the deterministic-seeding contract of :class:`RecoverySimulator`, and
+smoke-test that every benchmark module still imports.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NodeAction,
+    NodeParameters,
+    NodeTransitionModel,
+    ThresholdStrategy,
+    belief_transition_distribution,
+)
+from repro.solvers import (
+    RecoveryPOMDP,
+    RecoverySimulator,
+    belief_value_iteration,
+    extract_threshold,
+)
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+#: Appendix E defaults — the fixed parameter set all pins below refer to.
+PINNED_PARAMS = NodeParameters(p_a=0.1, p_c1=1e-5, p_c2=1e-3, p_u=0.02, eta=2.0)
+
+#: belief_transition_distribution(0.3, WAIT) under the Beta-Binomial model.
+PINNED_WAIT_PROBS = [
+    0.261276119123, 0.161763272978, 0.119748469752, 0.093552946228,
+    0.075482856830, 0.062858948825, 0.054592796706, 0.050511836682,
+    0.051879151383, 0.068333601493,
+]
+PINNED_WAIT_BELIEFS = [
+    0.100486927581, 0.167900742117, 0.235646954152, 0.315135675610,
+    0.411133728038, 0.525214209525, 0.653772284605, 0.785102172086,
+    0.899306122414, 0.975367011359,
+]
+#: belief_transition_distribution(0.3, RECOVER) under the Beta-Binomial model.
+PINNED_RECOVER_PROBS = [
+    0.339698113303, 0.197886630066, 0.137242674467, 0.098744023588,
+    0.071411859390, 0.051295140674, 0.036549989697, 0.026256513680,
+    0.020214023714, 0.020701031421,
+]
+PINNED_RECOVER_BELIEFS = [
+    0.021243847295, 0.037725335424, 0.056514469047, 0.082065617556,
+    0.119447788982, 0.176906739244, 0.268405623802, 0.415144511242,
+    0.634402176181, 0.884967680557,
+]
+
+
+class TestBeliefTransitionDistributionPins:
+    @pytest.fixture
+    def transition_model(self):
+        return NodeTransitionModel(PINNED_PARAMS)
+
+    @pytest.mark.parametrize(
+        "action, probs, beliefs",
+        [
+            (NodeAction.WAIT, PINNED_WAIT_PROBS, PINNED_WAIT_BELIEFS),
+            (NodeAction.RECOVER, PINNED_RECOVER_PROBS, PINNED_RECOVER_BELIEFS),
+        ],
+        ids=["wait", "recover"],
+    )
+    def test_pinned_distribution(self, transition_model, observation_model, action, probs, beliefs):
+        entries = belief_transition_distribution(
+            0.3, action, transition_model, observation_model
+        )
+        assert len(entries) == 10
+        np.testing.assert_allclose([p for p, _ in entries], probs, atol=1e-9)
+        np.testing.assert_allclose([b for _, b in entries], beliefs, atol=1e-9)
+
+    def test_distribution_still_normalized(self, transition_model, observation_model):
+        entries = belief_transition_distribution(
+            0.3, NodeAction.WAIT, transition_model, observation_model
+        )
+        assert sum(p for p, _ in entries) == pytest.approx(1.0, abs=1e-12)
+
+
+class TestExtractThresholdPins:
+    def test_synthetic_policy_threshold(self):
+        grid = np.linspace(0.0, 1.0, 11)
+        policy = (grid >= 0.7).astype(int)
+        assert extract_threshold(grid, policy) == pytest.approx(0.7)
+
+    def test_never_recover_policy_returns_one(self):
+        grid = np.linspace(0.0, 1.0, 11)
+        assert extract_threshold(grid, np.zeros(11, dtype=int)) == 1.0
+
+    def test_value_iteration_threshold_pinned(self, observation_model):
+        """The VI threshold on the Appendix E defaults is pinned at 0.30."""
+        pomdp = RecoveryPOMDP(PINNED_PARAMS, observation_model, discount=0.9)
+        result = belief_value_iteration(
+            pomdp, grid_size=51, max_iterations=500, tolerance=1e-8
+        )
+        assert result.threshold() == pytest.approx(0.30, abs=1e-12)
+        assert result.value_at(0.0) == pytest.approx(2.517753101518, abs=1e-8)
+        assert result.value_at(1.0) == pytest.approx(3.517753101518, abs=1e-8)
+
+
+class TestSimulatorDeterminism:
+    @pytest.fixture
+    def simulator(self, observation_model):
+        return RecoverySimulator(
+            NodeParameters(p_a=0.1, delta_r=12), observation_model, horizon=50
+        )
+
+    @pytest.mark.parametrize("batch", [False, True], ids=["scalar", "batch"])
+    def test_same_seed_gives_identical_episode_results(self, simulator, batch):
+        strategy = ThresholdStrategy(0.6)
+        first = simulator.evaluate(strategy, num_episodes=8, seed=21, batch=batch)
+        second = simulator.evaluate(strategy, num_episodes=8, seed=21, batch=batch)
+        assert first == second
+
+    def test_different_seeds_give_different_results(self, simulator):
+        strategy = ThresholdStrategy(0.6)
+        a = simulator.evaluate(strategy, num_episodes=8, seed=1)
+        b = simulator.evaluate(strategy, num_episodes=8, seed=2)
+        assert a != b
+
+    def test_episode_results_independent_of_batch_size(self, simulator):
+        """Episode k's statistics depend only on seed and k, not on B."""
+        strategy = ThresholdStrategy(0.6)
+        small = simulator.evaluate(strategy, num_episodes=4, seed=33)
+        large = simulator.evaluate(strategy, num_episodes=8, seed=33)
+        assert small == large[:4]
+
+    def test_estimate_cost_deterministic(self, simulator):
+        strategy = ThresholdStrategy(0.6)
+        assert simulator.estimate_cost(strategy, 8, seed=5) == simulator.estimate_cost(
+            strategy, 8, seed=5
+        )
+
+
+class TestBenchmarkModulesImport:
+    @pytest.mark.parametrize(
+        "path",
+        sorted(BENCHMARKS_DIR.glob("bench_*.py")),
+        ids=lambda p: p.stem,
+    )
+    def test_benchmark_module_imports_cleanly(self, path):
+        """Every benchmarks/bench_*.py module must import without side effects."""
+        name = f"_bench_import_smoke_{path.stem}"
+        spec = importlib.util.spec_from_file_location(name, path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[name] = module
+        try:
+            spec.loader.exec_module(module)
+        finally:
+            sys.modules.pop(name, None)
