@@ -19,9 +19,8 @@ Three ablations of the architecture, each run in the emulation environment:
 from __future__ import annotations
 
 import math
-from dataclasses import replace
 
-from repro.core import NodeParameters, ThresholdStrategy
+from repro.core import NodeParameters
 from repro.emulation import (
     EmulationConfig,
     EmulationEnvironment,

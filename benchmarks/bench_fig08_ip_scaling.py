@@ -10,7 +10,6 @@ of CEM for the same instances, and asserts that IP's cost grows much faster.
 
 from __future__ import annotations
 
-import math
 import time
 
 from repro.core import BetaBinomialObservationModel, NodeParameters

@@ -13,7 +13,6 @@ threshold region; recovery threshold strictly inside (0, 1)).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core import BetaBinomialObservationModel, BinomialSystemModel, NodeParameters
 from repro.solvers import (

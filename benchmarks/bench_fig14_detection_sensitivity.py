@@ -72,9 +72,14 @@ def _sweep_mismatch():
             seed=0,
         )
         # Cost when the strategy optimized under the mismatched model is
-        # deployed against the true alert process.
+        # deployed against the true alert process; the deployment-style
+        # evaluation runs on the vectorized batch engine (bit-exact with
+        # the scalar path under the shared seed).
         deployed_cost = simulator.estimate_cost(
-            ThresholdStrategy(solution.strategy.thresholds[0]), num_episodes=15, seed=1
+            ThresholdStrategy(solution.strategy.thresholds[0]),
+            num_episodes=15,
+            seed=1,
+            batch=True,
         )
         divergence = controller_model.divergence_to(true_model, state=NodeState.COMPROMISED)
         results.append((mismatch_shift, divergence, deployed_cost))

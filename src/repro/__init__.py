@@ -12,11 +12,17 @@ The package is organised as:
 * :mod:`repro.sim` -- the NumPy-vectorized batch simulation engine: advances
   B episodes x N nodes simultaneously with bit-exact parity to the scalar
   simulator, powering fast Monte-Carlo evaluation and fleet scenario sweeps;
+* :mod:`repro.envs` -- the unified vectorized environment layer: one
+  Gym-style batched ``step``/``reset`` API over the simulation engine
+  (``VectorRecoveryEnv``), the fleet-level system view (``FleetVectorEnv``)
+  and the emulation testbed (``EmulationVectorEnv``), so threshold
+  strategies, evaluation policies and learned PPO policies run unmodified
+  against every backend;
 * :mod:`repro.consensus` -- the substrates: reconfigurable MinBFT, clients,
   Raft, the simulated authenticated network, signatures, and the USIG;
 * :mod:`repro.emulation` -- the evaluation testbed: containers, IDS,
-  attacker, background services, the emulation environment and the
-  intrusion-trace dataset.
+  attacker, background services, the emulation environment (with the
+  vectorized adapter) and the intrusion-trace dataset.
 
 Quickstart::
 
@@ -29,8 +35,8 @@ Quickstart::
     print(solution.strategy.thresholds, solution.estimated_cost)
 """
 
-from . import consensus, core, emulation, sim, solvers
+from . import consensus, core, emulation, envs, sim, solvers
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["consensus", "core", "emulation", "sim", "solvers", "__version__"]
+__all__ = ["consensus", "core", "emulation", "envs", "sim", "solvers", "__version__"]

@@ -13,9 +13,8 @@ from __future__ import annotations
 
 import itertools
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from .crypto import KeyRegistry
 from .messages import ClientRequest, Reply
 from .minbft import MinBFTCluster
 

@@ -11,7 +11,7 @@ carried over the simulated network by value.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .crypto import Signature
 from .usig import UniqueIdentifier

@@ -28,7 +28,7 @@ from __future__ import annotations
 import enum
 import itertools
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -17,7 +17,7 @@ only by crashing (hybrid failure model).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -11,7 +11,7 @@ safety check used by the tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .crypto import digest
 from .messages import ClientRequest

@@ -22,7 +22,7 @@ benchmarks mostly drive the individual components directly for speed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

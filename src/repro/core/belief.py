@@ -222,6 +222,8 @@ def _batch_two_state_posterior(
     likelihood_compromised: np.ndarray,
     wait_matrix: np.ndarray,
     recover_matrix: np.ndarray,
+    workspace: dict | None = None,
+    assume_regular: bool = False,
 ) -> np.ndarray:
     """Vectorized core of the two-state belief recursion.
 
@@ -242,22 +244,44 @@ def _batch_two_state_posterior(
         likelihood_compromised: ``Z(o_t | C)`` per element, shape ``(B,)``.
         wait_matrix: ``3 x 3`` transition matrix ``f_N(. | ., W)``.
         recover_matrix: ``3 x 3`` transition matrix ``f_N(. | ., R)``.
+        workspace: Optional reusable buffer dict for hot loops (the batch
+            engine passes one per simulation): ``embedded`` of shape
+            ``(B, 3)`` with the third column zeroed, and ``prior_wait`` /
+            ``prior_recover`` of shape ``(B, 3)``.  Callers supplying a
+            workspace must consume (or copy) the result before the next
+            call.
+        assume_regular: The caller guarantees the degenerate-observation
+            fallback cannot trigger (full-support observation model and
+            sub-stochastic-to-live transition rows, Assumption D), so the
+            check is skipped.
 
     Returns:
         Posterior beliefs ``b_t``, shape ``(B,)``.
     """
     beliefs = np.asarray(beliefs, dtype=float)
     batch = beliefs.shape[0]
-    embedded = np.zeros((batch, 3))
+    if workspace is None:
+        embedded = np.zeros((batch, 3))
+        prior_wait = None
+        prior_recover = None
+    else:
+        embedded = workspace["embedded"]
+        prior_wait = workspace["prior_wait"]
+        prior_recover = workspace["prior_recover"]
     embedded[:, 0] = 1.0 - beliefs
     embedded[:, 1] = beliefs
-    prior_wait = embedded @ wait_matrix
-    prior_recover = embedded @ recover_matrix
+    prior_wait = np.matmul(embedded, wait_matrix, out=prior_wait)
+    prior_recover = np.matmul(embedded, recover_matrix, out=prior_recover)
     prior = np.where(recover_mask[:, None], prior_recover, prior_wait)
 
     weight_healthy = likelihood_healthy * prior[:, 0]
     weight_compromised = likelihood_compromised * prior[:, 1]
     total = weight_healthy + weight_compromised
+
+    if assume_regular or not (total <= 0.0).any():
+        # Regular case (every observation has positive likelihood under
+        # some live state): one plain division, no masked machinery.
+        return weight_compromised / total
 
     live_mass = prior[:, 0] + prior[:, 1]
     fallback = np.divide(

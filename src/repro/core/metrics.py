@@ -18,7 +18,7 @@ Appendix H (:func:`metric_divergence_report`).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -146,10 +146,14 @@ class MetricsCollector:
         This is the per-node quantity that appears in the objective of
         Problem 1 (Eq. 5) and in Table 7: PERIODIC with period ``Delta_R``
         has ``F^(R) ~= 1 / Delta_R`` regardless of the system size.
+
+        The estimate is clamped to ``[0, 1]``: a frequency cannot exceed
+        one, but a degenerate census (more recoveries reported than nodes
+        present in a step) could otherwise push the ratio above it.
         """
         if self._total_node_steps == 0:
             return 0.0
-        return self._total_recoveries / self._total_node_steps
+        return min(self._total_recoveries / self._total_node_steps, 1.0)
 
     def time_to_recovery(self) -> float:
         """Average time-to-recovery ``T^(R)``.

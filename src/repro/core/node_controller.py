@@ -17,7 +17,7 @@ layer owns the ground truth and feeds observations only.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .belief import update_compromise_belief
 from .node_model import NodeAction, NodeParameters, NodeTransitionModel

@@ -22,7 +22,7 @@ state-of-the-art systems the paper compares against.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Protocol, Sequence
 
 import numpy as np

@@ -27,7 +27,6 @@ Both satisfy the interface :class:`SystemModel`, which the CMDP solver
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np

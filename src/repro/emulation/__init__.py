@@ -36,6 +36,7 @@ from .ids import AlertSample, SnortLikeIDS, collect_alert_dataset, fit_empirical
 from .node import EmulatedNode
 from .services import BackgroundClientPopulation, ServiceRequestEvent, ServiceWorkload
 from .traces import IntrusionTrace, generate_traces, load_traces, save_traces
+from .vector_env import EmulationVectorEnv
 
 __all__ = [
     "AlertSample",
@@ -49,6 +50,7 @@ __all__ = [
     "EmulatedNode",
     "EmulationConfig",
     "EmulationEnvironment",
+    "EmulationVectorEnv",
     "EvaluationPolicy",
     "IntrusionTrace",
     "PHYSICAL_NODES",

@@ -19,7 +19,7 @@ where ``p_A`` aggregates the per-step compromise probability.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -16,7 +16,7 @@ and containers are re-randomized on every recovery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "PhysicalNode",

@@ -29,14 +29,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Mapping
 
 import numpy as np
 
 from ..core.correctness import CorrectnessAuditor
 from ..core.metrics import EpisodeMetrics, MetricsCollector
 from ..core.node_model import NodeAction, NodeParameters, NodeState
-from ..core.observation import BetaBinomialObservationModel, ObservationModel
+from ..core.observation import ObservationModel
 from ..core.strategies import (
     AdaptiveHeuristicReplicationStrategy,
     NoRecoveryStrategy,
@@ -276,8 +276,30 @@ class StepRecord:
     system_state: int
 
 
+@dataclass
+class ObservationPhase:
+    """Intermediate state between the observe and apply halves of a step.
+
+    Produced by :meth:`EmulationEnvironment.observe_phase` and consumed by
+    :meth:`EmulationEnvironment.apply_phase`; external controllers (the
+    vectorized adapter in :mod:`repro.emulation.vector_env`) read the
+    beliefs here and supply the recovery actions for the apply half.
+    """
+
+    crashed_this_step: int
+    beliefs: dict[str, float]
+    observations: dict[str, int]
+
+
 class EmulationEnvironment:
-    """Discrete-time emulation of the TOLERANCE testbed."""
+    """Discrete-time emulation of the TOLERANCE testbed.
+
+    An episode can be re-run from scratch with :meth:`reset`, and a step can
+    be driven by an external controller by passing explicit per-node actions
+    to :meth:`step` (or by calling the :meth:`observe_phase` /
+    :meth:`apply_phase` halves directly, which is how the vectorized
+    adapter interleaves an external policy with the testbed dynamics).
+    """
 
     def __init__(
         self,
@@ -298,9 +320,49 @@ class EmulationEnvironment:
         self.per_container_models: dict[int, ObservationModel] = (
             per_container_observation_models() if observation_model is None else {}
         )
-        self._seed = seed
-        self._rng = np.random.default_rng(seed)
         self.f = config.tolerance_threshold()
+
+        # Calibrate the PERIODIC-ADAPTIVE trigger to the fitted alert model
+        # when no mean was supplied (the paper's rule is o_t >= 2 E[O_t]).
+        if (
+            policy.adaptive_alert_replication is not None
+            and policy.adaptive_alert_replication.alert_mean <= 0.0
+        ):
+            healthy_pmf = self.observation_model.pmf(NodeState.HEALTHY)
+            expected_alerts = float(
+                np.dot(self.observation_model.observations, healthy_pmf)
+            )
+            policy.adaptive_alert_replication = AdaptiveHeuristicReplicationStrategy(
+                alert_mean=max(expected_alerts, 1.0),
+                factor=policy.adaptive_alert_replication.factor,
+            )
+
+        self._node_params = config.node_params.with_updates(
+            delta_r=config.delta_r, k=config.k
+        )
+        self.reset(seed)
+
+    def reset(self, seed: int | None = None) -> "EmulationEnvironment":
+        """Reset to a fresh episode (nodes, attacker, metrics, trace).
+
+        Args:
+            seed: New episode seed; ``None`` reuses the seed of the previous
+                episode, so ``env.reset()`` replays the construction-time
+                initialization exactly (same node containers, same attacker
+                stream) and a full re-run reproduces the same episode.  The
+                replay guarantee requires a concrete seed somewhere in the
+                chain: an environment constructed with ``seed=None`` draws
+                fresh OS entropy on every reset.
+
+        Returns:
+            The environment itself, for chaining.
+        """
+        config = self.config
+        policy = self.policy
+        if seed is not None or not hasattr(self, "_seed"):
+            self._seed = seed
+        seed = self._seed
+        self._rng = np.random.default_rng(seed)
         self._node_counter = 0
         self.nodes: dict[str, EmulatedNode] = {}
         self.attacker = Attacker(config.attacker, seed=None if seed is None else seed + 1)
@@ -321,26 +383,9 @@ class EmulationEnvironment:
         self.auditor = CorrectnessAuditor(f=self.f, k=config.k)
         self.trace: list[StepRecord] = []
         self.time_step = 0
-
-        # Calibrate the PERIODIC-ADAPTIVE trigger to the fitted alert model
-        # when no mean was supplied (the paper's rule is o_t >= 2 E[O_t]).
-        if (
-            policy.adaptive_alert_replication is not None
-            and policy.adaptive_alert_replication.alert_mean <= 0.0
-        ):
-            healthy_pmf = self.observation_model.pmf(NodeState.HEALTHY)
-            expected_alerts = float(
-                np.dot(self.observation_model.observations, healthy_pmf)
-            )
-            policy.adaptive_alert_replication = AdaptiveHeuristicReplicationStrategy(
-                alert_mean=max(expected_alerts, 1.0),
-                factor=policy.adaptive_alert_replication.factor,
-            )
-
-        node_params = config.node_params.with_updates(delta_r=config.delta_r, k=config.k)
-        self._node_params = node_params
         for _ in range(config.initial_nodes):
             self._add_node()
+        return self
 
     # -- node management ----------------------------------------------------------------
     def _add_node(self) -> str | None:
@@ -365,8 +410,28 @@ class EmulationEnvironment:
         self.attacker.forget(node_id)
 
     # -- one evaluation step ----------------------------------------------------------------
-    def step(self) -> StepRecord:
-        """Advance the emulation by one 60-second time-step."""
+    def step(self, actions: Mapping[str, NodeAction] | None = None) -> StepRecord:
+        """Advance the emulation by one 60-second time-step.
+
+        Args:
+            actions: Optional external per-node recovery decisions keyed by
+                node id (missing live nodes default to ``WAIT``; the BTR
+                deadline still forces a recovery).  ``None`` — the default,
+                and the paper's evaluation protocol — lets each node's own
+                controller strategy decide.
+        """
+        return self.apply_phase(self.observe_phase(), actions)
+
+    def observe_phase(self) -> ObservationPhase:
+        """First half of a step: environment dynamics and local observation.
+
+        Advances the background workload, the attacker kill chains and the
+        crash transitions, then lets every live node controller consume its
+        IDS observation and update its belief.  No decisions are made yet:
+        the returned phase carries the freshly updated beliefs on which the
+        recovery decisions of :meth:`apply_phase` — internal or external —
+        are based.
+        """
         self.time_step += 1
         background_clients = self.background.step()
 
@@ -390,23 +455,56 @@ class EmulationEnvironment:
             if node.maybe_crash():
                 crashed_this_step += 1
 
-        # 3. Local control: observations, beliefs, recovery requests.
+        # 3. Local observation: IDS alerts and belief updates (crashed nodes
+        #    stop reporting).
         beliefs: dict[str, float] = {}
         observations: dict[str, int] = {}
-        recovery_requests: list[str] = []
         for node_id, node in self.nodes.items():
             if not node.is_alive:
-                continue  # crashed nodes stop reporting
+                continue
             intrusion_activity = self.attacker.state_of(node_id).intrusion_activity
-            action, belief, observation = node.observe_and_decide(
-                intrusion_activity, background_clients
-            )
+            belief, observation = node.observe(intrusion_activity, background_clients)
             beliefs[node_id] = belief
             observations[node_id] = observation
+        return ObservationPhase(
+            crashed_this_step=crashed_this_step,
+            beliefs=beliefs,
+            observations=observations,
+        )
+
+    def apply_phase(
+        self,
+        phase: ObservationPhase,
+        actions: Mapping[str, NodeAction] | None = None,
+    ) -> StepRecord:
+        """Second half of a step: decisions, recoveries and global control.
+
+        With ``actions=None`` every reporting node's own controller strategy
+        decides (the classic :meth:`step` behaviour); otherwise the supplied
+        actions override the controllers, with the BTR constraint still
+        enforced per controller (Eq. 6b).
+        """
+        beliefs = phase.beliefs
+        observations = phase.observations
+        crashed_this_step = phase.crashed_this_step
+
+        # 3b. Local decisions on the just-updated beliefs.
+        recovery_requests: list[str] = []
+        for node_id in beliefs:
+            node = self.nodes[node_id]
+            controller = node.controller
+            if actions is None:
+                action = controller.decide()
+            else:
+                action = actions.get(node_id, NodeAction.WAIT)
+                if controller.btr_deadline_reached():
+                    action = NodeAction.RECOVER
+                controller.last_action = action
             if action is NodeAction.RECOVER:
                 recovery_requests.append(node_id)
             else:
-                node.controller.last_action = NodeAction.WAIT
+                controller.time_since_recovery += 1
+                controller.last_action = NodeAction.WAIT
 
         # 4. Grant recoveries; TOLERANCE respects the k-parallel-recovery
         #    limit of Prop. 1c (most suspicious nodes first), the baselines

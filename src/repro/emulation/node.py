@@ -18,7 +18,6 @@ attacker); the node exposes ``recover``/``crash`` transitions and the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
@@ -128,6 +127,24 @@ class EmulatedNode:
         raw = self.ids.sample_alerts(intrusion_activity, self._rng, background_clients)
         return raw // self.alert_bucket_size
 
+    def observe(
+        self, intrusion_activity: bool, background_clients: int | None = None
+    ) -> tuple[float, int]:
+        """Sample an IDS observation and update the controller belief.
+
+        The raw bucketed alert count is clipped into the controller's model
+        support before the belief update.  Returns the reported belief and
+        the (clipped) observation the controller consumed.  This is the
+        observation half of the control step; the decision half is
+        :meth:`NodeController.decide` (or an externally supplied action).
+        """
+        observation = self.sample_observation(intrusion_activity, background_clients)
+        clipped = int(
+            np.clip(observation, 0, int(self.controller.observation_model.observations[-1]))
+        )
+        belief = self.controller.observe(clipped)
+        return belief, clipped
+
     def observe_and_decide(
         self, intrusion_activity: bool, background_clients: int | None = None
     ) -> tuple[NodeAction, float, int]:
@@ -138,11 +155,7 @@ class EmulatedNode:
         for actually executing the recovery (so that the ``k`` parallel
         recovery limit can be enforced globally).
         """
-        observation = self.sample_observation(intrusion_activity, background_clients)
-        clipped = int(
-            np.clip(observation, 0, int(self.controller.observation_model.observations[-1]))
-        )
-        belief = self.controller.observe(clipped)
+        belief, clipped = self.observe(intrusion_activity, background_clients)
         action = self.controller.decide()
         if action is NodeAction.RECOVER:
             # The decision is recorded; the actual recovery (and the

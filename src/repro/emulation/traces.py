@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable
 
 from .environment import EmulationConfig, EmulationEnvironment, EvaluationPolicy, tolerance_policy
 

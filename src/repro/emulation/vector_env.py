@@ -1,0 +1,239 @@
+"""Vectorized environment adapter over the emulation testbed.
+
+:class:`EmulationVectorEnv` exposes ``B`` independent
+:class:`~repro.emulation.environment.EmulationEnvironment` episodes through
+the same batched ``step``/``reset`` interface as the simulation backends in
+:mod:`repro.envs`, so any vector policy — a threshold strategy, a trained
+PPO policy, an :class:`~repro.emulation.environment.EvaluationPolicy`'s
+recovery strategy — runs unmodified against the Section VIII testbed.
+
+The adapter drives the environment's observe/apply phase split: at every
+step the external policy sees the beliefs produced by the *current* step's
+IDS observations (exactly what the built-in node controllers act on), its
+recover mask is applied with the BTR constraint enforced per node, and the
+next observe phase then advances the attacker, crashes and background
+workload.  Node churn is mapped onto a fixed bank of ``smax`` slots: the
+``active`` mask of the observation marks slots holding a live, reporting
+node; newly added nodes claim free slots and evicted/crashed nodes release
+theirs.  Decisions for inactive slots are ignored.
+
+Unlike the simulation backends the testbed episodes advance one instance at
+a time (the emulation is inherently object-oriented), so this adapter
+trades none of the emulation's fidelity for speed — its value is the shared
+interface, which lets the same evaluation code score a policy in simulation
+and against the testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.metrics import EpisodeMetrics
+from ..core.node_model import NodeAction, NodeState
+from ..core.observation import ObservationModel
+from ..envs.base import VectorObservation
+from .environment import (
+    EmulationConfig,
+    EmulationEnvironment,
+    EvaluationPolicy,
+    ObservationPhase,
+    tolerance_policy,
+)
+
+__all__ = ["EmulationVectorEnv"]
+
+
+class EmulationVectorEnv:
+    """Batched step/reset interface over ``B`` emulation testbed episodes.
+
+    Args:
+        config: Testbed configuration shared by all episodes.
+        policy: The :class:`EvaluationPolicy` supplying everything *except*
+            the per-node recovery decisions (replication strategy, invariant
+            enforcement, BTR/recovery-limit flags); recovery decisions come
+            from the caller through :meth:`step`.  Defaults to the TOLERANCE
+            policy.
+        num_envs: Number of independent episodes ``B``.
+        observation_model: Optional forced detection model (as in
+            :class:`EmulationEnvironment`).
+        seed: Base seed; per-episode seeds are derived from its
+            ``SeedSequence``.
+    """
+
+    def __init__(
+        self,
+        config: EmulationConfig,
+        policy: EvaluationPolicy | None = None,
+        num_envs: int = 1,
+        observation_model: ObservationModel | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if num_envs < 1:
+            raise ValueError("num_envs must be >= 1")
+        self.config = config
+        self.policy = policy if policy is not None else tolerance_policy()
+        self._num_envs = num_envs
+        self._eta = config.node_params.eta
+        self.envs = [
+            EmulationEnvironment(
+                config,
+                self.policy,
+                observation_model=observation_model,
+                seed=instance_seed,
+            )
+            for instance_seed in self._instance_seeds(seed)
+        ]
+        self._slots: list[list[str | None]] = []
+        self._phases: list[ObservationPhase | None] = [None] * num_envs
+        self._t = 0
+        self._started = False
+
+    def _instance_seeds(self, seed: int | None) -> list[int | None]:
+        if seed is None:
+            return [None] * self._num_envs
+        return [
+            int(s) for s in np.random.SeedSequence(seed).generate_state(self._num_envs)
+        ]
+
+    # -- interface properties ---------------------------------------------------
+    @property
+    def num_envs(self) -> int:
+        return self._num_envs
+
+    @property
+    def num_nodes(self) -> int:
+        """Slot capacity: the physical cluster bound ``smax``."""
+        return self.config.max_nodes
+
+    @property
+    def horizon(self) -> int:
+        return self.config.horizon
+
+    @property
+    def done(self) -> bool:
+        return self._started and self._t >= self.horizon
+
+    # -- step/reset -------------------------------------------------------------
+    def reset(self, seed: int | None = None) -> VectorObservation:
+        """Reset every episode and run its first observe phase.
+
+        ``seed`` re-derives all per-episode seeds; ``None`` replays each
+        episode's previous seed (see :meth:`EmulationEnvironment.reset`).
+        """
+        if seed is not None:
+            for env, instance_seed in zip(self.envs, self._instance_seeds(seed)):
+                env.reset(instance_seed)
+        else:
+            for env in self.envs:
+                env.reset()
+        self._slots = [[None] * self.num_nodes for _ in range(self._num_envs)]
+        for b, env in enumerate(self.envs):
+            self._reconcile_slots(b, env)
+            self._phases[b] = env.observe_phase()
+        self._t = 0
+        self._started = True
+        return self._observation()
+
+    def step(
+        self, recover: np.ndarray
+    ) -> tuple[VectorObservation, np.ndarray, bool, dict[str, Any]]:
+        if not self._started:
+            raise RuntimeError("reset() must be called before stepping the environment")
+        if self._t >= self.horizon:
+            raise RuntimeError(
+                "the episode batch is done (horizon reached); call reset() first"
+            )
+        shape = (self._num_envs, self.num_nodes)
+        recover = np.asarray(recover, dtype=bool)
+        if recover.shape != shape:
+            recover = np.broadcast_to(recover, shape)
+
+        costs = np.zeros(shape)
+        records = []
+        self._t += 1
+        last_step = self._t >= self.horizon
+        for b, env in enumerate(self.envs):
+            phase = self._phases[b]
+            actions: dict[str, NodeAction] = {}
+            acting_slots: dict[str, int] = {}
+            for j, node_id in enumerate(self._slots[b]):
+                if node_id is None or node_id not in phase.beliefs:
+                    continue
+                actions[node_id] = (
+                    NodeAction.RECOVER if recover[b, j] else NodeAction.WAIT
+                )
+                acting_slots[node_id] = j
+            records.append(env.apply_phase(phase, actions))
+            # Eq. 5 step cost from the action actually executed (the
+            # k-parallel-recovery limit may defer a requested recovery) and
+            # the ground-truth state: recoveries cost 1, waiting on a
+            # compromised replica costs eta.
+            for node_id, j in acting_slots.items():
+                node = env.nodes.get(node_id)
+                if node is None:
+                    continue
+                if node.controller.last_action is NodeAction.RECOVER:
+                    costs[b, j] = 1.0
+                elif node.state is NodeState.COMPROMISED:
+                    costs[b, j] = self._eta
+            self._reconcile_slots(b, env)
+            # On the final step no further observe phase runs (it would
+            # advance the dynamics past the horizon); clearing the phase
+            # makes the terminal observation report every slot inactive
+            # instead of mixing stale beliefs with post-apply clocks.
+            self._phases[b] = None if last_step else env.observe_phase()
+        observation = self._observation()
+        info = {
+            "t": self._t,
+            "records": records,
+            "num_nodes": np.array([len(env.nodes) for env in self.envs]),
+            "system_state": np.array([record.system_state for record in records]),
+        }
+        return observation, costs, last_step, info
+
+    def episode_metrics(self) -> list[EpisodeMetrics]:
+        """Per-episode Table 7 metrics (``T^(A)``, ``T^(R)``, ``F^(R)``, ``J``)."""
+        return [env.metrics.finalize() for env in self.envs]
+
+    # -- internals ---------------------------------------------------------------
+    def _reconcile_slots(self, b: int, env: EmulationEnvironment) -> None:
+        """Sync slot bank ``b`` with the environment's current node set."""
+        slots = self._slots[b]
+        current = set(env.nodes)
+        assigned = set()
+        for j, node_id in enumerate(slots):
+            if node_id is not None and node_id not in current:
+                slots[j] = None
+            elif node_id is not None:
+                assigned.add(node_id)
+        free = iter(j for j, node_id in enumerate(slots) if node_id is None)
+        for node_id in env.nodes:
+            if node_id not in assigned:
+                slots[next(free)] = node_id
+
+    def _observation(self) -> VectorObservation:
+        shape = (self._num_envs, self.num_nodes)
+        beliefs = np.zeros(shape)
+        time_since_recovery = np.zeros(shape, dtype=np.int64)
+        forced = np.zeros(shape, dtype=bool)
+        active = np.zeros(shape, dtype=bool)
+        for b, env in enumerate(self.envs):
+            phase = self._phases[b]
+            if phase is None:
+                continue
+            for j, node_id in enumerate(self._slots[b]):
+                if node_id is None or node_id not in phase.beliefs:
+                    continue
+                controller = env.nodes[node_id].controller
+                beliefs[b, j] = phase.beliefs[node_id]
+                time_since_recovery[b, j] = controller.time_since_recovery
+                forced[b, j] = controller.btr_deadline_reached()
+                active[b, j] = True
+        return VectorObservation(
+            beliefs=beliefs,
+            time_since_recovery=time_since_recovery,
+            forced=forced,
+            active=active,
+        )

@@ -1,0 +1,64 @@
+"""Unified vectorized environment layer (``repro.envs``).
+
+One Gym-style batched ``step``/``reset`` API over every recovery backend in
+the reproduction:
+
+* :class:`VectorRecoveryEnv` — ``B`` independent node-POMDP episodes
+  advanced per array operation on the bit-exact batch engine of
+  :mod:`repro.sim` (per-episode ``SeedSequence`` streams preserved, so
+  trajectories match the scalar simulator exactly under a shared seed);
+* :class:`FleetVectorEnv` — the system-level view over a heterogeneous
+  ``N``-node :class:`~repro.sim.FleetScenario`: CMDP states (Eq. 8),
+  failed-node counts and fleet availability per step, feeding the system
+  controller / Algorithm 2 evaluation;
+* :class:`EmulationVectorEnv` — the same interface over the Section VIII
+  emulation testbed (:mod:`repro.emulation`), so evaluation policies,
+  threshold strategies and learned PPO policies run unmodified against
+  both simulation and testbed backends.
+
+The PPO baseline (:mod:`repro.solvers.ppo`) collects its rollouts through
+:class:`VectorRecoveryEnv`: one policy forward pass per timestep over all
+``B`` episodes instead of ``B x T`` scalar passes.
+
+Quickstart::
+
+    from repro.core import BetaBinomialObservationModel, NodeParameters, ThresholdStrategy
+    from repro.envs import StrategyPolicy, VectorRecoveryEnv, rollout
+
+    env = VectorRecoveryEnv.single_node(
+        NodeParameters(p_a=0.1), BetaBinomialObservationModel(),
+        num_envs=1000, horizon=200,
+    )
+    result = rollout(env, StrategyPolicy(ThresholdStrategy(0.75)), seed=0)
+    print(result.mean_cost)
+"""
+
+from __future__ import annotations
+
+from .base import VectorEnv, VectorObservation
+from .policies import StrategyPolicy, VectorPolicy
+from .rollout import VectorRolloutResult, rollout
+from .vector_recovery import FleetVectorEnv, VectorRecoveryEnv
+
+__all__ = [
+    "EmulationVectorEnv",
+    "FleetVectorEnv",
+    "StrategyPolicy",
+    "VectorEnv",
+    "VectorObservation",
+    "VectorPolicy",
+    "VectorRecoveryEnv",
+    "VectorRolloutResult",
+    "rollout",
+]
+
+
+def __getattr__(name: str):
+    # EmulationVectorEnv lives in repro.emulation (it adapts the testbed);
+    # importing it lazily keeps repro.envs importable without triggering the
+    # emulation package (and avoids a circular import at package-init time).
+    if name == "EmulationVectorEnv":
+        from ..emulation.vector_env import EmulationVectorEnv
+
+        return EmulationVectorEnv
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

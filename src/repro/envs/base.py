@@ -1,0 +1,126 @@
+"""The unified vectorized environment interface (``step``/``reset``).
+
+Every backend in this package — the bit-exact batch simulator
+(:class:`~repro.envs.vector_recovery.VectorRecoveryEnv`), the fleet-level
+system view (:class:`~repro.envs.vector_recovery.FleetVectorEnv`) and the
+emulation testbed adapter
+(:class:`~repro.emulation.vector_env.EmulationVectorEnv`) — exposes the same
+Gym-style vectorized API:
+
+* :meth:`VectorEnv.reset` starts ``B`` independent recovery episodes and
+  returns the initial :class:`VectorObservation`;
+* :meth:`VectorEnv.step` takes a boolean ``(B, N)`` recover mask (one
+  decision per episode and node slot) and advances every episode by one
+  time-step, returning the next observation, the per-slot step costs, a
+  ``done`` flag and a backend-specific info dict.
+
+Episodes are fixed-horizon and advance in lockstep, so ``done`` is a single
+flag for the whole batch.  Observations carry exactly the information the
+paper's controllers act on: the compromise belief, the time since the last
+recovery (the BTR clock), the mask of slots whose BTR deadline forces a
+recovery this step, and the mask of active slots (always all-true for the
+simulation backends; the emulation backend deactivates crashed/evicted
+slots and activates newly added nodes).
+
+Because the interface is belief-level, any
+:class:`~repro.core.strategies.RecoveryStrategy`, any batched strategy, and
+any learned policy (e.g. :class:`~repro.solvers.ppo.PPOPolicy`) can drive
+any backend unmodified — see :mod:`repro.envs.policies` for the adapters
+and :mod:`repro.envs.rollout` for the generic rollout driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["DEFAULT_CLOCK_CAP", "VectorObservation", "VectorEnv"]
+
+#: Cap on the BTR-clock feature: ``min(t, cap) / cap`` is the second input
+#: of the PPO policy/value networks (shared with :mod:`repro.solvers.ppo`).
+DEFAULT_CLOCK_CAP = 100
+
+
+@dataclass
+class VectorObservation:
+    """Batched observation of ``B`` episodes x ``N`` node slots.
+
+    A plain (non-frozen) dataclass: observations sit on the hot rollout
+    path, and frozen-dataclass construction costs a ``__setattr__``
+    indirection per field.  Treat instances as read-only.
+
+    Attributes:
+        beliefs: Compromise beliefs ``b_t``, shape ``(B, N)``.
+        time_since_recovery: BTR clocks, shape ``(B, N)``, ``int64``.
+        forced: Slots whose BTR deadline forces ``RECOVER`` as the next
+            action regardless of the policy's choice, shape ``(B, N)``.
+        active: Slots currently holding a live, reporting node, shape
+            ``(B, N)``.  Decisions for inactive slots are ignored.
+    """
+
+    beliefs: np.ndarray
+    time_since_recovery: np.ndarray
+    forced: np.ndarray
+    active: np.ndarray
+
+    @property
+    def num_envs(self) -> int:
+        return int(self.beliefs.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.beliefs.shape[1])
+
+    def features(self, node: int = 0, clock_cap: int = DEFAULT_CLOCK_CAP) -> np.ndarray:
+        """Per-episode ``(belief, normalized BTR clock)`` feature matrix.
+
+        The two-dimensional feature vector consumed by the PPO policy/value
+        networks, shape ``(B, 2)``.
+        """
+        clock = np.minimum(self.time_since_recovery[:, node], clock_cap) / float(clock_cap)
+        return np.stack([self.beliefs[:, node], clock], axis=1)
+
+
+@runtime_checkable
+class VectorEnv(Protocol):
+    """Interface of a batched step/reset recovery environment."""
+
+    @property
+    def num_envs(self) -> int:
+        """Number of independent episodes ``B`` advanced per step."""
+        ...
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of node slots ``N`` per episode."""
+        ...
+
+    @property
+    def horizon(self) -> int:
+        """Episode length ``T`` in time-steps."""
+        ...
+
+    def reset(self, seed: int | None = None) -> VectorObservation:
+        """Start ``B`` fresh episodes and return the initial observation."""
+        ...
+
+    def step(
+        self, recover: np.ndarray
+    ) -> tuple[VectorObservation, np.ndarray, bool, dict[str, Any]]:
+        """Advance all episodes one step under the given recover mask.
+
+        Args:
+            recover: Boolean decisions, shape ``(B, N)`` (anything
+                broadcastable to it is accepted).  ``True`` requests a
+                recovery of that episode's node slot.
+
+        Returns:
+            ``(observation, costs, done, info)`` where ``costs`` holds the
+            per-slot step costs ``c_N(s_t, a_t)`` of Eq. 5, shape
+            ``(B, N)``, and ``done`` is ``True`` once the fixed horizon is
+            reached (after which :meth:`step` must not be called again
+            before a :meth:`reset`).
+        """
+        ...

@@ -1,0 +1,81 @@
+"""Generic rollout driver: run any vector policy on any vector environment.
+
+The driver encodes the control-loop convention shared by all backends:
+observe the current beliefs, ask the policy for a recover mask, step.  It
+is the environment-layer counterpart of
+:meth:`~repro.solvers.evaluation.RecoverySimulator.evaluate` — and on
+:class:`~repro.envs.vector_recovery.VectorRecoveryEnv` it reproduces the
+scalar simulator episode for episode under a shared seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .base import VectorEnv
+from .policies import VectorPolicy
+
+__all__ = ["VectorRolloutResult", "rollout"]
+
+
+@dataclass(frozen=True)
+class VectorRolloutResult:
+    """Aggregate outcome of one batched rollout.
+
+    Attributes:
+        average_cost: Per-slot average step cost, shape ``(B, N)``.
+        total_cost: Per-slot summed cost, shape ``(B, N)``.
+        steps: Number of steps executed (the environment horizon).
+        final_info: The info dict returned by the last step.
+    """
+
+    average_cost: np.ndarray
+    total_cost: np.ndarray
+    steps: int
+    final_info: dict[str, Any]
+
+    @property
+    def mean_cost(self) -> float:
+        """Scalar Monte-Carlo estimate across all episodes and slots."""
+        return float(self.average_cost.mean())
+
+
+def rollout(
+    env: VectorEnv,
+    policy: VectorPolicy,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> VectorRolloutResult:
+    """Run one full fixed-horizon batch of episodes under ``policy``.
+
+    Args:
+        env: Any :class:`~repro.envs.base.VectorEnv` backend.
+        policy: Any :class:`~repro.envs.policies.VectorPolicy` — e.g. a
+            :class:`~repro.envs.policies.StrategyPolicy` around a threshold
+            strategy or a learned PPO policy.
+        seed: Episode seed forwarded to :meth:`VectorEnv.reset`.
+        rng: Generator handed to stochastic policies (deterministic
+            policies ignore it).
+
+    Returns:
+        The aggregated per-episode costs.
+    """
+    observation = env.reset(seed=seed)
+    total_cost = np.zeros((env.num_envs, env.num_nodes))
+    steps = 0
+    done = False
+    info: dict[str, Any] = {}
+    while not done:
+        recover = policy.act(observation, rng)
+        observation, costs, done, info = env.step(recover)
+        total_cost += costs
+        steps += 1
+    return VectorRolloutResult(
+        average_cost=total_cost / max(steps, 1),
+        total_cost=total_cost,
+        steps=steps,
+        final_info=info,
+    )

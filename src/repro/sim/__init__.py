@@ -43,7 +43,7 @@ Quickstart::
 """
 
 from ..core.belief import batch_update_compromise_belief
-from .engine import BatchRecoveryEngine, BatchSimulationResult
+from .engine import BatchEpisodeState, BatchRecoveryEngine, BatchSimulationResult
 from .scenario import FleetScenario
 from .strategies import (
     BatchMultiThreshold,
@@ -53,6 +53,7 @@ from .strategies import (
 )
 
 __all__ = [
+    "BatchEpisodeState",
     "BatchMultiThreshold",
     "BatchRecoveryEngine",
     "BatchSimulationResult",

@@ -37,7 +37,7 @@ every strategy class.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -49,7 +49,7 @@ from ..core.strategies import RecoveryStrategy
 from .scenario import FleetScenario
 from .strategies import BatchMultiThreshold, BatchStrategy, as_batch_strategy
 
-__all__ = ["BatchSimulationResult", "BatchRecoveryEngine"]
+__all__ = ["BatchEpisodeState", "BatchSimulationResult", "BatchRecoveryEngine"]
 
 _HEALTHY = int(NodeState.HEALTHY)
 _COMPROMISED = int(NodeState.COMPROMISED)
@@ -124,6 +124,61 @@ class BatchSimulationResult:
         return summarize_metric_arrays(metrics, confidence)
 
 
+@dataclass
+class BatchEpisodeState:
+    """Mutable per-stream state of an in-progress batch simulation.
+
+    Produced by :meth:`BatchRecoveryEngine.begin` and advanced in place by
+    :meth:`BatchRecoveryEngine.step`.  All arrays have shape ``(B, N)``
+    unless noted; the fields mirror the per-episode bookkeeping of the
+    scalar :meth:`~repro.solvers.evaluation.RecoverySimulator.run_episode`
+    loop one for one.  The stepwise decomposition is what the vectorized
+    environment layer (:mod:`repro.envs`) builds on: a policy can inspect
+    ``belief`` / ``time_since_recovery`` between steps and choose the next
+    batch of actions, while :meth:`BatchRecoveryEngine.run` drives the same
+    state with a closed-form strategy — both paths are bit-identical.
+    """
+
+    uniforms: np.ndarray  #: (B, N, 2 * horizon) pre-generated uniform buffer.
+    t: int  #: Number of completed steps.
+    state: np.ndarray  #: Hidden node states (int64).
+    belief: np.ndarray  #: Two-state compromise beliefs.
+    time_since_recovery: np.ndarray  #: BTR clocks (int64).
+    cursor: np.ndarray  #: Per-stream uniform-consumption cursors.
+    total_cost: np.ndarray  #: Accumulated Eq. 5 costs.
+    recoveries: np.ndarray  #: Recovery-action counts.
+    compromises: np.ndarray  #: Compromise-event counts.
+    open_active: np.ndarray  #: Whether a compromise is currently unresolved.
+    open_count: np.ndarray  #: Steps elapsed in the open compromise.
+    delay_sum: np.ndarray  #: Sum of completed recovery delays.
+    delay_count: np.ndarray  #: Number of completed recovery delays.
+    available_steps: np.ndarray | None  #: (B,) steps with <= f failed nodes.
+    last_failed: np.ndarray | None = None  #: (B,) failed-node counts of the last step.
+    #: Whether recovery/compromise/delay statistics are tracked.  Rollout
+    #: consumers that only need costs and beliefs (the PPO collector) switch
+    #: this off to skip the bookkeeping array operations; the dynamics and
+    #: random streams are unaffected.
+    track_metrics: bool = True
+    # Per-batch constant caches (derived from the engine's precompiled
+    # arrays at begin() time so the hot step loop allocates nothing anew).
+    uniforms_flat: np.ndarray = field(default=None, repr=False)  # (B * N * 2T,) view
+    stream_rows: np.ndarray = field(default=None, repr=False)  # (B, N) buffer offsets
+    eta_mat: np.ndarray = field(default=None, repr=False)  # (B, N) broadcast view
+    initial_belief_mat: np.ndarray = field(default=None, repr=False)  # (B, N) view
+    btr_deadline_mat: np.ndarray = field(default=None, repr=False)  # (B, N) view
+    transition_base: np.ndarray = field(default=None, repr=False)  # (B, N) flat bases
+    observation_base: np.ndarray = field(default=None, repr=False)  # (B, N) flat bases
+    belief_workspace: dict = field(default=None, repr=False)  # reusable (B,) buffers
+
+    @property
+    def num_episodes(self) -> int:
+        return int(self.state.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.state.shape[1])
+
+
 class BatchRecoveryEngine:
     """NumPy-vectorized Monte-Carlo simulator for a :class:`FleetScenario`.
 
@@ -131,6 +186,12 @@ class BatchRecoveryEngine:
     and observation pmfs into dense arrays at construction time; each
     :meth:`run` then advances all episodes and nodes in lockstep with O(T)
     vectorized steps instead of O(B * N * T) Python-level steps.
+
+    The simulation loop is decomposed into a stepwise API —
+    :meth:`begin` / :meth:`step` / :meth:`finalize` — so that callers that
+    need to interleave computation with the dynamics (the vectorized
+    environments of :mod:`repro.envs`, and through them the PPO rollout
+    loop) drive exactly the same array operations as :meth:`run`.
     """
 
     def __init__(self, scenario: FleetScenario) -> None:
@@ -150,6 +211,28 @@ class BatchRecoveryEngine:
         self._initial_belief = scenario.initial_beliefs()  # (N,)
         self._eta = scenario.cost_weights()  # (N,)
         self._btr_deadline = scenario.btr_deadlines()  # (N,)
+        # Flattened CDF tables + per-node index bases for single-gather
+        # lookups in the hot step loop: row (j, a, s) of the transition
+        # table lives at (j * |A| + a) * |S| + s, row (j, s) of the
+        # observation table at j * |S| + s.
+        num_nodes, num_actions, num_states, _ = self._transition_cdf.shape
+        self._num_states = num_states
+        self._transition_cdf_flat = self._transition_cdf.reshape(-1, num_states)
+        self._observation_cdf_flat = self._observation_cdf.reshape(
+            -1, self._observation_cdf.shape[-1]
+        )
+        self._transition_node_base = (
+            np.arange(num_nodes, dtype=np.int64) * num_actions * num_states
+        )
+        self._observation_node_base = np.arange(num_nodes, dtype=np.int64) * num_states
+        # Assumption D regularity: with full-support live-state observation
+        # pmfs and positive live mass in every live transition row, the
+        # degenerate-observation fallback of the belief recursion can never
+        # trigger, so the hot loop may skip the check.
+        self._regular_observations = bool(
+            (self._observation_pmf[:, :2, :] > 0.0).all()
+            and (self._matrices[:, :, :2, :2].sum(axis=3) > 0.0).all()
+        )
 
     # -- randomness -------------------------------------------------------------
     def _draw_uniforms(self, seed: int | None, num_episodes: int) -> np.ndarray:
@@ -190,8 +273,7 @@ class BatchRecoveryEngine:
         if num_episodes < 1:
             raise ValueError("num_episodes must be >= 1")
         batch_strategies = self._normalize_strategies(strategies)
-        uniforms = self._draw_uniforms(seed, num_episodes)
-        return self._simulate(batch_strategies, uniforms)
+        return self._simulate(batch_strategies, self._draw_uniforms(seed, num_episodes))
 
     def run_threshold_population(
         self,
@@ -240,105 +322,205 @@ class BatchRecoveryEngine:
             return [as_batch_strategy(s) for s in strategies]
         return [as_batch_strategy(strategies)] * num_nodes
 
-    def _simulate(
-        self, strategies: list[BatchStrategy], uniforms: np.ndarray
-    ) -> BatchSimulationResult:
-        scenario = self.scenario
+    # -- stepwise simulation ----------------------------------------------------
+    def begin(
+        self,
+        num_episodes: int,
+        seed: int | None = None,
+        track_metrics: bool = True,
+    ) -> BatchEpisodeState:
+        """Initialize the per-stream state for ``num_episodes`` episodes.
+
+        Draws the uniform buffer from the same per-episode seed tree as
+        :meth:`run`, so stepping the returned state with the recover masks a
+        strategy would produce reproduces :meth:`run` exactly.
+
+        Args:
+            num_episodes: Batch size ``B``.
+            seed: Seed for the episode seed tree.
+            track_metrics: When ``False``, :meth:`step` skips the
+                recovery/compromise/delay/total-cost bookkeeping (per-step
+                costs, beliefs and random streams are unchanged) — a fast
+                path for rollout collectors that consume the returned step
+                costs and observations and never call :meth:`finalize`.
+        """
+        if num_episodes < 1:
+            raise ValueError("num_episodes must be >= 1")
+        return self._begin(self._draw_uniforms(seed, num_episodes), track_metrics)
+
+    def _begin(
+        self, uniforms: np.ndarray, track_metrics: bool = True
+    ) -> BatchEpisodeState:
         num_episodes, num_nodes, _ = uniforms.shape
-        horizon = scenario.horizon
         shape = (num_episodes, num_nodes)
-        node_index = np.broadcast_to(np.arange(num_nodes), shape)
-        initial_belief = np.broadcast_to(self._initial_belief, shape)
-        eta = np.broadcast_to(self._eta, shape)
-        track_availability = scenario.f is not None
+        track_availability = self.scenario.f is not None
+        return BatchEpisodeState(
+            uniforms=uniforms,
+            t=0,
+            state=np.full(shape, _HEALTHY, dtype=np.int64),
+            belief=np.array(np.broadcast_to(self._initial_belief, shape), dtype=float),
+            time_since_recovery=np.zeros(shape, dtype=np.int64),
+            cursor=np.zeros(shape, dtype=np.int64),
+            total_cost=np.zeros(shape),
+            recoveries=np.zeros(shape, dtype=np.int64),
+            compromises=np.zeros(shape, dtype=np.int64),
+            open_active=np.zeros(shape, dtype=bool),
+            open_count=np.zeros(shape, dtype=np.int64),
+            delay_sum=np.zeros(shape),
+            delay_count=np.zeros(shape, dtype=np.int64),
+            available_steps=(
+                np.zeros(num_episodes, dtype=np.int64) if track_availability else None
+            ),
+            track_metrics=track_metrics,
+            uniforms_flat=uniforms.reshape(-1),
+            stream_rows=(
+                np.arange(num_episodes * num_nodes, dtype=np.int64).reshape(shape)
+                * uniforms.shape[2]
+            ),
+            eta_mat=np.broadcast_to(self._eta, shape),
+            initial_belief_mat=np.broadcast_to(self._initial_belief, shape),
+            btr_deadline_mat=np.broadcast_to(self._btr_deadline, shape),
+            transition_base=np.broadcast_to(self._transition_node_base, shape),
+            observation_base=np.broadcast_to(self._observation_node_base, shape),
+        )
 
-        # Per-stream simulation state.
-        state = np.full(shape, _HEALTHY, dtype=np.int64)
-        belief = np.array(initial_belief, dtype=float)
-        time_since_recovery = np.zeros(shape, dtype=np.int64)
-        cursor = np.zeros(shape, dtype=np.int64)
+    def forced_recoveries(self, sim: BatchEpisodeState) -> np.ndarray:
+        """Boolean mask of streams whose BTR deadline forces the next action."""
+        return sim.time_since_recovery >= sim.btr_deadline_mat
 
-        # Accumulators, mirroring the scalar episode bookkeeping.
-        total_cost = np.zeros(shape)
-        recoveries = np.zeros(shape, dtype=np.int64)
-        compromises = np.zeros(shape, dtype=np.int64)
-        open_active = np.zeros(shape, dtype=bool)
-        open_count = np.zeros(shape, dtype=np.int64)
-        delay_sum = np.zeros(shape)
-        delay_count = np.zeros(shape, dtype=np.int64)
-        available_steps = np.zeros(num_episodes, dtype=np.int64)
+    def step(
+        self,
+        sim: BatchEpisodeState,
+        recover: np.ndarray,
+        btr_applied: bool = False,
+    ) -> np.ndarray:
+        """Advance every stream by one step under the given recover mask.
 
-        for _ in range(horizon):
-            # Strategy decision on the current belief; the BTR constraint
-            # overrides with a forced recovery at the deadline.
-            recover = np.empty(shape, dtype=bool)
-            for j, strategy in enumerate(strategies):
-                recover[:, j] = strategy.action_batch(
-                    belief[:, j], time_since_recovery[:, j]
-                )
-            recover |= time_since_recovery >= self._btr_deadline
-            action = recover.astype(np.int64)
+        ``recover`` is the policy's boolean decision per ``(episode, node)``
+        stream; the BTR constraint is applied on top (a stream at its
+        deadline recovers regardless), exactly as in the scalar simulator.
+        Callers that have already OR-ed the :meth:`forced_recoveries` mask
+        into ``recover`` (the environment layer does) pass
+        ``btr_applied=True`` to skip the recomputation.  Mutates ``sim`` in
+        place and returns the per-stream step cost ``c_N(s_t, a_t)``, shape
+        ``(B, N)``.
 
-            # Cost c_N(s, a) = eta * s * (1 - a) + a  (Eq. 5).
-            total_cost += np.where(recover, 1.0, eta * (state == _COMPROMISED))
-            recoveries += recover
-            closed = recover & open_active
-            delay_sum[closed] += open_count[closed]
-            delay_count[closed] += 1
-            open_active[closed] = False
+        The body avoids fancy-index scatters in favour of element-wise
+        masked arithmetic: the resulting values are identical (the parity
+        suite checks them bit for bit), but a step over a small batch costs
+        roughly half as many microseconds — which matters because the PPO
+        rollout loop calls this once per timestep.
+        """
+        state = sim.state
+        belief = sim.belief
+        time_since_recovery = sim.time_since_recovery
+        cursor = sim.cursor
+        num_states = self._num_states
 
-            # Hidden-state transition: invert the per-(node, action, state)
-            # sampling CDF on this step's transition uniform.
-            u_transition = np.take_along_axis(uniforms, cursor[..., None], axis=2)[..., 0]
-            cursor += 1
-            cdf_rows = self._transition_cdf[node_index, action, state]  # (B, N, |S|)
-            next_state = (cdf_rows <= u_transition[..., None]).sum(axis=2)
+        # Policy decision on the current belief; the BTR constraint
+        # overrides with a forced recovery at the deadline.
+        if not btr_applied:
+            recover = np.asarray(recover, dtype=bool) | (
+                time_since_recovery >= sim.btr_deadline_mat
+            )
 
-            crashed = next_state == _CRASHED
-            alive = ~crashed
-            crash_closed = crashed & open_active
-            delay_sum[crash_closed] += open_count[crash_closed]
-            delay_count[crash_closed] += 1
-            open_active[crash_closed] = False
+        # Cost c_N(s, a) = eta * s * (1 - a) + a  (Eq. 5).
+        step_cost = np.where(recover, 1.0, sim.eta_mat * (state == _COMPROMISED))
+        if sim.track_metrics:
+            # total_cost only feeds finalize(); fast-path consumers read the
+            # returned per-step costs instead.
+            sim.total_cost += step_cost
 
-            # Compromise/recovery-delay bookkeeping for live nodes.
-            new_compromise = alive & (state != _COMPROMISED) & (next_state == _COMPROMISED)
-            compromises += new_compromise
-            open_count[new_compromise] = 0
-            open_active[new_compromise] = True
+        # Hidden-state transition: invert the per-(node, action, state)
+        # sampling CDF on this step's transition uniform.
+        u_transition = sim.uniforms_flat[sim.stream_rows + cursor]
+        cursor += 1
+        transition_rows = sim.transition_base + (recover * num_states + state)
+        cdf_rows = self._transition_cdf_flat[transition_rows]  # (B, N, |S|)
+        next_state = (cdf_rows <= u_transition[..., None]).sum(axis=2)
+
+        crashed = next_state == _CRASHED
+        alive = ~crashed
+
+        if sim.track_metrics:
+            sim.recoveries += recover
+            # A compromise window closes when the node recovers, crashes, or
+            # is restored to healthy by a software update; the three events
+            # are disjoint, so one mask applies the delay bookkeeping that
+            # the scalar simulator performs case by case.
+            open_active = sim.open_active
             back_to_healthy = alive & (next_state == _HEALTHY)
-            softly_restored = back_to_healthy & open_active & ~recover
-            delay_sum[softly_restored] += open_count[softly_restored]
-            delay_count[softly_restored] += 1
-            open_active[back_to_healthy] = False
-            open_count[alive & open_active] += 1
+            resolved = open_active & (recover | crashed | back_to_healthy)
+            sim.delay_sum += sim.open_count * resolved
+            sim.delay_count += resolved
+            new_compromise = (
+                alive & (state != _COMPROMISED) & (next_state == _COMPROMISED)
+            )
+            sim.compromises += new_compromise
+            open_active = (open_active & ~resolved) | new_compromise
+            sim.open_active = open_active
+            sim.open_count *= ~new_compromise
+            sim.open_count += alive & open_active
 
-            if track_availability:
+            if sim.available_steps is not None:
                 failed = (next_state == _COMPROMISED) | crashed
-                available_steps += failed.sum(axis=1) <= scenario.f
+                failed_counts = failed.sum(axis=1)
+                sim.available_steps += failed_counts <= self.scenario.f
+                sim.last_failed = failed_counts
 
-            # Observation + belief update for live nodes only (a crashed node
-            # is replaced by a fresh one and draws no observation).
-            u_observation = np.take_along_axis(uniforms, cursor[..., None], axis=2)[..., 0]
-            cursor[alive] += 1
-            observation_state = np.where(alive, next_state, _HEALTHY)
-            obs_cdf_rows = self._observation_cdf[node_index, observation_state]
-            observation_index = (obs_cdf_rows <= u_observation[..., None]).sum(axis=2)
-            new_belief = self._update_beliefs(recover, observation_index, belief)
-            belief = np.where(alive, new_belief, belief)
+        # Observation + belief update for live nodes only (a crashed node
+        # is replaced by a fresh one and draws no observation).  A crashed
+        # stream's state and observation collapse to HEALTHY = 0, so the
+        # ``where`` selects reduce to one multiply by the alive mask; its
+        # belief update is computed but discarded below (the reset mask
+        # covers every crashed stream).
+        u_observation = sim.uniforms_flat[sim.stream_rows + cursor]
+        cursor += alive
+        live_state = next_state * alive
+        obs_cdf_rows = self._observation_cdf_flat[sim.observation_base + live_state]
+        observation_index = (obs_cdf_rows <= u_observation[..., None]).sum(axis=2)
+        if sim.belief_workspace is None:
+            batch = state.shape[0]
+            sim.belief_workspace = {
+                "embedded": np.zeros((batch, 3)),
+                "prior_wait": np.empty((batch, 3)),
+                "prior_recover": np.empty((batch, 3)),
+            }
+        new_belief = self._update_beliefs(
+            recover, observation_index, belief, workspace=sim.belief_workspace
+        )
 
-            # Resets: a crashed node is replaced by a fresh healthy node; a
-            # recovery restarts the BTR window and the belief.
-            reset = crashed | (alive & recover)
-            belief[reset] = initial_belief[reset]
-            time_since_recovery[reset] = 0
-            time_since_recovery[alive & ~recover] += 1
-            state = np.where(crashed, _HEALTHY, next_state)
+        # Resets: a crashed node is replaced by a fresh healthy node; a
+        # recovery restarts the BTR window and the belief.
+        reset = crashed | recover
+        sim.belief = np.where(reset, sim.initial_belief_mat, new_belief)
+        sim.time_since_recovery = np.where(reset, 0, time_since_recovery + ~reset)
+        sim.state = live_state
+        sim.t += 1
+        return step_cost
 
+    def finalize(self, sim: BatchEpisodeState) -> BatchSimulationResult:
+        """Summarize a (finished or in-progress) state into per-episode results.
+
+        Does not mutate ``sim``: the end-of-episode censoring of unresolved
+        compromises (matching the scalar simulator) is applied on copies, so
+        the state may keep stepping afterwards.  States begun with
+        ``track_metrics=False`` carry no statistics and are rejected loudly
+        rather than summarized as zeros.
+        """
+        if not sim.track_metrics:
+            raise RuntimeError(
+                "cannot finalize a track_metrics=False state: the cost/recovery "
+                "accumulators were skipped; begin(..., track_metrics=True) instead"
+            )
+        steps = max(sim.t, 1)
+        shape = sim.state.shape
+        delay_sum = sim.delay_sum.copy()
+        delay_count = sim.delay_count.copy()
         # Episodes ending with an unresolved compromise contribute the
         # elapsed time, the same censoring the scalar simulator applies.
-        delay_sum[open_active] += open_count[open_active]
-        delay_count[open_active] += 1
+        delay_sum[sim.open_active] += sim.open_count[sim.open_active]
+        delay_count[sim.open_active] += 1
 
         time_to_recovery = np.divide(
             delay_sum,
@@ -347,22 +529,54 @@ class BatchRecoveryEngine:
             where=delay_count > 0,
         )
         return BatchSimulationResult(
-            average_cost=total_cost / horizon,
+            average_cost=sim.total_cost / steps,
             time_to_recovery=time_to_recovery,
-            recovery_frequency=recoveries / horizon,
-            num_recoveries=recoveries,
-            num_compromises=compromises,
-            steps=horizon,
-            availability=(available_steps / horizon) if track_availability else None,
+            recovery_frequency=sim.recoveries / steps,
+            num_recoveries=sim.recoveries.copy(),
+            num_compromises=sim.compromises.copy(),
+            steps=steps,
+            availability=(
+                (sim.available_steps / steps) if sim.available_steps is not None else None
+            ),
         )
+
+    def _simulate(
+        self, strategies: list[BatchStrategy], uniforms: np.ndarray
+    ) -> BatchSimulationResult:
+        sim = self._begin(uniforms)
+        shape = sim.state.shape
+        for _ in range(self.scenario.horizon):
+            recover = np.empty(shape, dtype=bool)
+            for j, strategy in enumerate(strategies):
+                recover[:, j] = strategy.action_batch(
+                    sim.belief[:, j], sim.time_since_recovery[:, j]
+                )
+            self.step(sim, recover)
+        return self.finalize(sim)
 
     def _update_beliefs(
         self,
         recover: np.ndarray,
         observation_index: np.ndarray,
         belief: np.ndarray,
+        workspace: dict | None = None,
     ) -> np.ndarray:
         """Batched Appendix A recursion, node by node (shared matrices)."""
+        regular = self._regular_observations
+        if self.scenario.num_nodes == 1:
+            likelihoods = self._observation_pmf[0]  # (|S|, |O|)
+            obs = observation_index[:, 0]
+            posterior = _batch_two_state_posterior(
+                belief[:, 0],
+                recover[:, 0],
+                likelihoods[_HEALTHY][obs],
+                likelihoods[_COMPROMISED][obs],
+                self._matrices[0, int(NodeAction.WAIT)],
+                self._matrices[0, int(NodeAction.RECOVER)],
+                workspace=workspace,
+                assume_regular=regular,
+            )
+            return posterior.reshape(-1, 1)
         updated = np.empty_like(belief)
         for j in range(self.scenario.num_nodes):
             likelihoods = self._observation_pmf[j]  # (|S|, |O|)
@@ -374,5 +588,7 @@ class BatchRecoveryEngine:
                 likelihoods[_COMPROMISED][obs],
                 self._matrices[j, int(NodeAction.WAIT)],
                 self._matrices[j, int(NodeAction.RECOVER)],
+                workspace=workspace,
+                assume_regular=regular,
             )
         return updated

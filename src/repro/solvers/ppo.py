@@ -13,10 +13,20 @@ PPO-clip implementation over the one-dimensional belief state:
 * updates use the clipped surrogate objective with entropy regularization
   (Appendix E: clip 0.2, GAE lambda 0.95, entropy coefficient 1e-4).
 
-The implementation favours clarity over speed — its role in the
-reproduction is to show (Table 2, Fig. 7) that a structure-agnostic RL
-baseline reaches higher cost and/or needs more compute than the threshold
-parameterization of Algorithm 1.
+Rollout collection is vectorized through the environment layer
+(:class:`~repro.envs.VectorRecoveryEnv`): all ``B`` episodes of an update
+advance in lockstep, so each timestep costs **one** policy forward pass
+over a ``(B, 2)`` feature batch instead of ``B`` scalar passes, and the
+GAE/returns recursion runs as ``B``-wide array operations over the
+``(T, B)`` reward matrix instead of a per-episode reversed Python loop.
+The pre-refactor scalar collector is kept (``vectorized=False``) as the
+reference implementation; the two are statistically equivalent (they
+consume different random streams) and the batched path is benchmarked at
+a multiple of the scalar path's speed in ``bench_ppo_rollout_speedup.py``.
+
+The role of PPO in the reproduction is to show (Table 2, Fig. 7) that a
+structure-agnostic RL baseline reaches higher cost and/or needs more
+compute than the threshold parameterization of Algorithm 1.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ import numpy as np
 
 from ..core.node_model import NodeAction, NodeParameters
 from ..core.observation import ObservationModel
+from ..envs.base import DEFAULT_CLOCK_CAP as _CLOCK_CAP
 from .evaluation import RecoverySimulator
 
 __all__ = ["PPOConfig", "PPOPolicy", "PPOResult", "train_ppo_recovery"]
@@ -86,9 +97,28 @@ class PPOPolicy:
 
     def action(self, belief: float, time_since_recovery: int = 0) -> NodeAction:
         """RecoveryStrategy-compatible greedy action (used for evaluation)."""
-        features = np.array([[belief, min(time_since_recovery, 100) / 100.0]])
+        features = np.array([[belief, min(time_since_recovery, _CLOCK_CAP) / float(_CLOCK_CAP)]])
         prob = float(self.recover_probability(features)[0])
         return NodeAction.RECOVER if prob >= 0.5 else NodeAction.WAIT
+
+    def action_batch(
+        self, beliefs: np.ndarray, time_since_recovery: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized greedy :meth:`action`: boolean recover mask over a batch.
+
+        Makes the trained policy a native
+        :class:`~repro.sim.strategies.BatchStrategy`, so it can be evaluated
+        by the batch engine and driven through the vectorized environments
+        without the element-wise fallback loop.
+        """
+        features = np.stack(
+            [
+                np.asarray(beliefs, dtype=float),
+                np.minimum(np.asarray(time_since_recovery), _CLOCK_CAP) / float(_CLOCK_CAP),
+            ],
+            axis=1,
+        )
+        return self.recover_probability(features) >= 0.5
 
     # -- numerical gradients via finite differences are too slow; use manual backprop.
     def _policy_forward_cache(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -168,13 +198,120 @@ class PPOResult:
     estimated_cost: float = float("nan")
 
 
+def _discounted_reverse_cumsum(series: np.ndarray, discount: float) -> np.ndarray:
+    """Backward recursion ``y_t = x_t + discount * y_{t+1}`` over axis 0."""
+    from scipy.signal import lfilter
+
+    return lfilter([1.0], [1.0, -discount], series[::-1], axis=0)[::-1]
+
+
+def _buffered_recover_probabilities(
+    policy: PPOPolicy, features: np.ndarray, work: dict
+) -> np.ndarray:
+    """In-place policy forward pass for the hot rollout loop.
+
+    Computes exactly :meth:`PPOPolicy.recover_probability` (same operation
+    sequence, bit for bit) but writes every intermediate into the reusable
+    ``work`` buffers, so a timestep allocates nothing.  The returned view
+    aliases ``work["logits"]`` and must be consumed before the next call.
+    """
+    hidden = np.matmul(features, policy.w1, out=work["hidden"])
+    hidden += policy.b1
+    np.maximum(hidden, 0.0, out=hidden)
+    logits = np.matmul(hidden, policy.w2, out=work["logits"])
+    logits += policy.b2
+    # Inlined _sigmoid: 1 / (1 + exp(-clip(x, -30, 30))).
+    np.clip(logits, -30.0, 30.0, out=logits)
+    np.negative(logits, out=logits)
+    np.exp(logits, out=logits)
+    logits += 1.0
+    np.divide(1.0, logits, out=logits)
+    return logits.reshape(-1)
+
+
 def _collect_rollouts(
+    policy: PPOPolicy,
+    env,
+    config: PPOConfig,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, float]:
+    """Vectorized rollout collection on a :class:`~repro.envs.VectorRecoveryEnv`.
+
+    All ``B = rollout_episodes`` episodes advance in lockstep: each timestep
+    performs one stochastic-policy forward pass over the whole batch, forces
+    recoveries where the BTR deadline is reached (probability 1, as in the
+    scalar collector), and steps the environment once.  GAE advantages and
+    discounted returns are then computed with ``B``-wide array operations
+    over the ``(T, B)`` reward matrix.  The returned arrays are flattened
+    episode-major, matching the layout of :func:`_collect_rollouts_scalar`.
+    """
+    horizon = config.horizon
+    batch = env.num_envs
+    observation = env.reset(seed=int(rng.integers(2 ** 31)))
+
+    features = np.empty((horizon, batch, 2))
+    actions = np.empty((horizon, batch), dtype=bool)
+    rewards = np.empty((horizon, batch))
+    old_probs = np.empty((horizon, batch))
+
+    forward_work = {
+        "hidden": np.empty((batch, config.hidden_size)),
+        "logits": np.empty((batch, 1)),
+    }
+    sample = rng.random
+    env_step = env.step
+    for t in range(horizon):
+        step_features = features[t]
+        step_features[:, 0] = observation.beliefs[:, 0]
+        step_features[:, 1] = np.minimum(
+            observation.time_since_recovery[:, 0], _CLOCK_CAP
+        ) / float(_CLOCK_CAP)
+        probs = _buffered_recover_probabilities(policy, step_features, forward_work)
+        forced = observation.forced[:, 0]
+        recover = (sample(batch) < probs) | forced
+        observation, costs, _, _ = env_step(recover[:, None])
+        actions[t] = recover
+        rewards[t] = costs[:, 0]
+        old_probs[t] = np.where(forced, 1.0, probs)
+    np.negative(rewards, out=rewards)  # PPO maximizes reward = -cost
+
+    # GAE advantages and discounted returns, vectorized across episodes and
+    # time: the backward recursions y_t = x_t + c * y_{t+1} are first-order
+    # IIR filters over the time-reversed (T, B) matrices, so two lfilter
+    # calls replace the per-episode reversed Python loop.
+    values = policy.value(features.reshape(horizon * batch, 2)).reshape(horizon, batch)
+    next_values = np.vstack([values[1:], np.zeros((1, batch))])
+    deltas = rewards + config.discount * next_values - values
+    decay = config.discount * config.gae_lambda
+    advantages = _discounted_reverse_cumsum(deltas, decay)
+    returns = _discounted_reverse_cumsum(rewards, config.discount)
+
+    # Flatten episode-major (episode 0's steps first), the scalar layout.
+    features = features.transpose(1, 0, 2).reshape(horizon * batch, 2)
+    actions = actions.T.reshape(-1)
+    advantages = advantages.T.reshape(-1)
+    returns = returns.T.reshape(-1)
+    old_probs = old_probs.T.reshape(-1)
+
+    if advantages.std() > 1e-8:
+        advantages = (advantages - advantages.mean()) / advantages.std()
+    average_cost = float(-rewards.mean())
+    return features, actions, advantages, returns, old_probs, average_cost
+
+
+def _collect_rollouts_scalar(
     policy: PPOPolicy,
     simulator: RecoverySimulator,
     config: PPOConfig,
     rng: np.random.Generator,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, float]:
-    """Simulate episodes with the stochastic policy; return PPO training arrays."""
+    """Scalar reference collector: one Python-level env step per (episode, t).
+
+    Kept as the pre-vectorization reference implementation; the batched
+    :func:`_collect_rollouts` is statistically equivalent (different random
+    streams) and is asserted to be a multiple faster in
+    ``benchmarks/bench_ppo_rollout_speedup.py``.
+    """
     from ..core.belief import update_compromise_belief
     from ..core.costs import node_cost
     from ..core.node_model import NodeState
@@ -266,30 +403,62 @@ def train_ppo_recovery(
     observation_model: ObservationModel,
     config: PPOConfig | None = None,
     seed: int | None = None,
+    vectorized: bool = True,
 ) -> PPOResult:
     """Train the PPO baseline on the intrusion recovery problem.
 
     Returns the trained policy (usable as a ``RecoveryStrategy`` via its
-    :meth:`PPOPolicy.action` method) together with its learning curve and a
+    :meth:`PPOPolicy.action` method, and as a batch strategy via
+    :meth:`PPOPolicy.action_batch`) together with its learning curve and a
     final Monte-Carlo cost estimate comparable to Table 2.
+
+    Args:
+        params: Node model parameters (defines ``f_N``, ``eta``, ``Delta_R``).
+        observation_model: Intrusion detection model ``Z``.
+        config: Hyper-parameters; defaults follow Appendix E.
+        seed: Seed for network initialization, rollout randomness and the
+            final evaluation.  Training is deterministic given the seed.
+        vectorized: Collect rollouts through the batched environment layer
+            (:class:`~repro.envs.VectorRecoveryEnv`); ``False`` uses the
+            scalar reference collector.  The two are statistically
+            equivalent but consume different random streams, so trained
+            weights differ between them for the same seed.
     """
     config = config if config is not None else PPOConfig()
     rng = np.random.default_rng(seed)
     policy = PPOPolicy(config, rng)
     simulator = RecoverySimulator(params, observation_model, horizon=config.horizon)
+    env = None
+    if vectorized:
+        from ..envs import VectorRecoveryEnv
+        from ..sim import FleetScenario
+
+        scenario = FleetScenario.single_node(
+            params, observation_model, horizon=config.horizon
+        )
+        env = VectorRecoveryEnv(
+            scenario,
+            num_envs=config.rollout_episodes,
+            track_metrics=False,
+            copy_observations=False,
+        )
     history: list[float] = []
 
     start = time.perf_counter()
     for _ in range(config.updates):
-        features, actions, advantages, returns, old_probs, average_cost = _collect_rollouts(
-            policy, simulator, config, rng
-        )
+        if env is not None:
+            rollouts = _collect_rollouts(policy, env, config, rng)
+        else:
+            rollouts = _collect_rollouts_scalar(policy, simulator, config, rng)
+        features, actions, advantages, returns, old_probs, average_cost = rollouts
         history.append(average_cost)
         for _ in range(config.epochs_per_update):
             policy.update(features, actions, advantages, returns, old_probs)
     elapsed = time.perf_counter() - start
 
-    estimated_cost = simulator.estimate_cost(policy, num_episodes=20, seed=seed)
+    estimated_cost = simulator.estimate_cost(
+        policy, num_episodes=20, seed=seed, batch=vectorized
+    )
     return PPOResult(
         policy=policy,
         history=history,

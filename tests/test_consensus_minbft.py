@@ -65,10 +65,6 @@ class TestNormalCase:
     def test_unsigned_request_is_ignored(self, cluster):
         from repro.consensus import ClientRequest
 
-        bogus = ClientRequest(
-            client_id="client-x", request_id=1, operation="write", key="x", value=1,
-            signature=None,
-        )
         # Requests with signatures that do not verify are dropped (validity);
         # unsigned requests are accepted only if signature is None is allowed —
         # here we inject a forged signature and expect no execution.

@@ -10,7 +10,6 @@ from repro.core import (
     BeliefState,
     NodeAction,
     NodeParameters,
-    NodeState,
     NodeTransitionModel,
     belief_transition_distribution,
     update_compromise_belief,

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.core import NodeParameters, summarize_runs
@@ -94,6 +93,56 @@ class TestEnvironmentMechanics:
         metrics_b = EmulationEnvironment(config, tolerance_policy(), seed=7).run(50)
         assert metrics_a.availability == metrics_b.availability
         assert metrics_a.recovery_frequency == metrics_b.recovery_frequency
+
+    def test_reset_replays_the_episode(self, config):
+        """reset() restores the construction state: same seed, same episode."""
+        env = EmulationEnvironment(config, tolerance_policy(), seed=9)
+        first = env.run(40)
+        env.reset()
+        assert env.time_step == 0 and len(env.trace) == 0
+        assert len(env.nodes) == config.initial_nodes
+        second = env.run(40)
+        assert first == second
+
+    def test_reset_with_new_seed_gives_new_episode(self, config):
+        env = EmulationEnvironment(config, tolerance_policy(), seed=9)
+        first = env.run(60)
+        second = env.reset(10).run(60)
+        assert first != second
+        # And resetting back replays the new seed deterministically.
+        assert env.reset().run(60) == second
+
+    def test_external_actions_override_controllers(self, config):
+        """step(actions) drives recoveries externally; BTR still enforced."""
+        import math
+
+        from repro.core import NodeAction
+
+        no_btr = EmulationConfig(
+            initial_nodes=3,
+            horizon=50,
+            delta_r=math.inf,
+            node_params=NodeParameters(p_a=0.1),
+        )
+        env = EmulationEnvironment(no_btr, no_recovery_policy(), seed=3)
+        # Never any recoveries from the NO-RECOVERY controllers...
+        for _ in range(5):
+            env.step()
+        assert env.metrics.finalize().recoveries == 0
+        # ...but external RECOVER decisions execute regardless.
+        recover_all = {node_id: NodeAction.RECOVER for node_id in env.nodes}
+        record = env.step(recover_all)
+        assert record.recoveries > 0
+
+    def test_observe_apply_phases_compose_to_step(self, config):
+        """Driving the phase split by hand equals the one-shot step()."""
+        env_a = EmulationEnvironment(config, tolerance_policy(), seed=12)
+        env_b = EmulationEnvironment(config, tolerance_policy(), seed=12)
+        for _ in range(20):
+            env_a.step()
+            env_b.apply_phase(env_b.observe_phase())
+        assert env_a.metrics.finalize() == env_b.metrics.finalize()
+        assert env_a.trace[-1] == env_b.trace[-1]
 
 
 class TestPolicyComparison:
