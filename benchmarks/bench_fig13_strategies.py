@@ -5,16 +5,32 @@ of adding a node as a function of the expected number of healthy nodes — for
 Delta_R = inf, N1 = 6, f = 1, and (b) the node controllers' recovery
 strategy, a single belief threshold alpha* ~ 0.76.
 
-The benchmark computes both: the replication strategy via Algorithm 2 and
-the recovery threshold via belief-space value iteration, prints them, and
+The benchmark computes both — the replication strategy via Algorithm 2 and
+the recovery threshold via belief-space value iteration — prints them, and
 checks the structural properties (non-increasing add probability below a
 threshold region; recovery threshold strictly inside (0, 1)).
+
+The strategy curves are additionally routed through the batched control
+plane (``repro.control``): the Algorithm 2 LP strategy and the Theorem 2
+mixture drive the system level of 100 simultaneous closed-loop fleet
+episodes (crash-prone nodes, N1 = 6, smax = 13) with common random numbers,
+verifying that the curves *realized in closed loop* behave as the
+stationary analysis predicts — replication spends nodes to keep the quorum
+and lifts availability over the never-add baseline.
 """
 
 from __future__ import annotations
 
+import math
 
-from repro.core import BetaBinomialObservationModel, BinomialSystemModel, NodeParameters
+from repro.control import evaluate_replication_closed_loop
+from repro.core import (
+    BetaBinomialObservationModel,
+    BinomialSystemModel,
+    NodeParameters,
+    ThresholdStrategy,
+)
+from repro.sim import BatchRecoveryEngine, FleetScenario
 from repro.solvers import (
     RecoveryPOMDP,
     belief_value_iteration,
@@ -24,6 +40,8 @@ from repro.solvers import (
 
 SMAX = 13
 F = 1
+CLOSED_LOOP_EPISODES = 100
+CLOSED_LOOP_HORIZON = 150
 
 
 def _compute():
@@ -40,11 +58,41 @@ def _compute():
         NodeParameters(p_a=0.1, p_u=0.02), BetaBinomialObservationModel(), discount=0.95
     )
     recovery = belief_value_iteration(pomdp, grid_size=101, max_iterations=500)
-    return model, lp, lagrangian, recovery
+
+    # Closed-loop realization of the strategy curves on the batched control
+    # plane: same engine and seed for every strategy (common random numbers).
+    scenario = FleetScenario.homogeneous(
+        NodeParameters(p_a=0.1, p_c1=0.01, p_c2=0.05, delta_r=math.inf),
+        BetaBinomialObservationModel(),
+        num_nodes=SMAX,
+        horizon=CLOSED_LOOP_HORIZON,
+        f=F,
+    )
+    engine = BatchRecoveryEngine(scenario)
+    closed_loop = {
+        name: evaluate_replication_closed_loop(
+            scenario,
+            CLOSED_LOOP_EPISODES,
+            ThresholdStrategy(0.75),
+            strategy,
+            seed=0,
+            initial_nodes=6,
+            enforce_invariant=False,
+            engine=engine,
+        )
+        for name, strategy in (
+            ("never-add", None),
+            ("lp", lp.strategy),
+            ("lagrangian", lagrangian.strategy),
+        )
+    }
+    return model, lp, lagrangian, recovery, closed_loop
 
 
 def test_fig13_strategies(benchmark, table_printer):
-    model, lp, lagrangian, recovery = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    model, lp, lagrangian, recovery, closed_loop = benchmark.pedantic(
+        _compute, rounds=1, iterations=1
+    )
 
     mixture_probs = [lagrangian.strategy.add_probability(s) for s in range(model.num_states)]
     table_printer(
@@ -54,6 +102,19 @@ def test_fig13_strategies(benchmark, table_printer):
     )
     print(f"LP availability: {lp.availability:.3f}, LP expected nodes: {lp.expected_cost:.2f}")
     print(f"Figure 13b: recovery threshold alpha* = {recovery.threshold():.2f}")
+    table_printer(
+        "Figure 13a (closed loop): strategies on the batched control plane",
+        ["strategy", "T(A)", "J (nodes)", "adds/episode"],
+        [
+            [
+                name,
+                f"{result.availability.mean():.2f}",
+                f"{result.average_nodes.mean():.2f}",
+                f"{result.additions.mean():.1f}",
+            ]
+            for name, result in closed_loop.items()
+        ],
+    )
 
     # 13a: the mixture is non-increasing in s and adds for small s.
     assert all(a >= b - 1e-9 for a, b in zip(mixture_probs, mixture_probs[1:]))
@@ -62,3 +123,14 @@ def test_fig13_strategies(benchmark, table_printer):
     # 13b: the recovery strategy has an interior threshold (the paper finds 0.76).
     threshold = recovery.threshold()
     assert 0.05 < threshold < 0.95
+
+    # Closed loop: both Algorithm 2 strategies actively add nodes, pay for
+    # them in the objective J, and more than double the availability of the
+    # never-add baseline (which loses the 2f+1 quorum to crashes).
+    never = closed_loop["never-add"]
+    assert never.additions.sum() == 0
+    for name in ("lp", "lagrangian"):
+        result = closed_loop[name]
+        assert result.additions.mean() > 1.0
+        assert result.average_nodes.mean() > never.average_nodes.mean() + 1.0
+        assert result.availability.mean() > never.availability.mean() + 0.15

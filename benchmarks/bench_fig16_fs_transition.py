@@ -1,21 +1,42 @@
 """Figure 16: example transition function f_S of the replication CMDP.
 
 The paper plots f_S(s' | s, a=0) for s in {0, 10, 20} on a 20-node system.
-This benchmark builds the same kernel (both the analytical binomial variant
-and an empirical variant estimated from emulation traces), prints the three
-rows, and checks the structural properties that Theorem 2's assumptions
-need: row-stochasticity, positivity, and first-order stochastic dominance in
-the current state (tail-sum monotonicity).
+This benchmark builds the same kernel three ways — the analytical binomial
+variant, an empirical variant estimated from emulation traces, and (new) an
+empirical variant fitted at scale from the batched fleet environment's
+``system_state_transitions()`` (100 episodes x 100 steps x 13 nodes in one
+vectorized rollout, the path that replaces the docker-emulation-only
+estimation of Appendix E) — prints the rows, and checks the structural
+properties Theorem 2's assumptions need: row-stochasticity, positivity, and
+first-order stochastic dominance in the current state (tail-sum
+monotonicity).  A structural-parity check compares the two empirical
+variants on what each can estimate: both are row-stochastic and strictly
+positive, both concentrate the successor mass of their best-observed state
+within +-2 of it, and the sim-fitted kernel's well-observed rows satisfy
+the FOSD mean shift and the Eq. 8 add-action shift.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
-from repro.core import BinomialSystemModel, EmpiricalSystemModel, NodeParameters
+from repro.control import fit_system_model_from_env
+from repro.core import (
+    BetaBinomialObservationModel,
+    BinomialSystemModel,
+    EmpiricalSystemModel,
+    NodeParameters,
+    ThresholdStrategy,
+)
 from repro.emulation import EmulationConfig, EmulationEnvironment, tolerance_policy
+from repro.envs import FleetVectorEnv, StrategyPolicy, rollout
+from repro.sim import FleetScenario
 
 SMAX = 20
+SIM_SMAX = 13
+SIM_EPISODES = 100
+SIM_HORIZON = 100
 
 
 def _compute():
@@ -31,14 +52,43 @@ def _compute():
     )
     environment = EmulationEnvironment(config, tolerance_policy(), seed=0)
     environment.run()
+    emulation_transitions = environment.system_state_transitions()
     empirical = EmpiricalSystemModel(
-        environment.system_state_transitions(), smax=13, f=2
+        emulation_transitions, smax=13, f=2
     )
-    return analytical, empirical
+
+    # The batched variant: one vectorized rollout of the fleet environment
+    # produces two orders of magnitude more transitions than the emulation
+    # episode, at a fraction of its wall-clock cost.
+    scenario = FleetScenario.homogeneous(
+        NodeParameters(p_a=0.1),
+        BetaBinomialObservationModel(),
+        num_nodes=SIM_SMAX,
+        horizon=SIM_HORIZON,
+        f=2,
+    )
+    fleet_env = FleetVectorEnv(scenario, SIM_EPISODES)
+    rollout(fleet_env, StrategyPolicy(ThresholdStrategy(0.75)), seed=0)
+    simulated = fit_system_model_from_env(fleet_env, epsilon_a=0.9)
+    simulated_pairs = fleet_env.system_state_transitions()
+    return (
+        analytical,
+        empirical,
+        emulation_transitions,
+        simulated,
+        simulated_pairs,
+    )
+
+
+def _top_visited_state(states: np.ndarray) -> int:
+    values, counts = np.unique(states, return_counts=True)
+    return int(values[np.argmax(counts)])
 
 
 def test_fig16_fs_transition(benchmark, table_printer):
-    analytical, empirical = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    analytical, empirical, emulation_transitions, simulated, simulated_pairs = (
+        benchmark.pedantic(_compute, rounds=1, iterations=1)
+    )
 
     sample_states = (0, 10, 20)
     rows = []
@@ -56,7 +106,9 @@ def test_fig16_fs_transition(benchmark, table_printer):
     print(
         "empirical f_S fitted from",
         empirical.num_observed_transitions,
-        "emulation transitions",
+        "emulation transitions vs",
+        simulated.num_observed_transitions,
+        "batched-engine transitions",
     )
 
     assert np.allclose(analytical.transition.sum(axis=2), 1.0)
@@ -67,3 +119,39 @@ def test_fig16_fs_transition(benchmark, table_printer):
     mean_from_0 = float(analytical.transition[0, 0] @ analytical.states)
     mean_from_20 = float(analytical.transition[0, 20] @ analytical.states)
     assert mean_from_20 > mean_from_0
+
+    # -- structural parity between the two empirical variants ----------------
+    # Scale: the vectorized fit sees every (s, s') pair of B x T steps.
+    assert simulated.num_observed_transitions == 2 * SIM_EPISODES * SIM_HORIZON
+    assert simulated.num_observed_transitions > 50 * empirical.num_observed_transitions
+
+    # Row-stochasticity and positivity (Laplace smoothing) for both.
+    for model in (empirical, simulated):
+        assert np.allclose(model.transition.sum(axis=2), 1.0)
+        assert np.all(model.transition > 0.0)
+
+    # Both concentrate the successor mass of their best-observed state
+    # within +-2 of it (the fleet state moves slowly between steps).
+    emulation_top = _top_visited_state(
+        np.array([s for s, _, _ in emulation_transitions])
+    )
+    simulated_top = _top_visited_state(simulated_pairs[:, 0])
+    for model, top in ((empirical, emulation_top), (simulated, simulated_top)):
+        window = model.transition[0, top, max(top - 2, 0) : top + 3]
+        assert window.sum() > 0.6
+
+    # The sim-fitted kernel has enough support for the Theorem 2 structure:
+    # FOSD mean shift over well-observed states...
+    values, counts = np.unique(simulated_pairs[:, 0], return_counts=True)
+    well_observed = [int(s) for s, c in zip(values, counts) if c >= 200]
+    assert len(well_observed) >= 3
+    means = simulated.transition[0] @ simulated.states
+    observed_means = [means[s] for s in well_observed]
+    assert all(
+        b >= a - 0.1 for a, b in zip(observed_means, observed_means[1:])
+    )
+    # ... and the Eq. 8 add-action shift f_S(s' | s, 1) = f_S(s' - 1 | s, 0).
+    means_add = simulated.transition[1] @ simulated.states
+    for s in well_observed:
+        if s < simulated.smax - 1:
+            assert means_add[s] == pytest.approx(means[s] + 1.0, abs=0.05)

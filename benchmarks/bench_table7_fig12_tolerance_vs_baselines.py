@@ -13,29 +13,45 @@ x 1000 steps).  The asserted findings are the paper's discussion points:
 (ii)  NO-RECOVERY's availability collapses;
 (iii) PERIODIC/PERIODIC-ADAPTIVE are close to TOLERANCE for small Delta_R
       and close to NO-RECOVERY for Delta_R = inf.
+
+All three sweeps run on the consolidated control-plane API
+(:mod:`repro.control.sweep`): the emulation testbed cells, the node-POMDP
+batch-engine sweep, and — new — the fully closed-loop two-level sweep where
+both feedback levels run batched (``test_table7_closed_loop_control_plane``),
+including the learned PPO replication contender and the >= 5x control-plane
+speedup assertion.
 """
 
 from __future__ import annotations
 
 import math
+import time
 
+from repro.control import (
+    ClosedLoopCell,
+    TwoLevelController,
+    closed_loop_sweep,
+    emulation_cell,
+    engine_fleet_sweep,
+    identify_replication_strategies,
+    train_ppo_replication,
+)
 from repro.core import (
     BetaBinomialObservationModel,
     NodeParameters,
     NoRecoveryStrategy,
     PeriodicStrategy,
     ThresholdStrategy,
-    summarize_runs,
 )
-from repro.sim import BatchRecoveryEngine, FleetScenario
 from repro.emulation import (
-    EmulationConfig,
-    EmulationEnvironment,
     no_recovery_policy,
     periodic_adaptive_policy,
     periodic_policy,
     tolerance_policy,
 )
+from repro.sim import FleetScenario
+
+import numpy as np
 
 N1_VALUES = (3, 6)
 DELTA_RS = (15.0, math.inf)
@@ -52,25 +68,19 @@ def _policies(delta_r: float):
     }
 
 
-def _run_cell(n1: int, delta_r: float, policy_factory) -> dict[str, tuple[float, float]]:
-    config = EmulationConfig(
-        initial_nodes=n1,
-        horizon=HORIZON,
-        delta_r=delta_r,
-        node_params=NodeParameters(p_a=0.1),
-    )
-    runs = [
-        EmulationEnvironment(config, policy_factory(), seed=seed).run() for seed in SEEDS
-    ]
-    return summarize_runs(runs)
-
-
 def _run_table():
     table: dict[tuple[int, float, str], dict[str, tuple[float, float]]] = {}
     for n1 in N1_VALUES:
         for delta_r in DELTA_RS:
             for name, factory in _policies(delta_r).items():
-                table[(n1, delta_r, name)] = _run_cell(n1, delta_r, factory)
+                table[(n1, delta_r, name)] = emulation_cell(
+                    n1,
+                    delta_r,
+                    factory,
+                    seeds=SEEDS,
+                    horizon=HORIZON,
+                    node_params=NodeParameters(p_a=0.1),
+                )
     return table
 
 
@@ -142,21 +152,15 @@ def test_table7_batch_fleet_sweep(benchmark, table_printer):
     }
 
     def _sweep():
-        observation_model = BetaBinomialObservationModel()
-        table = {}
-        for n1 in N1_VALUES:
-            scenario = FleetScenario.homogeneous(
-                NodeParameters(p_a=0.1),
-                observation_model,
-                num_nodes=n1,
-                horizon=200,
-                f=(n1 - 1) // 3 if n1 >= 3 else 0,
-            )
-            engine = BatchRecoveryEngine(scenario)
-            for name, strategy in strategies.items():
-                result = engine.run(strategy, num_episodes=200, seed=0)
-                table[(n1, name)] = result
-        return table
+        return engine_fleet_sweep(
+            N1_VALUES,
+            strategies,
+            node_params=NodeParameters(p_a=0.1),
+            observation_model=BetaBinomialObservationModel(),
+            num_episodes=200,
+            horizon=200,
+            seed=0,
+        )
 
     table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
 
@@ -189,3 +193,199 @@ def test_table7_batch_fleet_sweep(benchmark, table_printer):
         # (p_u = 0.02 -> ~50 steps) — an order of magnitude above TOLERANCE.
         assert no_recovery["time_to_recovery"][0] > 10 * tolerance["time_to_recovery"][0]
         assert tolerance["availability"][0] > no_recovery["availability"][0]
+
+
+# ---------------------------------------------------------------------------
+# Closed-loop two-level sweep on the batched control plane
+# ---------------------------------------------------------------------------
+CLOSED_LOOP_PARAMS = NodeParameters(
+    p_a=0.1, p_c1=0.01, p_c2=0.05, delta_r=math.inf
+)
+CLOSED_LOOP_SMAX = 7
+CLOSED_LOOP_HORIZON = 150
+CLOSED_LOOP_EPISODES = 100
+CLOSED_LOOP_N1 = (4, 6)
+
+
+def _closed_loop_setup():
+    """System identification + PPO training shared by the sweep cells."""
+    observation_model = BetaBinomialObservationModel()
+    scenario = FleetScenario.homogeneous(
+        CLOSED_LOOP_PARAMS,
+        observation_model,
+        num_nodes=CLOSED_LOOP_SMAX,
+        horizon=CLOSED_LOOP_HORIZON,
+        f=1,
+    )
+    sysid = identify_replication_strategies(
+        scenario,
+        ThresholdStrategy(0.75),
+        num_fit_episodes=100,
+        num_eval_episodes=20,
+        epsilon_a=0.5,
+        seed=0,
+        initial_nodes=4,
+    )
+    assert sysid.lp.feasible and sysid.lagrangian is not None, (
+        "Algorithm 2 must be solvable on the fitted kernel for this sweep"
+    )
+    ppo = train_ppo_replication(
+        scenario,
+        ThresholdStrategy(0.75),
+        seed=2,
+        initial_nodes=4,
+        evaluation_episodes=0,
+    )
+    return observation_model, scenario, sysid, ppo
+
+
+def _closed_loop_table(observation_model, sysid, ppo):
+    cells = [
+        ClosedLoopCell(
+            "tolerance", ThresholdStrategy(0.75), sysid.lagrangian.strategy
+        ),
+        ClosedLoopCell("tolerance-lp", ThresholdStrategy(0.75), sysid.lp.strategy),
+        ClosedLoopCell("tolerance-ppo", ThresholdStrategy(0.75), ppo.strategy),
+        ClosedLoopCell(
+            "no-recovery",
+            NoRecoveryStrategy(),
+            None,
+            enforce_invariant=False,
+            respect_recovery_limit=False,
+        ),
+        ClosedLoopCell(
+            "periodic",
+            PeriodicStrategy(25.0),
+            None,
+            enforce_invariant=False,
+            respect_recovery_limit=False,
+        ),
+    ]
+    return closed_loop_sweep(
+        CLOSED_LOOP_N1,
+        cells,
+        CLOSED_LOOP_PARAMS,
+        observation_model,
+        smax=CLOSED_LOOP_SMAX,
+        num_envs=CLOSED_LOOP_EPISODES,
+        horizon=CLOSED_LOOP_HORIZON,
+        seed=0,
+        tolerance_threshold=lambda n1: 1,
+    )
+
+
+def test_table7_closed_loop_control_plane(benchmark, table_printer):
+    """Table 7 / Fig 12 with *both* feedback levels in the loop, batched.
+
+    The tentpole workload of the ``repro.control`` refactor: every cell
+    couples belief-threshold node recovery with a system-level replication
+    strategy (Theorem 2 Lagrangian and Algorithm 2 LP on the *fitted*
+    empirical kernel, plus the PPO policy trained directly on the fleet
+    env) over 100 simultaneous fleet episodes with crash-prone nodes.
+
+    Asserted: the batched control plane reproduces the scalar
+    ``SystemController`` loop decision for decision (bit parity under a
+    shared seed) at >= 5x the speed, the two-level TOLERANCE cells keep the
+    quorum and dominate the baselines, and the learned PPO replication
+    policy improves over training and enters the table as a viable
+    contender.
+    """
+    observation_model, scenario, sysid, ppo = _closed_loop_setup()
+    table = benchmark.pedantic(
+        lambda: _closed_loop_table(observation_model, sysid, ppo),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for (n1, name), result in sorted(table.items()):
+        summary = result.summary()
+        rows.append(
+            [
+                n1,
+                name,
+                f"{summary['availability'][0]:.2f}±{summary['availability'][1]:.2f}",
+                f"{summary['average_nodes'][0]:.2f}±{summary['average_nodes'][1]:.2f}",
+                f"{summary['recovery_frequency'][0]:.3f}",
+                f"{result.additions.mean():.1f}",
+                f"{result.evictions.mean():.1f}",
+            ]
+        )
+    table_printer(
+        "Table 7 (closed loop): two-level control on the batched plane",
+        ["N1", "strategy", "T(A)", "J (nodes)", "F(R)", "adds", "evicts"],
+        rows,
+    )
+
+    # -- scalar-vs-vectorized controller parity under a shared seed ----------
+    parity = TwoLevelController(
+        scenario,
+        num_envs=10,
+        recovery_policy=ThresholdStrategy(0.75),
+        replication_strategy=sysid.lagrangian.strategy,
+        initial_nodes=4,
+        record_decisions=True,
+    )
+    parity.run(seed=123)
+    batched_trace = parity.last_decision_trace
+    parity.run_scalar_reference(seed=123)
+    scalar_trace = parity.last_decision_trace
+    for t in range(scenario.horizon):
+        assert np.array_equal(batched_trace.states[t], scalar_trace.states[t])
+        assert np.array_equal(batched_trace.adds[t], scalar_trace.adds[t])
+        assert np.array_equal(
+            batched_trace.emergencies[t], scalar_trace.emergencies[t]
+        )
+
+    # -- >= 5x control-plane speedup over the scalar SystemController loop ---
+    timing = TwoLevelController(
+        scenario,
+        num_envs=CLOSED_LOOP_EPISODES,
+        recovery_policy=ThresholdStrategy(0.75),
+        replication_strategy=sysid.lagrangian.strategy,
+        initial_nodes=4,
+    )
+    start = time.perf_counter()
+    timing.run(seed=7)
+    batched_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    timing.run_scalar_reference(seed=7)
+    scalar_seconds = time.perf_counter() - start
+    speedup = scalar_seconds / batched_seconds
+    print(
+        f"closed-loop control plane: batched {batched_seconds:.3f}s vs scalar "
+        f"{scalar_seconds:.3f}s ({speedup:.1f}x, {CLOSED_LOOP_EPISODES} episodes)"
+    )
+    assert speedup >= 5.0
+
+    # -- two-level feedback dominates the baselines --------------------------
+    for n1 in CLOSED_LOOP_N1:
+        tolerance = table[(n1, "tolerance")].summary()
+        no_recovery = table[(n1, "no-recovery")].summary()
+        periodic = table[(n1, "periodic")].summary()
+
+        # Feedback replication keeps the 2f+1 quorum; the baselines lose
+        # crashed nodes for good and their availability collapses.
+        assert tolerance["availability"][0] > 0.55
+        assert tolerance["availability"][0] > periodic["availability"][0] + 0.3
+        assert no_recovery["availability"][0] < 0.2
+        assert table[(n1, "no-recovery")].recovery_frequency.max() == 0.0
+        assert tolerance["average_nodes"][0] > 3.5
+        assert no_recovery["average_nodes"][0] < 2.5
+        # Emergency adds only fire for the invariant-enforcing cells.
+        assert table[(n1, "tolerance")].emergency_additions.sum() > 0
+        assert table[(n1, "no-recovery")].additions.sum() == 0
+
+    # -- Algorithm 2 on the fitted kernel is feasible ------------------------
+    assert sysid.lp.feasible
+    assert sysid.lagrangian is not None
+
+    # -- the learned PPO replication policy is a viable contender ------------
+    assert ppo.history[-1] < ppo.history[0] - 0.5  # J improved over training
+    assert (
+        ppo.availability_history[-1] > ppo.availability_history[0] + 0.05
+    )
+    for n1 in CLOSED_LOOP_N1:
+        ppo_cell = table[(n1, "tolerance-ppo")].summary()
+        periodic_cell = table[(n1, "periodic")].summary()
+        assert ppo_cell["availability"][0] > periodic_cell["availability"][0] + 0.3

@@ -16,7 +16,7 @@ Run with:  python examples/two_level_control_loop.py
 
 from __future__ import annotations
 
-from repro.core import NodeParameters, ToleranceArchitecture
+from repro.core import NodeParameters, ThresholdStrategy, ToleranceArchitecture
 from repro.emulation import EmulationConfig, no_recovery_policy, tolerance_policy
 
 
@@ -45,6 +45,46 @@ def run_once(policy, label: str) -> None:
     print(f"  Proposition 1 violations       = {violations if violations else 'none'}")
 
 
+def run_batched_control_plane() -> None:
+    """The same two-level loop, batched: 200 fleet episodes at once.
+
+    System identification fits the empirical CMDP kernel f_S from the
+    vectorized fleet environment, Algorithm 2 solves for the replication
+    strategy on the estimate, and the TwoLevelController re-evaluates it in
+    closed loop — the repro.control pipeline that replaces per-episode
+    emulation runs for fleet-scale sweeps.
+    """
+    from repro.control import TwoLevelController, identify_replication_strategies
+    from repro.core import BetaBinomialObservationModel
+    from repro.sim import FleetScenario
+
+    print("\n--- batched control plane: 200 closed-loop fleet episodes ---")
+    scenario = FleetScenario.homogeneous(
+        NodeParameters(p_a=0.1, p_c1=0.01, p_c2=0.05),
+        BetaBinomialObservationModel(),
+        num_nodes=7,
+        horizon=200,
+        f=1,
+    )
+    sysid = identify_replication_strategies(
+        scenario, ThresholdStrategy(0.75), epsilon_a=0.5, seed=0, initial_nodes=4
+    )
+    controller = TwoLevelController(
+        scenario,
+        num_envs=200,
+        recovery_policy=ThresholdStrategy(0.75),
+        replication_strategy=sysid.lagrangian.strategy if sysid.lagrangian else None,
+        initial_nodes=4,
+    )
+    result = controller.run(seed=0)
+    summary = result.summary()
+    print(f"  availability T(A)              = {summary['availability'][0]:.2f}")
+    print(f"  average nodes J                = {summary['average_nodes'][0]:.2f}")
+    print(f"  recovery frequency F(R)        = {summary['recovery_frequency'][0]:.3f}")
+    print(f"  emergency additions / episode  = {result.emergency_additions.mean():.1f}")
+    print(f"  evictions / episode            = {result.evictions.mean():.1f}")
+
+
 def main() -> None:
     run_once(tolerance_policy(alpha=0.75), "TOLERANCE")
     run_once(no_recovery_policy(), "NO-RECOVERY")
@@ -53,6 +93,7 @@ def main() -> None:
         "promptly, while NO-RECOVERY accumulates compromised replicas until the "
         "tolerance threshold f is exceeded."
     )
+    run_batched_control_plane()
 
 
 if __name__ == "__main__":

@@ -18,6 +18,12 @@ The package is organised as:
   and the emulation testbed (``EmulationVectorEnv``), so threshold
   strategies, evaluation policies and learned PPO policies run unmodified
   against every backend;
+* :mod:`repro.control` -- the closed-loop two-level control plane: the
+  vectorized system controller (bit-parity with the scalar reference), the
+  batched ``TwoLevelController`` coupling node recovery with replication
+  control over B fleets at once, the empirical ``f_S``
+  system-identification loop, a PPO replication policy trained on the
+  fleet environment, and the consolidated fleet-sweep API;
 * :mod:`repro.consensus` -- the substrates: reconfigurable MinBFT, clients,
   Raft, the simulated authenticated network, signatures, and the USIG;
 * :mod:`repro.emulation` -- the evaluation testbed: containers, IDS,
@@ -35,8 +41,17 @@ Quickstart::
     print(solution.strategy.thresholds, solution.estimated_cost)
 """
 
-from . import consensus, core, emulation, envs, sim, solvers
+from . import consensus, control, core, emulation, envs, sim, solvers
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-__all__ = ["consensus", "core", "emulation", "envs", "sim", "solvers", "__version__"]
+__all__ = [
+    "consensus",
+    "control",
+    "core",
+    "emulation",
+    "envs",
+    "sim",
+    "solvers",
+    "__version__",
+]

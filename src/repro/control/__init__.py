@@ -1,0 +1,102 @@
+"""Closed-loop two-level control plane (``repro.control``).
+
+The paper's headline contribution is *two-level* feedback control: each
+node runs a POMDP recovery controller, and a global controller steers the
+replication factor against a CMDP (Problems 1 and 2, Section V).  This
+package closes that loop on the batched simulation path:
+
+* :class:`VectorSystemController` — the vectorized refactor of the scalar
+  :class:`~repro.core.system_controller.SystemController` (kept as the
+  bit-parity reference): eviction, the Eq. 8 CMDP state, replication
+  decisions and the Prop. 1 emergency-add invariant for ``B`` fleets per
+  array operation, decision-for-decision identical to ``B`` scalar
+  controllers under shared seeds;
+* :class:`TwoLevelController` — ``B`` closed-loop fleet episodes at once:
+  node-level beliefs/recoveries via the bit-exact batch engine, the
+  ``k``-parallel-recovery limit, and system-level control over a fixed
+  ``smax`` slot bank (standby slots stay fresh and activate on addition);
+* :mod:`~repro.control.sysid` — the system-identification loop: fit the
+  empirical kernel ``\\hat{f}_S`` from
+  :meth:`~repro.envs.FleetVectorEnv.system_state_transitions` (or a
+  closed-loop trace), solve Algorithm 2 / Theorem 2 on the estimate, and
+  re-evaluate the strategies in closed loop — replacing the slow
+  docker-emulation-only estimation path;
+* :mod:`~repro.control.replication_ppo` — a PPO replication policy trained
+  directly on the fleet environment, entering Table 7 as a learned
+  contender;
+* :mod:`~repro.control.sweep` — the consolidated fleet-sweep API the
+  Table 7 / Figure 12 benchmarks run on.
+
+Quickstart::
+
+    from repro.core import BetaBinomialObservationModel, NodeParameters, ThresholdStrategy
+    from repro.control import TwoLevelController
+    from repro.sim import FleetScenario
+
+    scenario = FleetScenario.homogeneous(
+        NodeParameters(p_a=0.1), BetaBinomialObservationModel(),
+        num_nodes=9, horizon=200, f=1,
+    )
+    controller = TwoLevelController(
+        scenario, num_envs=100, recovery_policy=ThresholdStrategy(0.75),
+        initial_nodes=4,
+    )
+    result = controller.run(seed=0)
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from .replication_ppo import (
+    PPOReplicationResult,
+    PPOReplicationStrategy,
+    default_replication_config,
+    train_ppo_replication,
+)
+from .sweep import (
+    ClosedLoopCell,
+    closed_loop_sweep,
+    default_tolerance_threshold,
+    emulation_cell,
+    engine_fleet_sweep,
+)
+from .sysid import (
+    SystemIdentificationResult,
+    evaluate_replication_closed_loop,
+    fit_system_model_from_env,
+    fit_system_model_from_pairs,
+    fit_system_model_from_trace,
+    identify_replication_strategies,
+)
+from .two_level import SystemTrace, TwoLevelController, TwoLevelResult
+from .vector_system import (
+    VectorSystemController,
+    VectorSystemDecision,
+    expected_healthy_nodes_batch,
+    strategy_consumes_rng,
+)
+
+__all__ = [
+    "ClosedLoopCell",
+    "PPOReplicationResult",
+    "PPOReplicationStrategy",
+    "SystemIdentificationResult",
+    "SystemTrace",
+    "TwoLevelController",
+    "TwoLevelResult",
+    "VectorSystemController",
+    "VectorSystemDecision",
+    "closed_loop_sweep",
+    "default_replication_config",
+    "default_tolerance_threshold",
+    "emulation_cell",
+    "engine_fleet_sweep",
+    "evaluate_replication_closed_loop",
+    "expected_healthy_nodes_batch",
+    "fit_system_model_from_env",
+    "fit_system_model_from_pairs",
+    "fit_system_model_from_trace",
+    "identify_replication_strategies",
+    "strategy_consumes_rng",
+    "train_ppo_replication",
+]

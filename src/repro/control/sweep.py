@@ -1,0 +1,159 @@
+"""Fleet-scale scenario sweeps on the unified control-plane API.
+
+One home for the sweep helpers the Table 7 / Figure 12 benchmarks used to
+duplicate: the emulation-testbed cell runner, the node-POMDP batch-engine
+sweep, and the new closed-loop two-level sweep.  All three share the cell
+convention (initial size ``N_1`` x strategy name) so a benchmark can print
+one table across backends, and the batched variants share one compiled
+engine per scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..core.metrics import summarize_runs
+from ..core.node_model import NodeParameters
+from ..core.observation import ObservationModel
+from ..core.strategies import RecoveryStrategy, ReplicationStrategy
+from ..sim import BatchRecoveryEngine, BatchSimulationResult, FleetScenario
+from ..sim.strategies import BatchStrategy
+from .two_level import TwoLevelController, TwoLevelResult
+
+__all__ = [
+    "default_tolerance_threshold",
+    "ClosedLoopCell",
+    "emulation_cell",
+    "engine_fleet_sweep",
+    "closed_loop_sweep",
+]
+
+
+def default_tolerance_threshold(n1: int) -> int:
+    """The ``f = (N_1 - 1) / 3`` BFT rule used by the fleet sweeps."""
+    return (n1 - 1) // 3 if n1 >= 3 else 0
+
+
+def emulation_cell(
+    n1: int,
+    delta_r: float,
+    policy_factory: Callable[[], object],
+    seeds: Sequence[int],
+    horizon: int,
+    node_params: NodeParameters,
+) -> dict[str, tuple[float, float]]:
+    """Run one Table 7 emulation-testbed cell and summarize its metrics.
+
+    One :class:`~repro.emulation.EmulationEnvironment` episode per seed;
+    the summary maps each metric to a ``(mean, ci)`` pair via
+    :func:`~repro.core.metrics.summarize_runs`.
+    """
+    from ..emulation import EmulationConfig, EmulationEnvironment
+
+    config = EmulationConfig(
+        initial_nodes=n1,
+        horizon=horizon,
+        delta_r=delta_r,
+        node_params=node_params,
+    )
+    runs = [
+        EmulationEnvironment(config, policy_factory(), seed=seed).run()
+        for seed in seeds
+    ]
+    return summarize_runs(runs)
+
+
+def engine_fleet_sweep(
+    n1_values: Sequence[int],
+    strategies: Mapping[str, RecoveryStrategy | BatchStrategy],
+    node_params: NodeParameters,
+    observation_model: ObservationModel,
+    num_episodes: int = 200,
+    horizon: int = 200,
+    seed: int | None = 0,
+    tolerance_threshold: Callable[[int], int] = default_tolerance_threshold,
+) -> dict[tuple[int, str], BatchSimulationResult]:
+    """Node-POMDP fleet sweep on the batch engine (no system level).
+
+    For every initial size ``n1`` a homogeneous ``n1``-node scenario is
+    compiled once and every strategy is evaluated on ``num_episodes``
+    batched episodes with common random numbers.
+    """
+    table: dict[tuple[int, str], BatchSimulationResult] = {}
+    for n1 in n1_values:
+        scenario = FleetScenario.homogeneous(
+            node_params,
+            observation_model,
+            num_nodes=n1,
+            horizon=horizon,
+            f=tolerance_threshold(n1),
+        )
+        engine = BatchRecoveryEngine(scenario)
+        for name, strategy in strategies.items():
+            table[(n1, name)] = engine.run(strategy, num_episodes=num_episodes, seed=seed)
+    return table
+
+
+@dataclass(frozen=True)
+class ClosedLoopCell:
+    """One strategy column of a closed-loop two-level sweep.
+
+    Attributes:
+        name: Row label (``tolerance``, ``no-recovery``, ...).
+        recovery: Node-level recovery strategy/policy.
+        replication: System-level replication strategy (``None`` never adds).
+        enforce_invariant: Whether Prop. 1 emergency adds are enabled.
+        respect_recovery_limit: Whether the ``k``-recovery limit applies.
+    """
+
+    name: str
+    recovery: object
+    replication: ReplicationStrategy | None = None
+    enforce_invariant: bool = True
+    respect_recovery_limit: bool = True
+
+
+def closed_loop_sweep(
+    n1_values: Sequence[int],
+    cells: Sequence[ClosedLoopCell],
+    node_params: NodeParameters,
+    observation_model: ObservationModel,
+    smax: int,
+    num_envs: int = 100,
+    horizon: int = 200,
+    seed: int | None = 0,
+    k: int = 1,
+    tolerance_threshold: Callable[[int], int] = default_tolerance_threshold,
+) -> dict[tuple[int, str], TwoLevelResult]:
+    """Closed-loop Table 7 / Figure 12 sweep on the batched control plane.
+
+    Every ``(n1, cell)`` pair runs ``num_envs`` full two-level episodes on
+    an ``smax``-slot bank (one compiled engine per ``n1``), coupling the
+    cell's recovery strategy with its replication strategy — the workload
+    the scalar ``SystemController`` loop served one episode at a time.
+    """
+    table: dict[tuple[int, str], TwoLevelResult] = {}
+    for n1 in n1_values:
+        scenario = FleetScenario.homogeneous(
+            node_params,
+            observation_model,
+            num_nodes=smax,
+            horizon=horizon,
+            f=tolerance_threshold(n1),
+        )
+        engine = BatchRecoveryEngine(scenario)
+        for cell in cells:
+            controller = TwoLevelController(
+                scenario,
+                num_envs,
+                cell.recovery,
+                replication_strategy=cell.replication,
+                initial_nodes=n1,
+                k=k,
+                enforce_invariant=cell.enforce_invariant,
+                respect_recovery_limit=cell.respect_recovery_limit,
+                engine=engine,
+            )
+            table[(n1, cell.name)] = controller.run(seed=seed)
+    return table

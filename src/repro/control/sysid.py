@@ -1,0 +1,248 @@
+"""System identification of the replication CMDP from the batched engine.
+
+The paper instantiates Problem 2 by estimating the system transition kernel
+``f_S`` "from simulations of Problem 1" (Appendix E) — originally a slow
+docker-emulation-only path.  This module replaces it with the vectorized
+pipeline:
+
+1. roll a :class:`~repro.envs.FleetVectorEnv` batch (``B`` episodes x ``N``
+   nodes) under a node-level recovery policy and read the empirical
+   ``(s_t, s_{t+1})`` pairs off
+   :meth:`~repro.envs.FleetVectorEnv.system_state_transitions` — or the
+   ``(s_t, a_t, s_{t+1})`` triples off a closed-loop
+   :class:`~repro.control.two_level.SystemTrace`;
+2. fit an :class:`~repro.core.system_model.EmpiricalSystemModel` (for
+   action-free pairs, the add action's kernel follows from the Eq. 8
+   structure ``f_S(s' | s, 1) = f_S(s' - 1 | s, 0)``);
+3. solve Algorithm 2 (:func:`~repro.solvers.cmdp.solve_replication_lp`) and
+   the Theorem 2 Lagrangian relaxation on the fitted kernel;
+4. re-evaluate the resulting strategies **in closed loop** on the batched
+   two-level control plane — the Monte-Carlo counterpart of the stationary
+   analysis in :func:`~repro.solvers.cmdp.evaluate_replication_strategy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.strategies import RecoveryStrategy, ReplicationStrategy
+from ..core.system_model import EmpiricalSystemModel
+from ..envs.policies import VectorPolicy
+from ..envs.vector_recovery import FleetVectorEnv
+from ..sim import BatchRecoveryEngine, FleetScenario
+from ..sim.strategies import BatchStrategy
+from ..solvers.cmdp import (
+    CMDPSolution,
+    LagrangianSolution,
+    solve_replication_lagrangian,
+    solve_replication_lp,
+)
+from .two_level import SystemTrace, TwoLevelController, TwoLevelResult
+
+__all__ = [
+    "fit_system_model_from_pairs",
+    "fit_system_model_from_env",
+    "fit_system_model_from_trace",
+    "evaluate_replication_closed_loop",
+    "SystemIdentificationResult",
+    "identify_replication_strategies",
+]
+
+
+def fit_system_model_from_pairs(
+    pairs: np.ndarray,
+    smax: int,
+    f: int,
+    epsilon_a: float = 0.9,
+    smoothing: float = 0.5,
+) -> EmpiricalSystemModel:
+    """Fit ``f_S`` from action-free ``(s_t, s_{t+1})`` state pairs.
+
+    The pairs (e.g. from
+    :meth:`~repro.envs.FleetVectorEnv.system_state_transitions`, observed
+    without a system controller in the loop) define the passive kernel
+    ``f_S(. | s, a=0)``; the add action's kernel follows from the Eq. 8
+    structure — adding a node shifts the successor state up by one,
+    ``f_S(s' | s, 1) = f_S(s' - 1 | s, 0)`` (clipped at ``smax``).
+    """
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError(f"pairs must have shape (K, 2), got {pairs.shape}")
+    if pairs.shape[0] == 0:
+        raise ValueError("at least one observed transition is required")
+    if pairs.min() < 0 or pairs.max() > smax:
+        raise ValueError("transition outside the state space")
+    # Vectorized count aggregation: at fleet scale (B x T pairs) the
+    # per-triple Python loop of the EmpiricalSystemModel constructor would
+    # dominate the fit.
+    num_states = smax + 1
+    counts = np.full((2, num_states, num_states), smoothing, dtype=float)
+    np.add.at(counts[0], (pairs[:, 0], pairs[:, 1]), 1.0)
+    np.add.at(counts[1], (pairs[:, 0], np.minimum(pairs[:, 1] + 1, smax)), 1.0)
+    return EmpiricalSystemModel.from_counts(
+        counts, f=f, epsilon_a=epsilon_a, num_observed=2 * pairs.shape[0]
+    )
+
+
+def fit_system_model_from_env(
+    env: FleetVectorEnv,
+    f: int | None = None,
+    epsilon_a: float = 0.9,
+    smoothing: float = 0.5,
+) -> EmpiricalSystemModel:
+    """Fit ``f_S`` from the transitions a rolled-out fleet env accumulated."""
+    if f is None:
+        f = env.scenario.f
+    if f is None:
+        raise ValueError("pass f explicitly or use a scenario that defines it")
+    return fit_system_model_from_pairs(
+        env.system_state_transitions(),
+        smax=env.num_nodes,
+        f=f,
+        epsilon_a=epsilon_a,
+        smoothing=smoothing,
+    )
+
+
+def fit_system_model_from_trace(
+    trace: SystemTrace,
+    smax: int,
+    f: int,
+    epsilon_a: float = 0.9,
+    smoothing: float = 0.5,
+) -> EmpiricalSystemModel:
+    """Fit ``f_S`` from a closed-loop trace with *observed* add actions."""
+    triples = trace.transitions()
+    return EmpiricalSystemModel(
+        [(int(s), int(a), int(s_next)) for s, a, s_next in triples],
+        smax=smax,
+        f=f,
+        epsilon_a=epsilon_a,
+        smoothing=smoothing,
+    )
+
+
+def evaluate_replication_closed_loop(
+    scenario: FleetScenario,
+    num_envs: int,
+    recovery_policy: VectorPolicy | RecoveryStrategy | BatchStrategy | Sequence,
+    replication_strategy: ReplicationStrategy | None,
+    seed: int | None = None,
+    initial_nodes: int | None = None,
+    k: int = 1,
+    enforce_invariant: bool = True,
+    engine: BatchRecoveryEngine | None = None,
+) -> TwoLevelResult:
+    """Closed-loop Monte-Carlo evaluation of a replication strategy.
+
+    The batch-path counterpart of
+    :func:`~repro.solvers.cmdp.evaluate_replication_strategy`: instead of
+    the stationary distribution of the *modelled* chain, it measures the
+    average node count ``J`` and availability ``T^(A)`` of the strategy
+    against the actual two-level simulation dynamics.
+    """
+    controller = TwoLevelController(
+        scenario,
+        num_envs,
+        recovery_policy,
+        replication_strategy=replication_strategy,
+        initial_nodes=initial_nodes,
+        k=k,
+        enforce_invariant=enforce_invariant,
+        engine=engine,
+    )
+    return controller.run(seed=seed)
+
+
+@dataclass(frozen=True)
+class SystemIdentificationResult:
+    """Outcome of one fit-solve-reevaluate loop.
+
+    Attributes:
+        model: The fitted empirical kernel ``\\hat{f}_S``.
+        lp: Algorithm 2 solution on the fitted kernel.
+        lagrangian: Theorem 2 mixture on the fitted kernel (``None`` when
+            the relaxation is infeasible on the fitted model).
+        closed_loop: Per-strategy closed-loop summaries, each a
+            ``metric -> (mean, ci)`` mapping.  The ``never-add`` baseline
+            is always present; ``lp`` only when the LP was feasible and
+            ``lagrangian`` only when the relaxation succeeded — check
+            membership (or :attr:`lp`/:attr:`lagrangian`) before indexing.
+    """
+
+    model: EmpiricalSystemModel
+    lp: CMDPSolution
+    lagrangian: LagrangianSolution | None
+    closed_loop: dict[str, dict[str, tuple[float, float]]]
+
+
+def identify_replication_strategies(
+    scenario: FleetScenario,
+    recovery_policy: VectorPolicy | RecoveryStrategy | BatchStrategy | Sequence,
+    num_fit_episodes: int = 200,
+    num_eval_episodes: int = 100,
+    epsilon_a: float = 0.9,
+    seed: int | None = 0,
+    initial_nodes: int | None = None,
+    k: int = 1,
+    smoothing: float = 0.5,
+) -> SystemIdentificationResult:
+    """Full system-identification loop on the batched control plane.
+
+    Estimates ``\\hat{f}_S`` from ``num_fit_episodes`` batched fleet
+    episodes, solves Problem 2 on the estimate (LP and Lagrangian routes),
+    and re-evaluates the resulting strategies in closed loop against the
+    engine — all without touching the emulation testbed.
+    """
+    from ..envs.policies import StrategyPolicy
+    from ..envs.rollout import rollout
+
+    if scenario.f is None:
+        raise ValueError("the scenario must define a tolerance threshold f")
+    engine = BatchRecoveryEngine(scenario)
+    policy: VectorPolicy = (
+        recovery_policy
+        if hasattr(recovery_policy, "act")
+        else StrategyPolicy(recovery_policy)
+    )
+
+    fit_env = FleetVectorEnv(scenario, num_fit_episodes, engine)
+    rollout(fit_env, policy, seed=seed)
+    model = fit_system_model_from_env(
+        fit_env, epsilon_a=epsilon_a, smoothing=smoothing
+    )
+
+    lp = solve_replication_lp(model)
+    try:
+        lagrangian = solve_replication_lagrangian(model)
+    except ValueError:
+        lagrangian = None
+
+    eval_seed = None if seed is None else seed + 1
+    strategies: dict[str, ReplicationStrategy | None] = {"never-add": None}
+    if lp.feasible:
+        strategies["lp"] = lp.strategy
+    if lagrangian is not None:
+        strategies["lagrangian"] = lagrangian.strategy
+    closed_loop = {
+        name: evaluate_replication_closed_loop(
+            scenario,
+            num_eval_episodes,
+            policy,
+            strategy,
+            seed=eval_seed,
+            initial_nodes=initial_nodes,
+            k=k,
+            engine=engine,
+        ).summary()
+        for name, strategy in strategies.items()
+    }
+    return SystemIdentificationResult(
+        model=model,
+        lp=lp,
+        lagrangian=lagrangian,
+        closed_loop=closed_loop,
+    )

@@ -1,0 +1,562 @@
+"""Closed-loop two-level feedback control on the batched simulation path.
+
+:class:`TwoLevelController` runs ``B`` fleet episodes of the paper's full
+control architecture at once:
+
+* **node level** — per-slot belief updates and recovery actions through a
+  :class:`~repro.envs.VectorRecoveryEnv` over the bit-exact
+  :class:`~repro.sim.BatchRecoveryEngine` (the controller computes its own
+  active-masked CMDP states, so it skips
+  :class:`~repro.envs.FleetVectorEnv`'s whole-fleet bookkeeping), with the
+  ``k``-parallel-recovery limit of Proposition 1c granted to the most
+  suspicious requests;
+* **system level** — eviction, CMDP-state computation, replication
+  decisions and the Prop. 1 emergency-add invariant through a
+  :class:`~repro.control.vector_system.VectorSystemController` with a
+  pluggable :class:`~repro.core.strategies.ReplicationStrategy` backend
+  (threshold, Algorithm 2 LP, Theorem 2 Lagrangian mixture, or the learned
+  PPO replication policy of :mod:`repro.control.replication_ppo`).
+
+Node churn is mapped onto a fixed bank of ``smax`` engine slots: ``N_1``
+slots start active, evicted/crashed slots deactivate, and additions claim
+standby slots.  Standby slots recover on every step, so a newly activated
+slot joins as a fresh healthy node with the prior belief ``p_A`` —
+mirroring the testbed's fresh-container semantics.  Only active slots
+contribute to the CMDP state, the fleet availability ``T^(A)``, the node
+count ``N_t`` and the cost accounting.
+
+:meth:`TwoLevelController.run_scalar_reference` executes the identical
+closed loop one episode at a time with the scalar
+:class:`~repro.core.system_controller.SystemController` — the decision
+trace is bit-identical to the batched run under a shared seed (asserted in
+``tests/test_control_plane.py``), and the wall-clock ratio between the two
+is the control-plane speedup asserted in the Table 7 closed-loop benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.strategies import RecoveryStrategy, ReplicationStrategy
+from ..core.system_controller import SystemController
+from ..envs.base import VectorObservation
+from ..envs.policies import StrategyPolicy, VectorPolicy
+from ..envs.vector_recovery import VectorRecoveryEnv
+from ..sim import BatchRecoveryEngine, FleetScenario
+from ..sim.strategies import BatchStrategy
+from ..core.metrics import summarize_metric_arrays
+from .vector_system import VectorSystemController, strategy_consumes_rng
+
+__all__ = ["SystemTrace", "TwoLevelResult", "TwoLevelController"]
+
+
+@dataclass(frozen=True)
+class SystemTrace:
+    """Per-step system-level trajectory of one batched closed-loop run.
+
+    All arrays have shape ``(T, B)``.  The PPO replication trainer consumes
+    the trace as its rollout buffer; the system-identification loop reads
+    the ``(s_t, a_t, s_{t+1})`` transitions off it.
+
+    Attributes:
+        states: CMDP states ``s_t``.
+        actions: Executed add decisions ``a_t`` (including emergency adds).
+        add_probabilities: The strategy's ``pi(a=1 | s_t)`` per decision.
+        forced: Steps where the executed action overrode the strategy
+            (emergency add, or an add dropped at the ``smax`` cap).
+        node_counts: Replication factors ``N_t`` after the step's
+            evictions and additions.
+        decision_counts: ``N_t`` at decision time (after evictions, before
+            additions) — the count feature the learned policy conditions on.
+        available: Whether at most ``f`` active nodes were failed.
+    """
+
+    states: np.ndarray
+    actions: np.ndarray
+    add_probabilities: np.ndarray
+    forced: np.ndarray
+    node_counts: np.ndarray
+    decision_counts: np.ndarray
+    available: np.ndarray
+
+    def transitions(self) -> np.ndarray:
+        """Observed ``(s_t, a_t, s_{t+1})`` triples, shape ``(K, 3)``.
+
+        The empirical input of Algorithm 2's system-identification step:
+        aggregate into counts to fit ``f_S`` from closed-loop simulation
+        instead of testbed traces (see :mod:`repro.control.sysid`).
+        """
+        if self.states.shape[0] < 2:
+            return np.empty((0, 3), dtype=np.int64)
+        return np.stack(
+            [
+                self.states[:-1].ravel(),
+                self.actions[:-1].astype(np.int64).ravel(),
+                self.states[1:].ravel(),
+            ],
+            axis=1,
+        )
+
+
+@dataclass(frozen=True)
+class TwoLevelResult:
+    """Per-episode outcome of one closed-loop two-level run.
+
+    All arrays have shape ``(B,)``; metrics follow the Table 7 conventions.
+
+    Attributes:
+        availability: Fleet availability ``T^(A)``: the fraction of steps
+            with at most ``f`` failed active nodes **and** a consensus
+            quorum ``N_t >= 2f + 1`` in place.  The quorum conjunct
+            matters under dynamic membership — a fleet evicted down to one
+            node trivially satisfies ``failed <= f`` but cannot serve
+            requests (Prop. 1d); fixed-size backends
+            (:class:`~repro.sim.BatchSimulationResult`) omit it because
+            their ``N`` never changes.
+        average_nodes: Average replication factor ``J`` (Eq. 9 cost).
+        average_cost: Node-level Eq. 5 cost per active slot-step.
+        recovery_frequency: Executed recoveries per active slot-step.
+        additions: Node additions requested by the system level.
+        emergency_additions: Additions forced by the Prop. 1 invariant.
+        evictions: Evicted (crashed) nodes.
+        steps: Episode length.
+    """
+
+    availability: np.ndarray
+    average_nodes: np.ndarray
+    average_cost: np.ndarray
+    recovery_frequency: np.ndarray
+    additions: np.ndarray
+    emergency_additions: np.ndarray
+    evictions: np.ndarray
+    steps: int
+
+    @property
+    def num_episodes(self) -> int:
+        return int(self.availability.shape[0])
+
+    def summary(self, confidence: float = 0.95) -> dict[str, tuple[float, float]]:
+        """Aggregate ``(mean, ci)`` pairs across episodes."""
+        return summarize_metric_arrays(
+            {
+                "availability": self.availability,
+                "average_nodes": self.average_nodes,
+                "average_cost": self.average_cost,
+                "recovery_frequency": self.recovery_frequency,
+            },
+            confidence,
+        )
+
+
+@dataclass
+class _DecisionTrace:
+    """Per-step decision record used by the parity tests."""
+
+    states: list = field(default_factory=list)
+    adds: list = field(default_factory=list)
+    emergencies: list = field(default_factory=list)
+    evictions: list = field(default_factory=list)
+
+
+class TwoLevelController:
+    """Batched closed-loop controller coupling both feedback levels.
+
+    Args:
+        scenario: Fleet scenario whose ``num_nodes`` is the slot-bank
+            capacity ``smax`` and whose ``f`` defines availability; the
+            horizon is the episode length.
+        num_envs: Number of independent fleet episodes ``B``.
+        recovery_policy: Node-level policy — any
+            :class:`~repro.envs.policies.VectorPolicy`, or any recovery
+            strategy / per-slot strategy sequence (wrapped via
+            :class:`~repro.envs.policies.StrategyPolicy`).
+        replication_strategy: System-level strategy ``pi(a | s)``; ``None``
+            never adds nodes.
+        initial_nodes: Initial replication factor ``N_1``; defaults to the
+            minimum admissible ``2f + 1 + k`` (capped at ``smax``).
+        k: Maximum parallel recoveries granted per step (Prop. 1c).
+        enforce_invariant: Whether the system level force-adds nodes to
+            keep ``N_t >= 2f + 1 + k``.
+        respect_recovery_limit: Whether at most ``k`` voluntary recoveries
+            are granted per episode-step (most suspicious beliefs first);
+            BTR-forced recoveries are always executed.
+        engine: Optional pre-built engine for ``scenario`` (sharing one
+            across controllers skips recompiling the scenario kernels).
+        record_system_trace: Record the per-step :class:`SystemTrace`
+            (required by the PPO replication trainer and the
+            system-identification loop).
+        record_decisions: Record the per-step decision trace
+            (:attr:`last_decision_trace`) that the scalar-vs-vectorized
+            parity checks compare.  Off by default so the hot loop — and
+            the batched side of the speedup measurement — carries no
+            optional bookkeeping.
+    """
+
+    def __init__(
+        self,
+        scenario: FleetScenario,
+        num_envs: int,
+        recovery_policy: VectorPolicy | RecoveryStrategy | BatchStrategy | Sequence,
+        replication_strategy: ReplicationStrategy | None = None,
+        initial_nodes: int | None = None,
+        k: int = 1,
+        enforce_invariant: bool = True,
+        respect_recovery_limit: bool = True,
+        engine: BatchRecoveryEngine | None = None,
+        record_system_trace: bool = False,
+        record_decisions: bool = False,
+    ) -> None:
+        if scenario.f is None:
+            raise ValueError(
+                "the scenario must define a tolerance threshold f (the system "
+                "level plans against it); use FleetScenario.homogeneous(..., f=...)"
+            )
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.scenario = scenario
+        self.f = scenario.f
+        self.k = k
+        self.smax = scenario.num_nodes
+        minimum = 2 * self.f + 1 + k
+        if initial_nodes is None:
+            initial_nodes = min(minimum, self.smax)
+        if not 1 <= initial_nodes <= self.smax:
+            raise ValueError(
+                f"initial_nodes must lie in [1, {self.smax}], got {initial_nodes}"
+            )
+        self.initial_nodes = initial_nodes
+        self.enforce_invariant = enforce_invariant
+        self.respect_recovery_limit = respect_recovery_limit
+        self.replication_strategy = replication_strategy
+        self.recovery_policy: VectorPolicy = (
+            recovery_policy
+            if hasattr(recovery_policy, "act")
+            else StrategyPolicy(recovery_policy)
+        )
+        self.env = VectorRecoveryEnv(scenario, num_envs, engine)
+        self.record_system_trace = record_system_trace
+        self.record_decisions = record_decisions
+        self.system_trace: SystemTrace | None = None
+        self.last_decision_trace: _DecisionTrace | None = None
+
+    # -- interface properties ----------------------------------------------------
+    @property
+    def num_envs(self) -> int:
+        return self.env.num_envs
+
+    @property
+    def horizon(self) -> int:
+        return self.scenario.horizon
+
+    # -- seed tree ----------------------------------------------------------------
+    def _system_seed_sequences(
+        self, seed: int | None
+    ) -> list[np.random.SeedSequence] | None:
+        """Per-episode controller streams from the shared episode seed tree.
+
+        The engine consumes children ``0 .. B*N-1`` of ``SeedSequence(seed)``
+        (episode-major); the system controllers take the next ``B`` children,
+        so one seed reproduces the entire closed loop — including the scalar
+        reference, which hands child ``B*N + b`` to episode ``b``'s scalar
+        controller.
+        """
+        if self.replication_strategy is None or not strategy_consumes_rng(
+            self.replication_strategy
+        ):
+            return None
+        total = self.num_envs * self.smax
+        children = np.random.SeedSequence(seed).spawn(total + self.num_envs)
+        return children[total:]
+
+    # -- batched closed loop -------------------------------------------------------
+    def run(
+        self,
+        seed: int | None = None,
+        policy_rng: np.random.Generator | None = None,
+    ) -> TwoLevelResult:
+        """Run one batch of ``B`` closed-loop episodes.
+
+        Args:
+            seed: Episode seed; seeds the engine's per-(episode, node)
+                streams and the per-episode system-controller streams from
+                one ``SeedSequence`` tree.
+            policy_rng: Generator handed to stochastic node-level policies
+                (deterministic strategies ignore it).
+        """
+        env = self.env
+        batch, slots = self.num_envs, self.smax
+        observation = env.reset(seed=seed)
+        system = VectorSystemController(
+            f=self.f,
+            k=self.k,
+            strategy=self.replication_strategy,
+            smax=slots,
+            enforce_invariant=self.enforce_invariant,
+            num_episodes=batch,
+            horizon=self.horizon,
+            seed_sequences=self._system_seed_sequences(seed),
+        )
+        active = np.zeros((batch, slots), dtype=bool)
+        active[:, : self.initial_nodes] = True
+
+        available_steps = np.zeros(batch, dtype=np.int64)
+        node_count_sum = np.zeros(batch, dtype=np.int64)
+        cost_sum = np.zeros(batch)
+        recovery_steps = np.zeros(batch, dtype=np.int64)
+        active_slot_steps = np.zeros(batch, dtype=np.int64)
+        trace = _DecisionTrace() if self.record_decisions else None
+        record = self.record_system_trace
+        states_t: list[np.ndarray] = []
+        actions_t: list[np.ndarray] = []
+        probs_t: list[np.ndarray] = []
+        forced_t: list[np.ndarray] = []
+        counts_t: list[np.ndarray] = []
+        decision_counts_t: list[np.ndarray] = []
+        available_t: list[np.ndarray] = []
+
+        for _ in range(self.horizon):
+            forced = observation.forced
+            policy_observation = VectorObservation(
+                beliefs=observation.beliefs,
+                time_since_recovery=observation.time_since_recovery,
+                forced=forced,
+                active=active,
+            )
+            voluntary = (
+                np.asarray(self.recovery_policy.act(policy_observation, policy_rng))
+                .astype(bool)
+                & active
+                & ~forced
+            )
+            granted = (
+                self._grant_recoveries(voluntary, observation.beliefs)
+                if self.respect_recovery_limit
+                else voluntary
+            )
+            active_slot_steps += active.sum(axis=1)
+            recovery_steps += ((granted | forced) & active).sum(axis=1)
+            # Standby slots recover every step, staying fresh for activation.
+            observation, costs, _, info = env.step(granted | ~active)
+            cost_sum += (costs * active).sum(axis=1)
+
+            crashed = info["crashed"]
+            decision = system.step(
+                observation.beliefs,
+                reporting=active & ~crashed,
+                registered=active,
+                node_counts=active.sum(axis=1),
+            )
+            active = active & ~crashed
+            if decision.add_node.any():
+                rows = np.flatnonzero(decision.add_node)
+                first_free = (~active).argmax(axis=1)
+                active[rows, first_free[rows]] = True
+
+            node_counts = active.sum(axis=1)
+            node_count_sum += node_counts
+            step_available = ((info["failed_mask"] & active).sum(axis=1) <= self.f) & (
+                node_counts >= 2 * self.f + 1
+            )
+            available_steps += step_available
+
+            if trace is not None:
+                trace.states.append(decision.state)
+                trace.adds.append(decision.add_node)
+                trace.emergencies.append(decision.emergency_add)
+                trace.evictions.append(decision.evicted.sum(axis=1))
+            if record:
+                states_t.append(decision.state)
+                actions_t.append(decision.add_node)
+                probs_t.append(decision.add_probability)
+                forced_t.append(decision.emergency_add | decision.capped)
+                counts_t.append(node_counts)
+                decision_counts_t.append(decision.node_count_after_eviction)
+                available_t.append(step_available)
+
+        self.last_decision_trace = trace
+        if record:
+            self.system_trace = SystemTrace(
+                states=np.stack(states_t),
+                actions=np.stack(actions_t),
+                add_probabilities=np.stack(probs_t),
+                forced=np.stack(forced_t),
+                node_counts=np.stack(counts_t),
+                decision_counts=np.stack(decision_counts_t),
+                available=np.stack(available_t),
+            )
+        steps = max(self.horizon, 1)
+        slot_steps = np.maximum(active_slot_steps, 1)
+        return TwoLevelResult(
+            availability=available_steps / steps,
+            average_nodes=node_count_sum / steps,
+            average_cost=cost_sum / slot_steps,
+            recovery_frequency=recovery_steps / slot_steps,
+            additions=system.total_additions.copy(),
+            emergency_additions=system.emergency_additions.copy(),
+            evictions=system.total_evictions.copy(),
+            steps=steps,
+        )
+
+    def _grant_recoveries(
+        self, requests: np.ndarray, beliefs: np.ndarray
+    ) -> np.ndarray:
+        """Grant at most ``k`` voluntary recoveries per episode (Prop. 1c).
+
+        Most suspicious requests first, ties broken by slot index — the
+        same stable ordering the scalar reference's ``sorted`` applies.
+        """
+        keys = np.where(requests, -beliefs, np.inf)
+        order = np.argsort(keys, axis=1, kind="stable")
+        granted = np.zeros_like(requests)
+        rows = np.arange(requests.shape[0])[:, None]
+        head = order[:, : self.k]
+        granted[rows, head] = requests[rows, head]
+        return granted
+
+    # -- scalar reference ----------------------------------------------------------
+    def run_scalar_reference(self, seed: int | None = None) -> TwoLevelResult:
+        """Run the identical closed loop one episode at a time.
+
+        Episode ``b`` replays row ``b`` of the batched run bit for bit: the
+        engine consumes the same per-(episode, node) uniform streams (via a
+        slice of the shared buffer) and a scalar
+        :class:`~repro.core.system_controller.SystemController` seeded with
+        the same seed-tree child takes every system-level decision.  Kept
+        as the parity reference and the speedup baseline — the decision
+        trace (:attr:`last_decision_trace`) matches :meth:`run` exactly
+        under a shared seed.
+        """
+        engine = self.env.engine
+        batch, slots = self.num_envs, self.smax
+        uniforms = engine.draw_uniforms(seed, batch)
+        sequences = self._system_seed_sequences(seed)
+
+        availability = np.zeros(batch)
+        average_nodes = np.zeros(batch)
+        average_cost = np.zeros(batch)
+        recovery_frequency = np.zeros(batch)
+        additions = np.zeros(batch, dtype=np.int64)
+        emergencies = np.zeros(batch, dtype=np.int64)
+        evictions = np.zeros(batch, dtype=np.int64)
+        trace = _DecisionTrace() if self.record_decisions else None
+        if trace is not None:
+            trace.states = [[] for _ in range(batch)]
+            trace.adds = [[] for _ in range(batch)]
+            trace.emergencies = [[] for _ in range(batch)]
+            trace.evictions = [[] for _ in range(batch)]
+
+        for b in range(batch):
+            sim = engine.begin(uniforms=uniforms[b : b + 1])
+            controller = SystemController(
+                f=self.f,
+                k=self.k,
+                strategy=self.replication_strategy,
+                smax=slots,
+                enforce_invariant=self.enforce_invariant,
+                seed=sequences[b] if sequences is not None else None,
+            )
+            active = np.zeros(slots, dtype=bool)
+            active[: self.initial_nodes] = True
+            available_steps = 0
+            node_count_sum = 0
+            cost_sum = 0.0
+            recovery_steps = 0
+            active_slot_steps = 0
+
+            for _ in range(self.horizon):
+                forced = engine.forced_recoveries(sim)[0]
+                observation = VectorObservation(
+                    beliefs=sim.belief,
+                    time_since_recovery=sim.time_since_recovery,
+                    forced=forced[None, :],
+                    active=active[None, :],
+                )
+                voluntary = (
+                    np.asarray(self.recovery_policy.act(observation, None))[0]
+                    .astype(bool)
+                    & active
+                    & ~forced
+                )
+                if self.respect_recovery_limit:
+                    requested = [j for j in range(slots) if voluntary[j]]
+                    requested.sort(key=lambda j: -sim.belief[0, j])
+                    granted = np.zeros(slots, dtype=bool)
+                    granted[requested[: self.k]] = True
+                else:
+                    granted = voluntary
+                active_slot_steps += int(active.sum())
+                recovery_steps += int(((granted | forced) & active).sum())
+                mask = granted | ~active
+                costs = engine.step(sim, (mask | forced)[None, :], btr_applied=True)
+                cost_sum += float(costs[0][active].sum())
+
+                crashed = sim.last_crashed[0]
+                reported = {
+                    j: float(sim.belief[0, j])
+                    for j in range(slots)
+                    if active[j] and not crashed[j]
+                }
+                registered = {j for j in range(slots) if active[j]}
+                decision = controller.step(
+                    reported_beliefs=reported,
+                    registered_nodes=registered,
+                    current_node_count=int(active.sum()),
+                )
+                active = active & ~crashed
+                if decision.add_node:
+                    active[int(np.argmax(~active))] = True
+
+                count = int(active.sum())
+                node_count_sum += count
+                failed = sim.last_failed_mask[0]
+                available_steps += int(
+                    (failed & active).sum() <= self.f and count >= 2 * self.f + 1
+                )
+                if trace is not None:
+                    trace.states[b].append(decision.state)
+                    trace.adds[b].append(decision.add_node)
+                    trace.emergencies[b].append(decision.emergency_add)
+                    trace.evictions[b].append(len(decision.evicted_nodes))
+
+            steps = max(self.horizon, 1)
+            slot_steps = max(active_slot_steps, 1)
+            availability[b] = available_steps / steps
+            average_nodes[b] = node_count_sum / steps
+            average_cost[b] = cost_sum / slot_steps
+            recovery_frequency[b] = recovery_steps / slot_steps
+            additions[b] = controller.total_additions
+            emergencies[b] = controller.emergency_additions
+            evictions[b] = controller.total_evictions
+
+        if trace is not None:
+            # Transpose the per-episode lists into per-step arrays matching run().
+            trace.states = [
+                np.array([trace.states[b][t] for b in range(batch)], dtype=np.int64)
+                for t in range(self.horizon)
+            ]
+            trace.adds = [
+                np.array([trace.adds[b][t] for b in range(batch)], dtype=bool)
+                for t in range(self.horizon)
+            ]
+            trace.emergencies = [
+                np.array([trace.emergencies[b][t] for b in range(batch)], dtype=bool)
+                for t in range(self.horizon)
+            ]
+            trace.evictions = [
+                np.array([trace.evictions[b][t] for b in range(batch)], dtype=np.int64)
+                for t in range(self.horizon)
+            ]
+        self.last_decision_trace = trace
+        return TwoLevelResult(
+            availability=availability,
+            average_nodes=average_nodes,
+            average_cost=average_cost,
+            recovery_frequency=recovery_frequency,
+            additions=additions,
+            emergency_additions=emergencies,
+            evictions=evictions,
+            steps=max(self.horizon, 1),
+        )

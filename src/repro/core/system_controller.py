@@ -18,6 +18,11 @@ Every time-step it:
 The controller itself is assumed crash-tolerant (deployed on a Raft cluster,
 see :mod:`repro.consensus.raft`); this module only contains the decision
 logic.
+
+This scalar implementation is the **bit-parity reference** for the batched
+control plane: :class:`repro.control.VectorSystemController` takes the same
+decisions for ``B`` fleet episodes per array operation and is asserted
+decision-for-decision identical to this class under shared seeds.
 """
 
 from __future__ import annotations

@@ -222,6 +222,44 @@ class EmpiricalSystemModel(SystemModel):
         super().__init__(transition, f=f, epsilon_a=epsilon_a)
         self.num_observed_transitions = observed
 
+    @classmethod
+    def from_counts(
+        cls,
+        counts: np.ndarray,
+        f: int,
+        epsilon_a: float = 0.9,
+        num_observed: int | None = None,
+    ) -> "EmpiricalSystemModel":
+        """Build the model from a pre-aggregated count matrix.
+
+        ``counts`` has shape ``(2, smax + 1, smax + 1)`` and already
+        includes any smoothing mass; callers with large transition sets
+        (the vectorized ``f_S`` fit in :mod:`repro.control.sysid`)
+        aggregate with ``np.add.at`` instead of the per-triple Python loop
+        of the constructor.
+
+        Args:
+            counts: Transition counts ``[a, s, s']`` including smoothing.
+            f: Tolerance threshold.
+            epsilon_a: Availability bound.
+            num_observed: Number of raw observed transitions behind the
+                counts (reported by :attr:`num_observed_transitions`);
+                defaults to the rounded count total.
+        """
+        counts = np.asarray(counts, dtype=float)
+        if counts.ndim != 3 or counts.shape[0] != 2 or counts.shape[1] != counts.shape[2]:
+            raise ValueError(
+                f"counts must have shape (2, smax+1, smax+1), got {counts.shape}"
+            )
+        model = cls.__new__(cls)
+        SystemModel.__init__(
+            model, counts / counts.sum(axis=2, keepdims=True), f=f, epsilon_a=epsilon_a
+        )
+        model.num_observed_transitions = (
+            num_observed if num_observed is not None else int(round(counts.sum()))
+        )
+        return model
+
 
 def system_model_from_node_beliefs(
     beliefs: Sequence[float],

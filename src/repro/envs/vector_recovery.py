@@ -170,7 +170,12 @@ class VectorRecoveryEnv:
         )
 
     def _info(self, sim: BatchEpisodeState) -> dict[str, Any]:
-        return {"t": sim.t}
+        info: dict[str, Any] = {"t": sim.t}
+        if sim.last_crashed is not None:
+            info["crashed"] = sim.last_crashed
+        if sim.last_failed_mask is not None:
+            info["failed_mask"] = sim.last_failed_mask
+        return info
 
 
 class FleetVectorEnv(VectorRecoveryEnv):

@@ -154,6 +154,15 @@ class BatchEpisodeState:
     delay_count: np.ndarray  #: Number of completed recovery delays.
     available_steps: np.ndarray | None  #: (B,) steps with <= f failed nodes.
     last_failed: np.ndarray | None = None  #: (B,) failed-node counts of the last step.
+    #: (B, N) mask of streams whose node crashed during the last step (before
+    #: its replacement by a fresh node); always maintained by :meth:`step`.
+    last_crashed: np.ndarray | None = None
+    #: (B, N) ground-truth failed mask (compromised or crashed) of the last
+    #: step; maintained when the scenario tracks availability (``f`` set) and
+    #: ``track_metrics`` is on.  The system-level control plane
+    #: (:mod:`repro.control`) consumes both masks for eviction decisions and
+    #: per-episode availability under dynamic node membership.
+    last_failed_mask: np.ndarray | None = None
     #: Whether recovery/compromise/delay statistics are tracked.  Rollout
     #: consumers that only need costs and beliefs (the PPO collector) switch
     #: this off to skip the bookkeeping array operations; the dynamics and
@@ -235,7 +244,7 @@ class BatchRecoveryEngine:
         )
 
     # -- randomness -------------------------------------------------------------
-    def _draw_uniforms(self, seed: int | None, num_episodes: int) -> np.ndarray:
+    def draw_uniforms(self, seed: int | None, num_episodes: int) -> np.ndarray:
         """Pre-generate the uniform buffer, shape ``(B, N, 2 * horizon)``.
 
         Stream ``(b, j)`` is child ``b * N + j`` of ``SeedSequence(seed)``
@@ -273,7 +282,7 @@ class BatchRecoveryEngine:
         if num_episodes < 1:
             raise ValueError("num_episodes must be >= 1")
         batch_strategies = self._normalize_strategies(strategies)
-        return self._simulate(batch_strategies, self._draw_uniforms(seed, num_episodes))
+        return self._simulate(batch_strategies, self.draw_uniforms(seed, num_episodes))
 
     def run_threshold_population(
         self,
@@ -304,7 +313,7 @@ class BatchRecoveryEngine:
             raise ValueError("num_episodes must be >= 1")
         thresholds = np.atleast_2d(np.asarray(thresholds, dtype=float))
         num_candidates = thresholds.shape[0]
-        base = self._draw_uniforms(seed, num_episodes)  # (M, 1, 2T)
+        base = self.draw_uniforms(seed, num_episodes)  # (M, 1, 2T)
         uniforms = np.tile(base, (num_candidates, 1, 1))  # (K*M, 1, 2T)
         strategy = BatchMultiThreshold(np.repeat(thresholds, num_episodes, axis=0))
         result = self._simulate([strategy], uniforms)
@@ -325,9 +334,10 @@ class BatchRecoveryEngine:
     # -- stepwise simulation ----------------------------------------------------
     def begin(
         self,
-        num_episodes: int,
+        num_episodes: int | None = None,
         seed: int | None = None,
         track_metrics: bool = True,
+        uniforms: np.ndarray | None = None,
     ) -> BatchEpisodeState:
         """Initialize the per-stream state for ``num_episodes`` episodes.
 
@@ -336,17 +346,34 @@ class BatchRecoveryEngine:
         strategy would produce reproduces :meth:`run` exactly.
 
         Args:
-            num_episodes: Batch size ``B``.
+            num_episodes: Batch size ``B``; required unless ``uniforms`` is
+                given.
             seed: Seed for the episode seed tree.
             track_metrics: When ``False``, :meth:`step` skips the
                 recovery/compromise/delay/total-cost bookkeeping (per-step
                 costs, beliefs and random streams are unchanged) — a fast
                 path for rollout collectors that consume the returned step
                 costs and observations and never call :meth:`finalize`.
+            uniforms: Pre-drawn ``(B, N, width)`` uniform buffer (e.g. a
+                per-episode slice of :meth:`draw_uniforms`), which makes a
+                ``B = 1`` replay of one row of a larger batch bit-identical
+                to that row — the scalar reference loop of
+                :mod:`repro.control` relies on this.  Mutually exclusive
+                with ``seed``/``num_episodes``.
         """
-        if num_episodes < 1:
+        if uniforms is not None:
+            if num_episodes is not None or seed is not None:
+                raise ValueError("pass either uniforms or (num_episodes, seed), not both")
+            uniforms = np.asarray(uniforms, dtype=float)
+            if uniforms.ndim != 3 or uniforms.shape[1] != self.scenario.num_nodes:
+                raise ValueError(
+                    "uniforms must have shape (B, num_nodes, width), got "
+                    f"{uniforms.shape}"
+                )
+            return self._begin(uniforms, track_metrics)
+        if num_episodes is None or num_episodes < 1:
             raise ValueError("num_episodes must be >= 1")
-        return self._begin(self._draw_uniforms(seed, num_episodes), track_metrics)
+        return self._begin(self.draw_uniforms(seed, num_episodes), track_metrics)
 
     def _begin(
         self, uniforms: np.ndarray, track_metrics: bool = True
@@ -441,6 +468,7 @@ class BatchRecoveryEngine:
 
         crashed = next_state == _CRASHED
         alive = ~crashed
+        sim.last_crashed = crashed
 
         if sim.track_metrics:
             sim.recoveries += recover
@@ -467,6 +495,7 @@ class BatchRecoveryEngine:
                 failed_counts = failed.sum(axis=1)
                 sim.available_steps += failed_counts <= self.scenario.f
                 sim.last_failed = failed_counts
+                sim.last_failed_mask = failed
 
         # Observation + belief update for live nodes only (a crashed node
         # is replaced by a fresh one and draws no observation).  A crashed

@@ -215,17 +215,32 @@ def _policy_availability(model: SystemModel, policy: np.ndarray) -> float:
 def policy_stationary_distribution(model: SystemModel, policy: np.ndarray) -> np.ndarray:
     """Stationary distribution of the Markov chain induced by a policy.
 
-    Solved as the left eigenvector problem via a linear system; assumes the
-    chain is unichain (assumption B of Theorem 2).
+    Solved as the left eigenvector problem via a least-squares linear
+    system; assumes the chain is unichain (assumption B of Theorem 2).
+    Edge cases are handled deterministically rather than silently:
+
+    * an *absorbing* kernel concentrates the distribution on its absorbing
+      class (the least-squares system is consistent there);
+    * a *degenerate* kernel with several closed classes (e.g. the identity
+      chain, where every distribution is stationary) returns the
+      minimum-norm stationary distribution the least-squares solve picks;
+    * invalid policies (entries outside the action set) and non-finite
+      solves raise instead of propagating NaNs.
     """
     num_states = model.num_states
     policy = np.asarray(policy, dtype=int)
+    if policy.shape != (num_states,):
+        raise ValueError(f"policy must have shape ({num_states},), got {policy.shape}")
+    if np.any((policy < 0) | (policy >= model.transition.shape[0])):
+        raise ValueError("policy entries must index a valid action")
     chain = np.array([model.transition[policy[s], s] for s in range(num_states)])
     # Solve pi (P - I) = 0 with sum(pi) = 1.
     a_matrix = np.vstack([chain.T - np.eye(num_states), np.ones(num_states)])
     b_vector = np.zeros(num_states + 1)
     b_vector[-1] = 1.0
     distribution, *_ = np.linalg.lstsq(a_matrix, b_vector, rcond=None)
+    if not np.all(np.isfinite(distribution)):
+        raise RuntimeError("stationary-distribution solve produced non-finite values")
     distribution = np.clip(distribution, 0.0, None)
     total = distribution.sum()
     if total <= 0:
@@ -316,7 +331,11 @@ def evaluate_replication_strategy(
     """Expected cost and availability of a randomized strategy ``pi(1 | s)``.
 
     Builds the induced Markov chain, computes its stationary distribution,
-    and returns ``(J, T^(A))``.
+    and returns ``(J, T^(A))``.  This is the *model-side* evaluation
+    (stationary analysis of ``f_S``); its Monte-Carlo counterpart on the
+    batched two-level control plane is
+    :func:`repro.control.evaluate_replication_closed_loop`, which measures
+    the same pair against the actual closed-loop simulation dynamics.
     """
     add_probabilities = np.asarray(add_probabilities, dtype=float)
     num_states = model.num_states

@@ -155,3 +155,59 @@ class TestSystemController:
         for _ in range(3):
             controller.step({"a": 0.0, "b": 0.0}, current_node_count=2)
         assert controller.total_additions == 3
+
+    def test_eviction_triggers_emergency_add(self):
+        """A lost report shrinks N_t below 2f + 1 + k and forces an add."""
+        controller = SystemController(f=1, k=1, enforce_invariant=True, smax=10)
+        decision = controller.step(
+            reported_beliefs={"a": 0.1, "b": 0.1, "c": 0.1},
+            registered_nodes={"a", "b", "c", "d"},
+            current_node_count=4,
+        )
+        assert decision.evicted_nodes == ("d",)
+        assert decision.add_node and decision.emergency_add
+        assert controller.total_evictions == 1
+        assert controller.emergency_additions == 1
+        assert controller.total_additions == 1
+
+    def test_emergency_add_dropped_when_cluster_exhausted(self):
+        """The Prop. 1 override cannot exceed the physical cluster size."""
+        controller = SystemController(f=2, k=1, enforce_invariant=True, smax=3)
+        beliefs = {f"n{i}": 0.0 for i in range(3)}
+        decision = controller.step(beliefs, current_node_count=3)
+        # N_t = 3 < 2f + 1 + k = 6 wants an emergency add, but smax = 3
+        # drops the request; the attempt is still counted.
+        assert not decision.add_node
+        assert not decision.emergency_add
+        assert controller.emergency_additions == 1
+        assert controller.total_additions == 0
+
+    def test_eviction_ignores_unregistered_reports(self):
+        """Reports from unknown nodes neither evict nor enter the state."""
+        controller = SystemController(f=1, enforce_invariant=False, smax=10)
+        decision = controller.step(
+            reported_beliefs={"a": 0.0, "ghost": 0.0},
+            registered_nodes={"a"},
+            current_node_count=1,
+        )
+        assert decision.evicted_nodes == ()
+        assert decision.state == 1
+
+    def test_strategy_add_on_top_of_eviction(self):
+        """Evictions and strategy-driven additions compose in one step."""
+        controller = SystemController(
+            f=1,
+            k=1,
+            strategy=ReplicationThresholdStrategy(beta=10),
+            smax=10,
+            enforce_invariant=True,
+        )
+        decision = controller.step(
+            reported_beliefs={"a": 0.0, "b": 0.0, "c": 0.0, "d": 0.0},
+            registered_nodes={"a", "b", "c", "d", "e"},
+            current_node_count=5,
+        )
+        assert decision.evicted_nodes == ("e",)
+        # The strategy adds (state 4 <= beta); no emergency flag since the
+        # addition was not forced.
+        assert decision.add_node and not decision.emergency_add

@@ -125,6 +125,83 @@ class TestLagrangianRelaxation:
             solve_replication_lagrangian(model)
 
 
+def _model_from_kernel(kernel: np.ndarray, f: int = 0, epsilon_a: float = 0.5):
+    from repro.core import SystemModel
+
+    return SystemModel(np.stack([kernel, kernel]), f=f, epsilon_a=epsilon_a)
+
+
+class TestStationaryDistributionEdgeCases:
+    def test_absorbing_kernel_concentrates_on_absorbing_state(self):
+        """Every state drains to 0, which is absorbing: pi = e_0."""
+        num_states = 4
+        kernel = np.zeros((num_states, num_states))
+        kernel[:, 0] = 1.0
+        model = _model_from_kernel(kernel)
+        policy = np.zeros(num_states, dtype=int)
+        distribution = policy_stationary_distribution(model, policy)
+        expected = np.zeros(num_states)
+        expected[0] = 1.0
+        np.testing.assert_allclose(distribution, expected, atol=1e-8)
+
+    def test_identity_kernel_returns_minimum_norm_distribution(self):
+        """Degenerate chain where every distribution is stationary: the
+        least-squares solve picks the minimum-norm one (uniform)."""
+        num_states = 5
+        model = _model_from_kernel(np.eye(num_states))
+        policy = np.zeros(num_states, dtype=int)
+        distribution = policy_stationary_distribution(model, policy)
+        assert distribution.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(distribution, np.full(num_states, 0.2), atol=1e-8)
+
+    def test_periodic_kernel(self):
+        """A deterministic 2-cycle has the uniform stationary distribution."""
+        kernel = np.array([[0.0, 1.0], [1.0, 0.0]])
+        model = _model_from_kernel(kernel)
+        distribution = policy_stationary_distribution(
+            model, np.zeros(2, dtype=int)
+        )
+        np.testing.assert_allclose(distribution, [0.5, 0.5], atol=1e-8)
+
+    def test_two_absorbing_classes_still_returns_a_distribution(self):
+        """Non-unichain kernel (two absorbing states): the solve returns a
+        valid distribution rather than NaNs (assumption B is the caller's
+        responsibility)."""
+        kernel = np.array(
+            [
+                [1.0, 0.0, 0.0],
+                [0.5, 0.0, 0.5],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        model = _model_from_kernel(kernel)
+        distribution = policy_stationary_distribution(model, np.zeros(3, dtype=int))
+        assert distribution.sum() == pytest.approx(1.0)
+        assert np.all(distribution >= 0.0)
+        assert distribution[1] == pytest.approx(0.0, abs=1e-8)
+
+    def test_invalid_policy_shape_raises(self, model):
+        with pytest.raises(ValueError):
+            policy_stationary_distribution(model, np.zeros(3, dtype=int))
+
+    def test_invalid_policy_entries_raise(self, model):
+        policy = np.full(model.num_states, 7, dtype=int)
+        with pytest.raises(ValueError):
+            policy_stationary_distribution(model, policy)
+
+    def test_evaluation_on_absorbing_chain(self):
+        """Availability of an all-drain chain is the indicator of state 0."""
+        num_states = 4
+        kernel = np.zeros((num_states, num_states))
+        kernel[:, 0] = 1.0
+        model = _model_from_kernel(kernel, f=0, epsilon_a=0.5)
+        cost, availability = evaluate_replication_strategy(
+            model, np.zeros(num_states)
+        )
+        assert cost == pytest.approx(0.0, abs=1e-8)
+        assert availability == pytest.approx(0.0, abs=1e-8)
+
+
 class TestStrategyEvaluation:
     def test_stationary_distribution_sums_to_one(self, model):
         policy = np.zeros(model.num_states, dtype=int)
