@@ -1,0 +1,191 @@
+"""Attacker-intensity sweep on the heterogeneous closed-loop control plane.
+
+The paper's testbed (Table 6) is a *mixed* fleet — replicas run different
+container images with different vulnerabilities ``p_A``, crash rates and
+recovery deadlines ``Delta_R``.  This benchmark sweeps the attacker's
+intensity (a fleet-wide scale on the per-class compromise probabilities,
+``p_A <- min(1, x * p_A)``) over such a mixed fleet with both feedback
+levels in the loop, and prints the Table 7-style metrics per intensity —
+including the per-class breakdown that only exists on the heterogeneous
+path.
+
+Asserted:
+
+(i)   the batched heterogeneous closed loop reproduces the scalar
+      per-node reference loop **bit for bit** under a shared SeedSequence
+      tree (decision trace, integer metrics, per-class metrics);
+(ii)  the batched sweep cell is >= 5x faster than the scalar reference on
+      the same workload;
+(iii) a faster attacker forces monotonically more recovery work and never
+      improves availability, and the vulnerable container class recovers
+      more often than the hardened one at every intensity.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.control import (
+    ClosedLoopCell,
+    TwoLevelController,
+    attacker_intensity_sweep,
+)
+from repro.core import (
+    BetaBinomialObservationModel,
+    NodeParameters,
+    ReplicationThresholdStrategy,
+    ThresholdStrategy,
+)
+from repro.sim import FleetScenario, NodeClass
+
+INTENSITIES = (0.5, 1.0, 2.0, 4.0)
+NUM_ENVS = 100
+HORIZON = 150
+INITIAL_NODES = 4
+
+#: Table 6 in miniature: a hardened and a vulnerable container image.
+HARDENED = NodeParameters(p_a=0.05, p_c1=0.01, p_c2=0.04, eta=1.5, delta_r=25)
+VULNERABLE = NodeParameters(p_a=0.2, p_c1=0.02, p_c2=0.08, eta=3.0, delta_r=10)
+
+
+def _mixed_scenario() -> FleetScenario:
+    model = BetaBinomialObservationModel()
+    return FleetScenario.mixed(
+        [
+            NodeClass("hardened", HARDENED, model, count=3),
+            NodeClass("vulnerable", VULNERABLE, model, count=3),
+        ],
+        horizon=HORIZON,
+        f=1,
+    )
+
+
+def _run_sweep(scenario: FleetScenario):
+    cells = [
+        ClosedLoopCell(
+            "tolerance",
+            ThresholdStrategy(0.75),
+            ReplicationThresholdStrategy(beta=4),
+        ),
+    ]
+    return attacker_intensity_sweep(
+        scenario,
+        intensities=INTENSITIES,
+        cells=cells,
+        num_envs=NUM_ENVS,
+        seed=0,
+        initial_nodes=INITIAL_NODES,
+    )
+
+
+def test_attacker_intensity_sweep_mixed_fleet(benchmark, table_printer):
+    scenario = _mixed_scenario()
+    table = benchmark.pedantic(lambda: _run_sweep(scenario), rounds=1, iterations=1)
+
+    rows = []
+    for (intensity, name), result in sorted(table.items()):
+        summary = result.summary()
+        classes = result.class_summary()
+        rows.append(
+            [
+                f"{intensity:g}x",
+                name,
+                f"{summary['availability'][0]:.2f}±{summary['availability'][1]:.2f}",
+                f"{summary['average_nodes'][0]:.2f}",
+                f"{summary['recovery_frequency'][0]:.3f}",
+                f"{classes['hardened']['recovery_frequency'][0]:.3f}",
+                f"{classes['vulnerable']['recovery_frequency'][0]:.3f}",
+            ]
+        )
+    table_printer(
+        "Attacker-intensity sweep (mixed fleet, closed loop)",
+        ["intensity", "strategy", "T(A)", "J (nodes)", "F(R)", "F(R) hard", "F(R) vuln"],
+        rows,
+    )
+
+    # -- (iii) monotone attacker pressure ------------------------------------
+    frequency = [
+        table[(x, "tolerance")].recovery_frequency.mean() for x in INTENSITIES
+    ]
+    assert all(a < b for a, b in zip(frequency, frequency[1:])), (
+        f"recovery work must grow with attacker intensity, got {frequency}"
+    )
+    availability = [
+        table[(x, "tolerance")].availability.mean() for x in INTENSITIES
+    ]
+    assert availability[0] >= availability[-1], (
+        "a 8x faster attacker cannot improve availability"
+    )
+    for x in INTENSITIES:
+        classes = table[(x, "tolerance")].class_summary()
+        assert (
+            classes["vulnerable"]["recovery_frequency"][0]
+            > classes["hardened"]["recovery_frequency"][0]
+        ), "the vulnerable image must recover more often at every intensity"
+
+    # -- (i) bit-exact parity with the scalar per-node reference loop --------
+    parity = TwoLevelController(
+        scenario.scale_attack(2.0),
+        num_envs=10,
+        recovery_policy=ThresholdStrategy(0.75),
+        replication_strategy=ReplicationThresholdStrategy(beta=4),
+        initial_nodes=INITIAL_NODES,
+        record_decisions=True,
+    )
+    batched = parity.run(seed=123)
+    batched_trace = parity.last_decision_trace
+    scalar = parity.run_scalar_reference(seed=123)
+    scalar_trace = parity.last_decision_trace
+    for t in range(scenario.horizon):
+        assert np.array_equal(batched_trace.states[t], scalar_trace.states[t])
+        assert np.array_equal(batched_trace.adds[t], scalar_trace.adds[t])
+        assert np.array_equal(
+            batched_trace.emergencies[t], scalar_trace.emergencies[t]
+        )
+        assert np.array_equal(batched_trace.evictions[t], scalar_trace.evictions[t])
+    assert np.array_equal(batched.additions, scalar.additions)
+    assert np.array_equal(batched.evictions, scalar.evictions)
+    assert np.array_equal(batched.availability, scalar.availability)
+    for label in ("hardened", "vulnerable"):
+        assert np.allclose(
+            batched.class_average_cost[label], scalar.class_average_cost[label]
+        )
+        assert np.allclose(
+            batched.class_recovery_frequency[label],
+            scalar.class_recovery_frequency[label],
+        )
+
+    # -- (ii) >= 5x over the scalar per-node reference loop ------------------
+    timing = TwoLevelController(
+        scenario,
+        num_envs=NUM_ENVS,
+        recovery_policy=ThresholdStrategy(0.75),
+        replication_strategy=ReplicationThresholdStrategy(beta=4),
+        initial_nodes=INITIAL_NODES,
+    )
+    start = time.perf_counter()
+    timing.run(seed=7)
+    batched_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    timing.run_scalar_reference(seed=7)
+    scalar_seconds = time.perf_counter() - start
+    speedup = scalar_seconds / batched_seconds
+    print(
+        f"mixed-fleet closed loop: batched {batched_seconds:.3f}s vs scalar "
+        f"{scalar_seconds:.3f}s ({speedup:.1f}x, {NUM_ENVS} episodes)"
+    )
+    assert speedup >= 5.0, f"batched sweep only {speedup:.1f}x faster than scalar"
+
+
+def test_scale_attack_saturates_and_preserves_classes():
+    """Intensity scaling is a pure ``p_A`` transform: classes keep their
+    identity and the scale clips at probability one."""
+    scenario = _mixed_scenario()
+    scaled = scenario.scale_attack(10.0)
+    assert scaled.node_labels == scenario.node_labels
+    assert scaled.node_params[0].p_a == 0.5  # 10 * 0.05
+    assert scaled.node_params[3].p_a == 1.0  # 10 * 0.2, clipped
+    assert scaled.node_params[3].delta_r == VULNERABLE.delta_r
+    assert (scenario.scale_attack(0.0).initial_beliefs() == 0.0).all()

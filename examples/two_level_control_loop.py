@@ -85,6 +85,55 @@ def run_batched_control_plane() -> None:
     print(f"  evictions / episode            = {result.evictions.mean():.1f}")
 
 
+def run_mixed_fleet() -> None:
+    """A heterogeneous (Table 6 style) fleet through the same closed loop.
+
+    Two container classes — a hardened image and a vulnerable one — run in
+    one fleet; every slot uses its own p_A / Delta_R / eta, and the result
+    reports per-class metrics alongside an attacker-intensity sweep.
+    """
+    from repro.control import ClosedLoopCell, attacker_intensity_sweep
+    from repro.core import BetaBinomialObservationModel
+    from repro.sim import FleetScenario, NodeClass
+
+    print("\n--- mixed container fleet: per-class metrics + attacker sweep ---")
+    model = BetaBinomialObservationModel()
+    scenario = FleetScenario.mixed(
+        [
+            NodeClass(
+                "hardened",
+                NodeParameters(p_a=0.05, p_c1=0.01, p_c2=0.04, eta=1.5, delta_r=25),
+                model,
+                count=3,
+            ),
+            NodeClass(
+                "vulnerable",
+                NodeParameters(p_a=0.2, p_c1=0.02, p_c2=0.08, eta=3.0, delta_r=10),
+                model,
+                count=3,
+            ),
+        ],
+        horizon=150,
+        f=1,
+    )
+    table = attacker_intensity_sweep(
+        scenario,
+        intensities=(0.5, 1.0, 2.0),
+        cells=[ClosedLoopCell("tolerance", ThresholdStrategy(0.75))],
+        num_envs=100,
+        seed=0,
+        initial_nodes=4,
+    )
+    for (intensity, _), result in sorted(table.items()):
+        summary = result.summary()
+        classes = result.class_summary()
+        print(
+            f"  attacker x{intensity:g}: T(A)={summary['availability'][0]:.2f}  "
+            f"F(R) hardened={classes['hardened']['recovery_frequency'][0]:.3f}  "
+            f"F(R) vulnerable={classes['vulnerable']['recovery_frequency'][0]:.3f}"
+        )
+
+
 def main() -> None:
     run_once(tolerance_policy(alpha=0.75), "TOLERANCE")
     run_once(no_recovery_policy(), "NO-RECOVERY")
@@ -94,6 +143,7 @@ def main() -> None:
         "tolerance threshold f is exceeded."
     )
     run_batched_control_plane()
+    run_mixed_fleet()
 
 
 if __name__ == "__main__":

@@ -25,7 +25,16 @@ package closes that loop on the batched simulation path:
   directly on the fleet environment, entering Table 7 as a learned
   contender;
 * :mod:`~repro.control.sweep` — the consolidated fleet-sweep API the
-  Table 7 / Figure 12 benchmarks run on.
+  Table 7 / Figure 12 benchmarks run on, including the heterogeneous
+  mixed-fleet sweep (:func:`mixed_closed_loop_sweep`) and the
+  attacker-intensity sweep (:func:`attacker_intensity_sweep`).
+
+Fleets may be heterogeneous: :meth:`~repro.sim.FleetScenario.mixed`
+expands per-class container templates (Table 6 style) into per-slot
+parameters, the whole loop uses each slot's own ``p_A``/``Delta_R``/
+``eta``/observation model, and labelled scenarios get per-class metrics
+(:meth:`TwoLevelResult.class_summary`) plus per-class empirical ``f_S``
+fits (:func:`fit_system_models_per_class`).
 
 Quickstart::
 
@@ -55,10 +64,12 @@ from .replication_ppo import (
 )
 from .sweep import (
     ClosedLoopCell,
+    attacker_intensity_sweep,
     closed_loop_sweep,
     default_tolerance_threshold,
     emulation_cell,
     engine_fleet_sweep,
+    mixed_closed_loop_sweep,
 )
 from .sysid import (
     SystemIdentificationResult,
@@ -66,6 +77,7 @@ from .sysid import (
     fit_system_model_from_env,
     fit_system_model_from_pairs,
     fit_system_model_from_trace,
+    fit_system_models_per_class,
     identify_replication_strategies,
 )
 from .two_level import SystemTrace, TwoLevelController, TwoLevelResult
@@ -86,6 +98,7 @@ __all__ = [
     "TwoLevelResult",
     "VectorSystemController",
     "VectorSystemDecision",
+    "attacker_intensity_sweep",
     "closed_loop_sweep",
     "default_replication_config",
     "default_tolerance_threshold",
@@ -96,7 +109,9 @@ __all__ = [
     "fit_system_model_from_env",
     "fit_system_model_from_pairs",
     "fit_system_model_from_trace",
+    "fit_system_models_per_class",
     "identify_replication_strategies",
+    "mixed_closed_loop_sweep",
     "strategy_consumes_rng",
     "train_ppo_replication",
 ]

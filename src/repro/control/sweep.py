@@ -2,10 +2,16 @@
 
 One home for the sweep helpers the Table 7 / Figure 12 benchmarks used to
 duplicate: the emulation-testbed cell runner, the node-POMDP batch-engine
-sweep, and the new closed-loop two-level sweep.  All three share the cell
-convention (initial size ``N_1`` x strategy name) so a benchmark can print
-one table across backends, and the batched variants share one compiled
-engine per scenario.
+sweep, and the closed-loop two-level sweeps.  All share the cell convention
+(scenario key x strategy name) so a benchmark can print one table across
+backends, and the batched variants share one compiled engine per scenario.
+
+The batched sweeps accept *per-node* parameters everywhere a single
+:class:`~repro.core.node_model.NodeParameters` used to be hard-coded: pass
+a sequence of per-node parameters (and optionally per-node observation
+models) to ``engine_fleet_sweep``/``closed_loop_sweep``, hand ready-made
+mixed scenarios to :func:`mixed_closed_loop_sweep`, or scale the whole
+fleet's compromise probabilities with :func:`attacker_intensity_sweep`.
 """
 
 from __future__ import annotations
@@ -27,12 +33,41 @@ __all__ = [
     "emulation_cell",
     "engine_fleet_sweep",
     "closed_loop_sweep",
+    "mixed_closed_loop_sweep",
+    "attacker_intensity_sweep",
 ]
 
 
 def default_tolerance_threshold(n1: int) -> int:
     """The ``f = (N_1 - 1) / 3`` BFT rule used by the fleet sweeps."""
     return (n1 - 1) // 3 if n1 >= 3 else 0
+
+
+def _per_node(value, num_nodes: int, kind: str) -> tuple:
+    """Expand a shared value — or validate a per-node sequence — to ``N`` slots."""
+    if isinstance(value, (list, tuple)):
+        if len(value) != num_nodes:
+            raise ValueError(
+                f"need one {kind} per node ({num_nodes}), got {len(value)}"
+            )
+        return tuple(value)
+    return (value,) * num_nodes
+
+
+def _sweep_scenario(
+    node_params: NodeParameters | Sequence[NodeParameters],
+    observation_model: ObservationModel | Sequence[ObservationModel],
+    num_nodes: int,
+    horizon: int,
+    f: int | None,
+) -> FleetScenario:
+    """Build a (possibly heterogeneous) sweep scenario from flexible inputs."""
+    return FleetScenario(
+        _per_node(node_params, num_nodes, "NodeParameters"),
+        _per_node(observation_model, num_nodes, "observation model"),
+        horizon=horizon,
+        f=f,
+    )
 
 
 def emulation_cell(
@@ -67,8 +102,8 @@ def emulation_cell(
 def engine_fleet_sweep(
     n1_values: Sequence[int],
     strategies: Mapping[str, RecoveryStrategy | BatchStrategy],
-    node_params: NodeParameters,
-    observation_model: ObservationModel,
+    node_params: NodeParameters | Sequence[NodeParameters],
+    observation_model: ObservationModel | Sequence[ObservationModel],
     num_episodes: int = 200,
     horizon: int = 200,
     seed: int | None = 0,
@@ -76,13 +111,16 @@ def engine_fleet_sweep(
 ) -> dict[tuple[int, str], BatchSimulationResult]:
     """Node-POMDP fleet sweep on the batch engine (no system level).
 
-    For every initial size ``n1`` a homogeneous ``n1``-node scenario is
-    compiled once and every strategy is evaluated on ``num_episodes``
-    batched episodes with common random numbers.
+    For every initial size ``n1`` an ``n1``-node scenario is compiled once
+    and every strategy is evaluated on ``num_episodes`` batched episodes
+    with common random numbers.  ``node_params``/``observation_model``
+    accept either one shared value or a per-node sequence of length ``n1``
+    (the latter only when a single ``n1`` is swept, since the sequence must
+    match the fleet size).
     """
     table: dict[tuple[int, str], BatchSimulationResult] = {}
     for n1 in n1_values:
-        scenario = FleetScenario.homogeneous(
+        scenario = _sweep_scenario(
             node_params,
             observation_model,
             num_nodes=n1,
@@ -93,6 +131,33 @@ def engine_fleet_sweep(
         for name, strategy in strategies.items():
             table[(n1, name)] = engine.run(strategy, num_episodes=num_episodes, seed=seed)
     return table
+
+
+def _run_cells(
+    scenario: FleetScenario,
+    cells: Sequence["ClosedLoopCell"],
+    num_envs: int,
+    seed: int | None,
+    k: int,
+    initial_nodes: int | None,
+) -> dict[str, TwoLevelResult]:
+    """Run every cell against one scenario on one shared compiled engine."""
+    engine = BatchRecoveryEngine(scenario)
+    results: dict[str, TwoLevelResult] = {}
+    for cell in cells:
+        controller = TwoLevelController(
+            scenario,
+            num_envs,
+            cell.recovery,
+            replication_strategy=cell.replication,
+            initial_nodes=initial_nodes,
+            k=k,
+            enforce_invariant=cell.enforce_invariant,
+            respect_recovery_limit=cell.respect_recovery_limit,
+            engine=engine,
+        )
+        results[cell.name] = controller.run(seed=seed)
+    return results
 
 
 @dataclass(frozen=True)
@@ -117,8 +182,8 @@ class ClosedLoopCell:
 def closed_loop_sweep(
     n1_values: Sequence[int],
     cells: Sequence[ClosedLoopCell],
-    node_params: NodeParameters,
-    observation_model: ObservationModel,
+    node_params: NodeParameters | Sequence[NodeParameters],
+    observation_model: ObservationModel | Sequence[ObservationModel],
     smax: int,
     num_envs: int = 100,
     horizon: int = 200,
@@ -132,28 +197,72 @@ def closed_loop_sweep(
     an ``smax``-slot bank (one compiled engine per ``n1``), coupling the
     cell's recovery strategy with its replication strategy — the workload
     the scalar ``SystemController`` loop served one episode at a time.
+    ``node_params``/``observation_model`` accept one shared value or a
+    per-slot sequence of length ``smax``.
     """
     table: dict[tuple[int, str], TwoLevelResult] = {}
     for n1 in n1_values:
-        scenario = FleetScenario.homogeneous(
+        scenario = _sweep_scenario(
             node_params,
             observation_model,
             num_nodes=smax,
             horizon=horizon,
             f=tolerance_threshold(n1),
         )
-        engine = BatchRecoveryEngine(scenario)
-        for cell in cells:
-            controller = TwoLevelController(
-                scenario,
-                num_envs,
-                cell.recovery,
-                replication_strategy=cell.replication,
-                initial_nodes=n1,
-                k=k,
-                enforce_invariant=cell.enforce_invariant,
-                respect_recovery_limit=cell.respect_recovery_limit,
-                engine=engine,
-            )
-            table[(n1, cell.name)] = controller.run(seed=seed)
+        for name, result in _run_cells(
+            scenario, cells, num_envs, seed, k, initial_nodes=n1
+        ).items():
+            table[(n1, name)] = result
+    return table
+
+
+def mixed_closed_loop_sweep(
+    scenarios: Mapping[str, FleetScenario],
+    cells: Sequence[ClosedLoopCell],
+    num_envs: int = 100,
+    seed: int | None = 0,
+    k: int = 1,
+    initial_nodes: int | None = None,
+) -> dict[tuple[str, str], TwoLevelResult]:
+    """Heterogeneous closed-loop sweep over ready-made (mixed) scenarios.
+
+    Every ``(scenario, cell)`` pair runs ``num_envs`` full two-level
+    episodes; one engine is compiled per scenario and shared across cells.
+    Scenarios built with :meth:`~repro.sim.FleetScenario.mixed` carry
+    per-class metrics on their results (``TwoLevelResult.class_summary``).
+    """
+    table: dict[tuple[str, str], TwoLevelResult] = {}
+    for scenario_name, scenario in scenarios.items():
+        for name, result in _run_cells(
+            scenario, cells, num_envs, seed, k, initial_nodes
+        ).items():
+            table[(scenario_name, name)] = result
+    return table
+
+
+def attacker_intensity_sweep(
+    scenario: FleetScenario,
+    intensities: Sequence[float],
+    cells: Sequence[ClosedLoopCell],
+    num_envs: int = 100,
+    seed: int | None = 0,
+    k: int = 1,
+    initial_nodes: int | None = None,
+) -> dict[tuple[float, str], TwoLevelResult]:
+    """Closed-loop sweep over attacker intensities (fleet-wide ``p_A`` scale).
+
+    For every intensity ``x`` the base scenario's per-node compromise
+    probabilities become ``min(1, x * p_{A,i})``
+    (:meth:`~repro.sim.FleetScenario.scale_attack`) — node classes keep
+    their identity, only the attacker gets faster — and every cell runs
+    ``num_envs`` two-level episodes against the scaled fleet.  One engine
+    is compiled per intensity and shared across cells.
+    """
+    table: dict[tuple[float, str], TwoLevelResult] = {}
+    for intensity in intensities:
+        scaled = scenario.scale_attack(intensity)
+        for name, result in _run_cells(
+            scaled, cells, num_envs, seed, k, initial_nodes
+        ).items():
+            table[(float(intensity), name)] = result
     return table

@@ -45,6 +45,7 @@ from .two_level import SystemTrace, TwoLevelController, TwoLevelResult
 __all__ = [
     "fit_system_model_from_pairs",
     "fit_system_model_from_env",
+    "fit_system_models_per_class",
     "fit_system_model_from_trace",
     "evaluate_replication_closed_loop",
     "SystemIdentificationResult",
@@ -105,6 +106,48 @@ def fit_system_model_from_env(
         epsilon_a=epsilon_a,
         smoothing=smoothing,
     )
+
+
+def fit_system_models_per_class(
+    env: FleetVectorEnv,
+    f: int | None = None,
+    epsilon_a: float = 0.9,
+    smoothing: float = 0.5,
+) -> dict[str, EmpiricalSystemModel]:
+    """Fit one empirical ``f_S`` per container class of a mixed fleet.
+
+    The per-class counterpart of :func:`fit_system_model_from_env`: each
+    class's kernel is estimated from the
+    :meth:`~repro.envs.FleetVectorEnv.class_state_transitions` pairs of its
+    own sub-fleet, over the sub-fleet state space ``{0, ..., count_c}``.
+    This is what makes the fitted dynamics of a mixed fleet inspectable
+    class by class (a vulnerable image's kernel drifts toward low states
+    much faster than a hardened one's) instead of being averaged into one
+    fleet-wide kernel.
+
+    Args:
+        env: A rolled-out fleet environment over a labelled scenario.
+        f: Tolerance threshold recorded on each class model, clipped to the
+            class size; defaults to the scenario's ``f``.
+        epsilon_a: Availability bound recorded on the models.
+        smoothing: Laplace smoothing mass per transition count.
+    """
+    if f is None:
+        f = env.scenario.f
+    if f is None:
+        raise ValueError("pass f explicitly or use a scenario that defines it")
+    class_slots = env.scenario.class_slots()
+    models: dict[str, EmpiricalSystemModel] = {}
+    for label, pairs in env.class_state_transitions().items():
+        count = int(len(class_slots[label]))
+        models[label] = fit_system_model_from_pairs(
+            pairs,
+            smax=count,
+            f=min(f, count),
+            epsilon_a=epsilon_a,
+            smoothing=smoothing,
+        )
+    return models
 
 
 def fit_system_model_from_trace(

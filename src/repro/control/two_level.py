@@ -25,6 +25,13 @@ mirroring the testbed's fresh-container semantics.  Only active slots
 contribute to the CMDP state, the fleet availability ``T^(A)``, the node
 count ``N_t`` and the cost accounting.
 
+Fleets may be heterogeneous (``FleetScenario.mixed``): every per-slot
+quantity — the initial/reset belief ``p_{A,j}``, the BTR deadline
+``Delta_{R,j}``, the cost weight ``eta_j`` and the observation model — is
+threaded through the engine per slot, so a standby slot activates as a
+fresh node of *its own* container class, never node 0's.  Labelled
+scenarios additionally get per-class cost/recovery metrics on the result.
+
 :meth:`TwoLevelController.run_scalar_reference` executes the identical
 closed loop one episode at a time with the scalar
 :class:`~repro.core.system_controller.SystemController` — the decision
@@ -123,6 +130,11 @@ class TwoLevelResult:
         emergency_additions: Additions forced by the Prop. 1 invariant.
         evictions: Evicted (crashed) nodes.
         steps: Episode length.
+        class_average_cost: Per-class Eq. 5 cost per active slot-step,
+            one ``(B,)`` array per node class — present only for labelled
+            (mixed) scenarios, else ``None``.
+        class_recovery_frequency: Per-class executed recoveries per active
+            slot-step, same convention.
     """
 
     availability: np.ndarray
@@ -133,6 +145,8 @@ class TwoLevelResult:
     emergency_additions: np.ndarray
     evictions: np.ndarray
     steps: int
+    class_average_cost: dict[str, np.ndarray] | None = None
+    class_recovery_frequency: dict[str, np.ndarray] | None = None
 
     @property
     def num_episodes(self) -> int:
@@ -149,6 +163,26 @@ class TwoLevelResult:
             },
             confidence,
         )
+
+    def class_summary(
+        self, confidence: float = 0.95
+    ) -> dict[str, dict[str, tuple[float, float]]]:
+        """Per-class ``(mean, ci)`` pairs for labelled (mixed) scenarios."""
+        if self.class_average_cost is None or self.class_recovery_frequency is None:
+            raise ValueError(
+                "per-class metrics require a labelled scenario; build it with "
+                "FleetScenario.mixed(...)"
+            )
+        return {
+            label: summarize_metric_arrays(
+                {
+                    "average_cost": self.class_average_cost[label],
+                    "recovery_frequency": self.class_recovery_frequency[label],
+                },
+                confidence,
+            )
+            for label in self.class_average_cost
+        }
 
 
 @dataclass
@@ -212,7 +246,8 @@ class TwoLevelController:
         if scenario.f is None:
             raise ValueError(
                 "the scenario must define a tolerance threshold f (the system "
-                "level plans against it); use FleetScenario.homogeneous(..., f=...)"
+                "level plans against it); pass f=... to "
+                "FleetScenario.homogeneous/.mixed"
             )
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -241,6 +276,11 @@ class TwoLevelController:
         self.record_decisions = record_decisions
         self.system_trace: SystemTrace | None = None
         self.last_decision_trace: _DecisionTrace | None = None
+        #: Slot indices per container class for labelled (mixed) scenarios;
+        #: drives the per-class metric accounting of both run paths.
+        self.class_slots: dict[str, np.ndarray] | None = (
+            scenario.class_slots() if scenario.node_labels is not None else None
+        )
 
     # -- interface properties ----------------------------------------------------
     @property
@@ -307,6 +347,15 @@ class TwoLevelController:
         cost_sum = np.zeros(batch)
         recovery_steps = np.zeros(batch, dtype=np.int64)
         active_slot_steps = np.zeros(batch, dtype=np.int64)
+        class_slots = self.class_slots
+        if class_slots is not None:
+            class_cost = {label: np.zeros(batch) for label in class_slots}
+            class_recoveries = {
+                label: np.zeros(batch, dtype=np.int64) for label in class_slots
+            }
+            class_steps = {
+                label: np.zeros(batch, dtype=np.int64) for label in class_slots
+            }
         trace = _DecisionTrace() if self.record_decisions else None
         record = self.record_system_trace
         states_t: list[np.ndarray] = []
@@ -337,10 +386,17 @@ class TwoLevelController:
                 else voluntary
             )
             active_slot_steps += active.sum(axis=1)
-            recovery_steps += ((granted | forced) & active).sum(axis=1)
+            executed = (granted | forced) & active
+            recovery_steps += executed.sum(axis=1)
             # Standby slots recover every step, staying fresh for activation.
             observation, costs, _, info = env.step(granted | ~active)
-            cost_sum += (costs * active).sum(axis=1)
+            active_costs = costs * active
+            cost_sum += active_costs.sum(axis=1)
+            if class_slots is not None:
+                for label, slots in class_slots.items():
+                    class_steps[label] += active[:, slots].sum(axis=1)
+                    class_recoveries[label] += executed[:, slots].sum(axis=1)
+                    class_cost[label] += active_costs[:, slots].sum(axis=1)
 
             crashed = info["crashed"]
             decision = system.step(
@@ -389,6 +445,16 @@ class TwoLevelController:
             )
         steps = max(self.horizon, 1)
         slot_steps = np.maximum(active_slot_steps, 1)
+        class_average_cost = class_recovery_frequency = None
+        if class_slots is not None:
+            class_average_cost = {
+                label: class_cost[label] / np.maximum(class_steps[label], 1)
+                for label in class_slots
+            }
+            class_recovery_frequency = {
+                label: class_recoveries[label] / np.maximum(class_steps[label], 1)
+                for label in class_slots
+            }
         return TwoLevelResult(
             availability=available_steps / steps,
             average_nodes=node_count_sum / steps,
@@ -398,6 +464,8 @@ class TwoLevelController:
             emergency_additions=system.emergency_additions.copy(),
             evictions=system.total_evictions.copy(),
             steps=steps,
+            class_average_cost=class_average_cost,
+            class_recovery_frequency=class_recovery_frequency,
         )
 
     def _grant_recoveries(
@@ -441,6 +509,12 @@ class TwoLevelController:
         additions = np.zeros(batch, dtype=np.int64)
         emergencies = np.zeros(batch, dtype=np.int64)
         evictions = np.zeros(batch, dtype=np.int64)
+        class_slots = self.class_slots
+        if class_slots is not None:
+            class_average_cost = {label: np.zeros(batch) for label in class_slots}
+            class_recovery_frequency = {
+                label: np.zeros(batch) for label in class_slots
+            }
         trace = _DecisionTrace() if self.record_decisions else None
         if trace is not None:
             trace.states = [[] for _ in range(batch)]
@@ -465,6 +539,10 @@ class TwoLevelController:
             cost_sum = 0.0
             recovery_steps = 0
             active_slot_steps = 0
+            if class_slots is not None:
+                episode_class_cost = {label: 0.0 for label in class_slots}
+                episode_class_recoveries = {label: 0 for label in class_slots}
+                episode_class_steps = {label: 0 for label in class_slots}
 
             for _ in range(self.horizon):
                 forced = engine.forced_recoveries(sim)[0]
@@ -488,10 +566,17 @@ class TwoLevelController:
                 else:
                     granted = voluntary
                 active_slot_steps += int(active.sum())
-                recovery_steps += int(((granted | forced) & active).sum())
+                executed = (granted | forced) & active
+                recovery_steps += int(executed.sum())
                 mask = granted | ~active
                 costs = engine.step(sim, (mask | forced)[None, :], btr_applied=True)
                 cost_sum += float(costs[0][active].sum())
+                if class_slots is not None:
+                    active_costs = costs[0] * active
+                    for label, indices in class_slots.items():
+                        episode_class_steps[label] += int(active[indices].sum())
+                        episode_class_recoveries[label] += int(executed[indices].sum())
+                        episode_class_cost[label] += float(active_costs[indices].sum())
 
                 crashed = sim.last_crashed[0]
                 reported = {
@@ -530,6 +615,15 @@ class TwoLevelController:
             additions[b] = controller.total_additions
             emergencies[b] = controller.emergency_additions
             evictions[b] = controller.total_evictions
+            if class_slots is not None:
+                for label in class_slots:
+                    denominator = max(episode_class_steps[label], 1)
+                    class_average_cost[label][b] = (
+                        episode_class_cost[label] / denominator
+                    )
+                    class_recovery_frequency[label][b] = (
+                        episode_class_recoveries[label] / denominator
+                    )
 
         if trace is not None:
             # Transpose the per-episode lists into per-step arrays matching run().
@@ -559,4 +653,10 @@ class TwoLevelController:
             emergency_additions=emergencies,
             evictions=evictions,
             steps=max(self.horizon, 1),
+            class_average_cost=(
+                class_average_cost if class_slots is not None else None
+            ),
+            class_recovery_frequency=(
+                class_recovery_frequency if class_slots is not None else None
+            ),
         )

@@ -203,6 +203,10 @@ class FleetVectorEnv(VectorRecoveryEnv):
     ) -> None:
         super().__init__(scenario, num_envs, engine)
         self._system_states: list[np.ndarray] = []
+        self._class_slots: dict[str, np.ndarray] | None = (
+            scenario.class_slots() if scenario.node_labels is not None else None
+        )
+        self._class_states: dict[str, list[np.ndarray]] = {}
 
     def expected_healthy_nodes(self) -> np.ndarray:
         """Per-episode CMDP state ``s_t = floor(sum_i (1 - b_i))`` (Eq. 8)."""
@@ -210,9 +214,34 @@ class FleetVectorEnv(VectorRecoveryEnv):
         total = (1.0 - sim.belief).sum(axis=1)
         return np.clip(np.floor(total), 0, self.num_nodes).astype(np.int64)
 
+    def expected_healthy_nodes_by_class(self) -> dict[str, np.ndarray]:
+        """Per-class Eq. 8 states: the sum restricted to each class's slots.
+
+        Requires a labelled (mixed) scenario.  Each class state lives in
+        ``{0, ..., count_c}``, the sub-fleet counterpart of the global CMDP
+        state — the input of the per-class ``f_S`` fits in
+        :func:`repro.control.sysid.fit_system_models_per_class`.
+        """
+        if self._class_slots is None:
+            raise ValueError(
+                "per-class states require a labelled scenario; build it with "
+                "FleetScenario.mixed(...)"
+            )
+        sim = self._require_started()
+        states: dict[str, np.ndarray] = {}
+        for label, slots in self._class_slots.items():
+            total = (1.0 - sim.belief[:, slots]).sum(axis=1)
+            states[label] = np.clip(np.floor(total), 0, len(slots)).astype(np.int64)
+        return states
+
     def reset(self, seed: int | None = None) -> VectorObservation:
         observation = super().reset(seed)
         self._system_states = [self.expected_healthy_nodes()]
+        if self._class_slots is not None:
+            self._class_states = {
+                label: [state]
+                for label, state in self.expected_healthy_nodes_by_class().items()
+            }
         return observation
 
     def step(
@@ -222,6 +251,9 @@ class FleetVectorEnv(VectorRecoveryEnv):
         system_state = self.expected_healthy_nodes()
         self._system_states.append(system_state)
         info["system_state"] = system_state
+        if self._class_slots is not None:
+            for label, state in self.expected_healthy_nodes_by_class().items():
+                self._class_states[label].append(state)
         sim = self._require_started()
         if sim.last_failed is not None:
             info["failed_nodes"] = sim.last_failed
@@ -246,3 +278,30 @@ class FleetVectorEnv(VectorRecoveryEnv):
         states = np.stack(self._system_states)  # (T + 1, B)
         pairs = np.stack([states[:-1].ravel(), states[1:].ravel()], axis=1)
         return pairs
+
+    def class_state_transitions(self) -> dict[str, np.ndarray]:
+        """Per-class ``(s_t, s_{t+1})`` pairs across all episodes.
+
+        The mixed-fleet counterpart of :meth:`system_state_transitions`:
+        each class's pairs live in its own sub-fleet state space
+        ``{0, ..., count_c}`` and feed one empirical kernel per container
+        class.  Requires a labelled scenario.
+        """
+        if self._class_slots is None:
+            raise ValueError(
+                "per-class transitions require a labelled scenario; build it "
+                "with FleetScenario.mixed(...)"
+            )
+        transitions: dict[str, np.ndarray] = {}
+        # Key off the scenario's classes (not the recorded dict) so an env
+        # that was never reset still reports every class, with empty pairs.
+        for label in self._class_slots:
+            recorded = self._class_states.get(label, [])
+            if len(recorded) < 2:
+                transitions[label] = np.empty((0, 2), dtype=np.int64)
+                continue
+            states = np.stack(recorded)  # (T + 1, B)
+            transitions[label] = np.stack(
+                [states[:-1].ravel(), states[1:].ravel()], axis=1
+            )
+        return transitions

@@ -15,7 +15,10 @@ All per-stream state and all per-episode results are arrays of shape
   each with its own child of the episode seed tree;
 * axis 1 (``N``) indexes **nodes** — the (possibly heterogeneous) members of
   a :class:`~repro.sim.scenario.FleetScenario`, each with its own ``p_A``,
-  ``Delta_R``, ``eta`` and observation model.
+  ``Delta_R``, ``eta`` and observation model.  Mixed container fleets
+  (Table 6) are built from per-class templates via
+  :meth:`FleetScenario.mixed`, which also labels every slot with its
+  :class:`~repro.sim.scenario.NodeClass` for per-class accounting.
 
 One simulation step updates every ``(episode, node)`` stream at once:
 batched hidden-state transitions through ``f_N``, batched observation
@@ -44,7 +47,7 @@ Quickstart::
 
 from ..core.belief import batch_update_compromise_belief
 from .engine import BatchEpisodeState, BatchRecoveryEngine, BatchSimulationResult
-from .scenario import FleetScenario
+from .scenario import FleetScenario, NodeClass
 from .strategies import (
     BatchMultiThreshold,
     BatchStrategy,
@@ -60,6 +63,7 @@ __all__ = [
     "BatchStrategy",
     "FleetScenario",
     "LoopedBatchStrategy",
+    "NodeClass",
     "as_batch_strategy",
     "batch_update_compromise_belief",
 ]

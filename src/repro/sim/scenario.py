@@ -8,6 +8,15 @@ be fully heterogeneous (per-node ``p_A``, ``Delta_R``, ``eta``, observation
 model), which is what opens the multi-node scenario sweeps of Table 7 /
 Figure 12 to the vectorized engine.
 
+Mixed container fleets — the paper's actual testbed (Table 6), where
+replicas run different images with different vulnerabilities, intrusion
+speeds and recovery deadlines — are described as :class:`NodeClass`
+templates and expanded by :meth:`FleetScenario.mixed` into per-slot
+parameters, with the slot-to-class assignment retained in
+:attr:`FleetScenario.node_labels` for per-class accounting downstream
+(:class:`~repro.control.TwoLevelResult` class metrics, the per-class
+``f_S`` fits of :mod:`repro.control.sysid`).
+
 All observation models in one scenario must share the same alphabet size so
 their pmfs stack into one ``(N, |S|, |O|)`` array; this is the only
 homogeneity the engine requires.
@@ -16,14 +25,42 @@ homogeneity the engine requires.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Sequence
 
 import numpy as np
 
 from ..core.node_model import NodeParameters, NodeTransitionModel
 from ..core.observation import ObservationModel
 
-__all__ = ["FleetScenario"]
+__all__ = ["NodeClass", "FleetScenario"]
+
+
+@dataclass(frozen=True)
+class NodeClass:
+    """One container-image template of a mixed fleet (one Table 6 row).
+
+    Attributes:
+        name: Class label (e.g. the container image name); must be unique
+            within one :meth:`FleetScenario.mixed` call.
+        params: Node model parameters shared by every replica of the class.
+        observation_model: The class's IDS observation model ``Z``.
+        count: Number of fleet slots instantiated from this template.
+    """
+
+    name: str
+    params: NodeParameters
+    observation_model: ObservationModel
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a node class requires a non-empty name")
+        if self.count < 1:
+            raise ValueError(
+                f"node class {self.name!r} must instantiate at least one slot, "
+                f"got count={self.count}"
+            )
 
 
 @dataclass(frozen=True)
@@ -41,6 +78,9 @@ class FleetScenario:
         f: Optional tolerance threshold: when given, the engine additionally
             tracks the fleet availability ``T^(A)`` = fraction of steps with
             at most ``f`` failed nodes (Section III-C).
+        node_labels: Optional per-slot class labels (slot ``j`` runs the
+            container class ``node_labels[j]``), populated by
+            :meth:`mixed`; ``None`` for unlabelled scenarios.
     """
 
     node_params: tuple[NodeParameters, ...]
@@ -48,6 +88,7 @@ class FleetScenario:
     horizon: int = 200
     enforce_btr: bool = True
     f: int | None = None
+    node_labels: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if len(self.node_params) == 0:
@@ -64,6 +105,13 @@ class FleetScenario:
             )
         if self.f is not None and self.f < 0:
             raise ValueError("f must be non-negative")
+        if self.node_labels is not None and len(self.node_labels) != len(
+            self.node_params
+        ):
+            raise ValueError(
+                f"need exactly one class label per node, got "
+                f"{len(self.node_labels)} labels for {len(self.node_params)} nodes"
+            )
 
     # -- constructors -----------------------------------------------------------
     @classmethod
@@ -98,6 +146,65 @@ class FleetScenario:
             f=f,
         )
 
+    @classmethod
+    def mixed(
+        cls,
+        classes: Sequence[NodeClass],
+        horizon: int = 200,
+        enforce_btr: bool = True,
+        f: int | None = None,
+    ) -> "FleetScenario":
+        """Mixed-container fleet from node-class templates (Table 6 style).
+
+        Expands each :class:`NodeClass` into ``count`` consecutive slots, in
+        class order, and records the slot-to-class assignment in
+        :attr:`node_labels`.  Cross-class observation-space compatibility is
+        validated here with the offending class names in the error (the
+        engine needs one shared alert-alphabet size to stack the pmfs).
+        """
+        if len(classes) == 0:
+            raise ValueError("a mixed fleet requires at least one node class")
+        names = [c.name for c in classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"node class names must be unique, got {names}")
+        sizes = {c.name: c.observation_model.num_observations for c in classes}
+        if len(set(sizes.values())) > 1:
+            raise ValueError(
+                "all node classes must share one observation-alphabet size "
+                f"(the engine stacks their pmfs), got {sizes}"
+            )
+        params: list[NodeParameters] = []
+        models: list[ObservationModel] = []
+        labels: list[str] = []
+        for node_class in classes:
+            params.extend([node_class.params] * node_class.count)
+            models.extend([node_class.observation_model] * node_class.count)
+            labels.extend([node_class.name] * node_class.count)
+        return cls(
+            tuple(params),
+            tuple(models),
+            horizon=horizon,
+            enforce_btr=enforce_btr,
+            f=f,
+            node_labels=tuple(labels),
+        )
+
+    # -- derived scenarios -------------------------------------------------------
+    def scale_attack(self, intensity: float) -> "FleetScenario":
+        """Scenario with every node's ``p_A`` scaled by ``intensity``.
+
+        The attacker-intensity axis of the control-plane sweeps: each
+        node keeps its class identity (crash rates, ``Delta_R``, ``eta``,
+        observation model, label) while its compromise probability becomes
+        ``min(1, intensity * p_A)``.
+        """
+        if intensity < 0.0:
+            raise ValueError(f"intensity must be non-negative, got {intensity}")
+        scaled = tuple(
+            p.with_updates(p_a=min(1.0, intensity * p.p_a)) for p in self.node_params
+        )
+        return replace(self, node_params=scaled)
+
     # -- derived quantities -----------------------------------------------------
     @property
     def num_nodes(self) -> int:
@@ -105,7 +212,38 @@ class FleetScenario:
 
     @property
     def num_observations(self) -> int:
-        return self.observation_models[0].num_observations
+        """The shared observation-alphabet size ``|O|``.
+
+        Defensive counterpart of the constructor validation: raises (rather
+        than silently reporting node 0's size) if the per-node models ever
+        disagree, so a mismatched fleet cannot mis-shape downstream arrays.
+        """
+        sizes = {model.num_observations for model in self.observation_models}
+        if len(sizes) > 1:
+            raise ValueError(
+                "observation models disagree on the alphabet size, "
+                f"got {sorted(sizes)}"
+            )
+        return sizes.pop()
+
+    def class_slots(self) -> dict[str, np.ndarray]:
+        """Slot indices per node class, in first-appearance order.
+
+        Requires a labelled scenario (built via :meth:`mixed` or with
+        explicit ``node_labels``).
+        """
+        if self.node_labels is None:
+            raise ValueError(
+                "scenario has no node-class labels; build it with "
+                "FleetScenario.mixed(...) or pass node_labels explicitly"
+            )
+        slots: dict[str, list[int]] = {}
+        for j, label in enumerate(self.node_labels):
+            slots.setdefault(label, []).append(j)
+        return {
+            label: np.asarray(indices, dtype=np.int64)
+            for label, indices in slots.items()
+        }
 
     def transition_models(self) -> list[NodeTransitionModel]:
         """One :class:`~repro.core.node_model.NodeTransitionModel` per node."""

@@ -1,0 +1,532 @@
+"""Heterogeneous mixed-container fleets through the closed loop.
+
+The paper's testbed (Table 6) is a *mixed* fleet: replicas run different
+container images with different vulnerabilities (``p_A``), intrusion/crash
+rates, recovery deadlines (``Delta_R``) and alert models.  This suite pins
+the end-to-end heterogeneous path:
+
+* :meth:`FleetScenario.mixed` expands node-class templates into per-slot
+  parameters and validates cross-class observation-space compatibility
+  (including the ``num_observations`` regression with different-sized
+  models);
+* the batch engine on a mixed fleet is **bit-exact** against independent
+  scalar :class:`RecoverySimulator` runs with the matching per-node
+  parameters (hypothesis property);
+* a standby slot activated by the system level joins as a fresh node of
+  *its own* class — belief ``p_{A,j}`` and BTR clock from the slot's own
+  parameters, never node 0's;
+* a mixed fleet runs through :class:`TwoLevelController` bit-exact against
+  the scalar per-node reference loop under shared seeds, with per-class
+  metrics agreeing across both paths;
+* the per-class ``f_S`` fits and the heterogeneous/attacker-intensity
+  sweeps behave as documented.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control import (
+    ClosedLoopCell,
+    TwoLevelController,
+    attacker_intensity_sweep,
+    engine_fleet_sweep,
+    fit_system_models_per_class,
+    mixed_closed_loop_sweep,
+)
+from repro.core import (
+    BetaBinomialObservationModel,
+    DiscreteObservationModel,
+    MixedReplicationStrategy,
+    NodeParameters,
+    ReplicationThresholdStrategy,
+    ThresholdStrategy,
+)
+from repro.envs import FleetVectorEnv, StrategyPolicy, VectorRecoveryEnv, rollout
+from repro.sim import BatchRecoveryEngine, FleetScenario, NodeClass
+from repro.solvers import RecoverySimulator
+
+HARDENED = NodeParameters(p_a=0.04, p_c1=0.01, p_c2=0.03, eta=1.5, delta_r=20)
+VULNERABLE = NodeParameters(p_a=0.3, p_c1=0.02, p_c2=0.08, eta=3.0, delta_r=8)
+
+
+def _mixed_scenario(
+    observation_model,
+    hardened: int = 3,
+    vulnerable: int = 3,
+    horizon: int = 40,
+    f: int | None = 1,
+) -> FleetScenario:
+    return FleetScenario.mixed(
+        [
+            NodeClass("hardened", HARDENED, observation_model, count=hardened),
+            NodeClass("vulnerable", VULNERABLE, observation_model, count=vulnerable),
+        ],
+        horizon=horizon,
+        f=f,
+    )
+
+
+class TestMixedScenarioConstruction:
+    def test_mixed_expands_class_templates_in_order(self, observation_model):
+        scenario = _mixed_scenario(observation_model, hardened=2, vulnerable=3)
+        assert scenario.num_nodes == 5
+        assert scenario.node_labels == (
+            "hardened", "hardened", "vulnerable", "vulnerable", "vulnerable",
+        )
+        assert scenario.node_params[:2] == (HARDENED, HARDENED)
+        assert scenario.node_params[2:] == (VULNERABLE,) * 3
+        slots = scenario.class_slots()
+        assert list(slots) == ["hardened", "vulnerable"]
+        np.testing.assert_array_equal(slots["hardened"], [0, 1])
+        np.testing.assert_array_equal(slots["vulnerable"], [2, 3, 4])
+        # Per-slot derived quantities pick up each slot's own parameters.
+        np.testing.assert_allclose(
+            scenario.initial_beliefs(), [0.04, 0.04, 0.3, 0.3, 0.3]
+        )
+        np.testing.assert_allclose(scenario.cost_weights(), [1.5, 1.5, 3.0, 3.0, 3.0])
+        np.testing.assert_array_equal(
+            scenario.btr_deadlines(), [19, 19, 7, 7, 7]
+        )
+
+    def test_mixed_validation(self, observation_model):
+        with pytest.raises(ValueError):
+            FleetScenario.mixed([])
+        with pytest.raises(ValueError):
+            NodeClass("dup", HARDENED, observation_model, count=0)
+        with pytest.raises(ValueError):
+            NodeClass("", HARDENED, observation_model)
+        with pytest.raises(ValueError, match="unique"):
+            FleetScenario.mixed(
+                [
+                    NodeClass("a", HARDENED, observation_model),
+                    NodeClass("a", VULNERABLE, observation_model),
+                ]
+            )
+
+    def test_mixed_observation_space_mismatch_names_classes(self, observation_model):
+        small = DiscreteObservationModel([0, 1], [0.5, 0.5], [0.2, 0.8])
+        with pytest.raises(ValueError) as excinfo:
+            FleetScenario.mixed(
+                [
+                    NodeClass("beta-binomial", HARDENED, observation_model),
+                    NodeClass("tiny-alphabet", VULNERABLE, small),
+                ]
+            )
+        assert "beta-binomial" in str(excinfo.value)
+        assert "tiny-alphabet" in str(excinfo.value)
+
+    def test_num_observations_mismatch_regression(self, observation_model):
+        """Two different-sized models must raise — at construction *and* in
+        the ``num_observations`` property itself (defense in depth)."""
+        small = DiscreteObservationModel([0, 1], [0.5, 0.5], [0.2, 0.8])
+        params = NodeParameters()
+        with pytest.raises(ValueError):
+            FleetScenario((params, params), (observation_model, small))
+        # Simulate an instance that slipped past validation: the property
+        # must refuse to silently report node 0's alphabet size.
+        corrupted = object.__new__(FleetScenario)
+        object.__setattr__(corrupted, "node_params", (params, params))
+        object.__setattr__(corrupted, "observation_models", (observation_model, small))
+        with pytest.raises(ValueError, match="disagree"):
+            corrupted.num_observations
+        # The consistent case still reports the shared size.
+        scenario = _mixed_scenario(observation_model)
+        assert scenario.num_observations == observation_model.num_observations
+
+    def test_node_labels_length_validated(self, observation_model):
+        params = NodeParameters()
+        with pytest.raises(ValueError):
+            FleetScenario(
+                (params, params),
+                (observation_model, observation_model),
+                node_labels=("only-one",),
+            )
+
+    def test_class_slots_requires_labels(self, observation_model):
+        scenario = FleetScenario.homogeneous(
+            NodeParameters(), observation_model, num_nodes=3
+        )
+        assert scenario.node_labels is None
+        with pytest.raises(ValueError):
+            scenario.class_slots()
+
+    def test_scale_attack(self, observation_model):
+        scenario = _mixed_scenario(observation_model, hardened=2, vulnerable=3)
+        scaled = scenario.scale_attack(2.0)
+        np.testing.assert_allclose(
+            scaled.initial_beliefs(), np.array([0.08, 0.08, 0.6, 0.6, 0.6])
+        )
+        # Everything but p_A is preserved, including the class labels.
+        assert scaled.node_labels == scenario.node_labels
+        assert scaled.node_params[0].p_c1 == HARDENED.p_c1
+        assert scaled.node_params[2].delta_r == VULNERABLE.delta_r
+        assert scaled.f == scenario.f
+        # Scaling clips at probability one and rejects negative intensities.
+        assert scenario.scale_attack(100.0).node_params[2].p_a == 1.0
+        with pytest.raises(ValueError):
+            scenario.scale_attack(-0.5)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis property: mixed-fleet engine == N independent scalar simulators
+# ---------------------------------------------------------------------------
+@st.composite
+def mixed_scenarios(draw):
+    """A random mixed fleet: 1-3 classes, each with its own parameters,
+    observation model (shared alphabet size) and count."""
+    size = draw(st.integers(2, 5))
+    positive = st.floats(1e-3, 1.0, allow_nan=False)
+    prob = st.floats(1e-4, 0.4, allow_nan=False)
+
+    def draw_class(index: int) -> NodeClass:
+        model = DiscreteObservationModel(
+            list(range(size)),
+            [draw(positive) for _ in range(size)],
+            [draw(positive) for _ in range(size)],
+        )
+        params = NodeParameters(
+            p_a=draw(prob),
+            p_c1=draw(prob),
+            p_c2=draw(prob),
+            p_u=draw(prob),
+            eta=draw(st.floats(1.0, 5.0, allow_nan=False)),
+            delta_r=draw(st.sampled_from([math.inf, 5.0, 9.0])),
+        )
+        return NodeClass(
+            f"class-{index}", params, model, count=draw(st.integers(1, 2))
+        )
+
+    classes = [draw_class(i) for i in range(draw(st.integers(1, 3)))]
+    return FleetScenario.mixed(classes, horizon=12, f=1)
+
+
+class TestHeterogeneousEngineParity:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        scenario=mixed_scenarios(),
+        threshold=st.floats(0.0, 1.0, allow_nan=False),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_mixed_fleet_bit_exact_vs_scalar_per_node_runs(
+        self, scenario, threshold, seed
+    ):
+        """Batch engine on a mixed fleet == N independent scalar simulators,
+        each with the matching per-node parameters, field for field."""
+        episodes = 3
+        strategy = ThresholdStrategy(threshold)
+        result = BatchRecoveryEngine(scenario).run(
+            strategy, num_episodes=episodes, seed=seed
+        )
+        children = np.random.SeedSequence(seed).spawn(
+            episodes * scenario.num_nodes
+        )
+        for node in range(scenario.num_nodes):
+            scalar = RecoverySimulator(
+                scenario.node_params[node],
+                scenario.observation_models[node],
+                horizon=scenario.horizon,
+            )
+            batch_episodes = result.episode_results(node=node)
+            for episode in range(episodes):
+                rng = np.random.default_rng(
+                    children[episode * scenario.num_nodes + node]
+                )
+                assert scalar.run_episode(strategy, rng) == batch_episodes[episode]
+
+
+class TestStandbySlotHeterogeneousReset:
+    """A fresh/standby slot must reset from *its own* ``p_A``/``Delta_R``."""
+
+    def test_recover_resets_each_slot_to_its_own_prior(self, observation_model):
+        scenario = _mixed_scenario(observation_model, hardened=2, vulnerable=2)
+        env = VectorRecoveryEnv(scenario, num_envs=3)
+        env.reset(seed=0)
+        observation, _, _, _ = env.step(np.ones((3, 4), dtype=bool))
+        np.testing.assert_allclose(
+            observation.beliefs, np.broadcast_to([0.04, 0.04, 0.3, 0.3], (3, 4))
+        )
+        np.testing.assert_array_equal(observation.time_since_recovery, 0)
+
+    def test_btr_deadline_forces_per_slot(self):
+        # Crash-free nodes so clocks advance deterministically: the forced
+        # mask must fire at each slot's own Delta_R, not node 0's.
+        model = BetaBinomialObservationModel()
+        slow = NodeParameters(p_a=0.05, p_c1=0.0, p_c2=0.0, delta_r=20)
+        fast = NodeParameters(p_a=0.05, p_c1=0.0, p_c2=0.0, delta_r=6)
+        scenario = FleetScenario.mixed(
+            [
+                NodeClass("slow", slow, model, count=1),
+                NodeClass("fast", fast, model, count=1),
+            ],
+            horizon=30,
+            f=1,
+        )
+        env = VectorRecoveryEnv(scenario, num_envs=2)
+        observation = env.reset(seed=1)
+        waits = np.zeros((2, 2), dtype=bool)
+        # The environment executes the forced recovery on the next step, so
+        # the fast slot's clock cycles with period Delta_R = 6 and the mask
+        # fires exactly when its own clock hits Delta_R - 1; the slow slot
+        # (Delta_R = 20) is never forced in this window, which it would be
+        # if node 0's deadline were applied fleet-wide.
+        for t in range(1, 14):
+            observation, _, _, _ = env.step(waits)
+            forced_fast = t % int(fast.delta_r) == int(fast.delta_r) - 1
+            np.testing.assert_array_equal(
+                observation.forced, np.broadcast_to([False, forced_fast], (2, 2))
+            )
+
+    def test_activated_standby_slot_joins_with_its_own_belief(self):
+        """Closed loop: when the system level activates a standby slot of a
+        different class, the slot reports its *own* prior, not node 0's."""
+        model = BetaBinomialObservationModel()
+        # Active class crashes fast; standby class is crash-free with a
+        # clearly different prior.
+        crashy = NodeParameters(p_a=0.05, p_c1=0.3, p_c2=0.3, delta_r=math.inf)
+        standby = NodeParameters(p_a=0.4, p_c1=0.0, p_c2=0.0, delta_r=math.inf)
+        scenario = FleetScenario.mixed(
+            [
+                NodeClass("crashy", crashy, model, count=2),
+                NodeClass("standby", standby, model, count=3),
+            ],
+            horizon=25,
+            f=0,
+        )
+
+        seen: list[tuple[np.ndarray, np.ndarray]] = []
+
+        class SpyPolicy:
+            def act(self, observation, rng=None):
+                seen.append(
+                    (observation.active.copy(), observation.beliefs.copy())
+                )
+                return np.zeros_like(observation.active)
+
+        controller = TwoLevelController(
+            scenario,
+            num_envs=6,
+            recovery_policy=SpyPolicy(),
+            # Add aggressively so activations reach the standby-class slots
+            # (a freed crashy slot is reclaimed first, being first free).
+            replication_strategy=ReplicationThresholdStrategy(beta=5),
+            initial_nodes=2,
+            enforce_invariant=True,
+        )
+        controller.run(seed=3)
+
+        # Additions claim the first free slot, which may be a previously
+        # evicted crashy slot or a standby slot of the other class: either
+        # way, the newly activated slot must report the prior of *its own*
+        # class (0.05 for slots 0-1, 0.4 for slots 2-4).
+        priors = scenario.initial_beliefs()
+        standby_activations = 0
+        for (previous_active, _), (active, beliefs) in zip(seen, seen[1:]):
+            newly = active & ~previous_active
+            for b, j in zip(*np.nonzero(newly)):
+                assert beliefs[b, j] == pytest.approx(priors[j])
+                if j >= 2:
+                    standby_activations += 1
+        assert standby_activations > 0, "the run must activate a standby-class slot"
+
+
+class TestMixedClosedLoopParity:
+    @pytest.mark.parametrize("stochastic", [False, True], ids=["threshold", "mixed"])
+    def test_mixed_fleet_trace_parity_vs_scalar_reference(
+        self, observation_model, stochastic
+    ):
+        scenario = _mixed_scenario(observation_model, horizon=30)
+        replication = (
+            MixedReplicationStrategy(
+                ReplicationThresholdStrategy(3),
+                ReplicationThresholdStrategy(5),
+                kappa=0.4,
+            )
+            if stochastic
+            else ReplicationThresholdStrategy(beta=4)
+        )
+        controller = TwoLevelController(
+            scenario,
+            num_envs=5,
+            recovery_policy=ThresholdStrategy(0.7),
+            replication_strategy=replication,
+            initial_nodes=4,
+            record_decisions=True,
+        )
+        batched = controller.run(seed=42)
+        batched_trace = controller.last_decision_trace
+        scalar = controller.run_scalar_reference(seed=42)
+        scalar_trace = controller.last_decision_trace
+
+        for t in range(scenario.horizon):
+            assert np.array_equal(batched_trace.states[t], scalar_trace.states[t])
+            assert np.array_equal(batched_trace.adds[t], scalar_trace.adds[t])
+            assert np.array_equal(
+                batched_trace.emergencies[t], scalar_trace.emergencies[t]
+            )
+            assert np.array_equal(
+                batched_trace.evictions[t], scalar_trace.evictions[t]
+            )
+        assert np.array_equal(batched.additions, scalar.additions)
+        assert np.array_equal(batched.evictions, scalar.evictions)
+        assert np.array_equal(batched.availability, scalar.availability)
+        assert np.array_equal(batched.average_nodes, scalar.average_nodes)
+        assert np.allclose(batched.average_cost, scalar.average_cost)
+        assert np.allclose(batched.recovery_frequency, scalar.recovery_frequency)
+        # Per-class metrics agree across the two paths as well.
+        for label in ("hardened", "vulnerable"):
+            assert np.allclose(
+                batched.class_average_cost[label],
+                scalar.class_average_cost[label],
+            )
+            assert np.allclose(
+                batched.class_recovery_frequency[label],
+                scalar.class_recovery_frequency[label],
+            )
+
+
+class TestPerClassMetrics:
+    def test_homogeneous_results_have_no_class_metrics(self, observation_model):
+        scenario = FleetScenario.homogeneous(
+            NodeParameters(p_a=0.1, delta_r=15),
+            observation_model,
+            num_nodes=4,
+            horizon=20,
+            f=1,
+        )
+        result = TwoLevelController(
+            scenario, 3, ThresholdStrategy(0.7), initial_nodes=3
+        ).run(seed=0)
+        assert result.class_average_cost is None
+        with pytest.raises(ValueError):
+            result.class_summary()
+
+    def test_vulnerable_class_recovers_more_and_costs_more(self, observation_model):
+        scenario = _mixed_scenario(observation_model, horizon=60)
+        result = TwoLevelController(
+            scenario,
+            num_envs=20,
+            recovery_policy=ThresholdStrategy(0.6),
+            initial_nodes=6,
+        ).run(seed=5)
+        summary = result.class_summary()
+        assert set(summary) == {"hardened", "vulnerable"}
+        assert (
+            summary["vulnerable"]["recovery_frequency"][0]
+            > summary["hardened"]["recovery_frequency"][0]
+        )
+        assert (
+            summary["vulnerable"]["average_cost"][0]
+            > summary["hardened"]["average_cost"][0]
+        )
+
+
+class TestPerClassSystemIdentification:
+    def test_fit_one_kernel_per_class(self, observation_model):
+        scenario = _mixed_scenario(observation_model, horizon=40)
+        env = FleetVectorEnv(scenario, num_envs=30)
+        rollout(env, StrategyPolicy(ThresholdStrategy(0.7)), seed=0)
+        models = fit_system_models_per_class(env, epsilon_a=0.5)
+        assert set(models) == {"hardened", "vulnerable"}
+        for label, model in models.items():
+            assert model.smax == 3  # class sub-fleet size
+            assert np.allclose(model.transition.sum(axis=2), 1.0)
+        # The hardened sub-fleet's kernel keeps more healthy nodes: from a
+        # shared well-visited state, its expected successor state is higher.
+        states = np.arange(4)
+        assert (
+            models["hardened"].transition[0, 2] @ states
+            > models["vulnerable"].transition[0, 2] @ states
+        )
+        # The raw per-class pairs separate the classes too.
+        pairs = env.class_state_transitions()
+        assert pairs["hardened"][:, 0].mean() > pairs["vulnerable"][:, 0].mean()
+
+    def test_per_class_fit_requires_labels(self, observation_model):
+        scenario = FleetScenario.homogeneous(
+            NodeParameters(p_a=0.1), observation_model, num_nodes=3, horizon=10, f=1
+        )
+        env = FleetVectorEnv(scenario, num_envs=4)
+        rollout(env, StrategyPolicy(ThresholdStrategy(0.7)), seed=0)
+        with pytest.raises(ValueError):
+            fit_system_models_per_class(env)
+        with pytest.raises(ValueError):
+            env.class_state_transitions()
+        with pytest.raises(ValueError):
+            env.expected_healthy_nodes_by_class()
+
+
+class TestHeterogeneousSweeps:
+    def test_engine_fleet_sweep_accepts_per_node_parameters(self, observation_model):
+        per_node = [HARDENED, VULNERABLE]
+        table = engine_fleet_sweep(
+            [2],
+            {"tolerance": ThresholdStrategy(0.7)},
+            node_params=per_node,
+            observation_model=observation_model,
+            num_episodes=10,
+            horizon=15,
+            seed=0,
+        )
+        assert (2, "tolerance") in table
+        with pytest.raises(ValueError):
+            engine_fleet_sweep(
+                [3],
+                {"tolerance": ThresholdStrategy(0.7)},
+                node_params=per_node,  # wrong length for n1=3
+                observation_model=observation_model,
+                num_episodes=5,
+                horizon=10,
+            )
+
+    def test_mixed_closed_loop_sweep(self, observation_model):
+        scenarios = {
+            "balanced": _mixed_scenario(observation_model, 2, 2, horizon=20),
+            "mostly-vulnerable": _mixed_scenario(observation_model, 1, 3, horizon=20),
+        }
+        cells = [
+            ClosedLoopCell("tolerance", ThresholdStrategy(0.7)),
+            ClosedLoopCell(
+                "no-recovery",
+                ThresholdStrategy(1.0),
+                enforce_invariant=False,
+            ),
+        ]
+        table = mixed_closed_loop_sweep(
+            scenarios, cells, num_envs=5, seed=0, initial_nodes=3
+        )
+        assert set(table) == {
+            (name, cell.name) for name in scenarios for cell in cells
+        }
+        for result in table.values():
+            assert result.class_average_cost is not None
+
+    def test_attacker_intensity_sweep_degrades_with_intensity(
+        self, observation_model
+    ):
+        scenario = _mixed_scenario(observation_model, horizon=40)
+        cells = [ClosedLoopCell("tolerance", ThresholdStrategy(0.6))]
+        table = attacker_intensity_sweep(
+            scenario,
+            intensities=(0.25, 1.0, 3.0),
+            cells=cells,
+            num_envs=20,
+            seed=0,
+            initial_nodes=4,
+        )
+        assert set(table) == {(0.25, "tolerance"), (1.0, "tolerance"), (3.0, "tolerance")}
+        frequency = [
+            table[(x, "tolerance")].recovery_frequency.mean()
+            for x in (0.25, 1.0, 3.0)
+        ]
+        # A faster attacker forces strictly more recovery work.
+        assert frequency[0] < frequency[1] < frequency[2]
+        cost = [
+            table[(x, "tolerance")].average_cost.mean() for x in (0.25, 1.0, 3.0)
+        ]
+        assert cost[0] < cost[2]
