@@ -134,6 +134,98 @@ def run_mixed_fleet() -> None:
         )
 
 
+def run_class_aware_replication() -> None:
+    """Class-aware system level on a mixed fleet: choose *which* class to add.
+
+    Fits the class-indexed replication CMDP from per-class empirical f_S
+    (the add action of each container class weights the Eq. 8 shift by the
+    class's empirical survival), solves the class-aware Algorithm 2, gives
+    each class its own Algorithm-1-optimal recovery deadline, and compares
+    a class-blind strategy against its class-aware counterpart with the
+    same add pressure in the closed loop.
+    """
+    import math
+
+    from repro.control import (
+        TwoLevelController,
+        apply_class_deltas,
+        fit_class_aware_system_model,
+        optimize_class_deltas,
+    )
+    from repro.core import (
+        BetaBinomialObservationModel,
+        ClassPreferenceReplicationStrategy,
+        ReplicationThresholdStrategy,
+    )
+    from repro.envs import FleetVectorEnv, StrategyPolicy, rollout
+    from repro.sim import FleetScenario, NodeClass
+    from repro.solvers import solve_class_aware_replication_lp
+
+    print("\n--- class-aware replication: per-class add actions + deadlines ---")
+    model = BetaBinomialObservationModel()
+    scenario = FleetScenario.mixed(
+        [
+            NodeClass(
+                "vulnerable",
+                NodeParameters(p_a=0.25, p_c1=0.04, p_c2=0.15, eta=3.0, delta_r=10),
+                model,
+                count=4,
+            ),
+            NodeClass(
+                "hardened",
+                NodeParameters(p_a=0.05, p_c1=0.02, p_c2=0.06, eta=1.5, delta_r=25),
+                model,
+                count=4,
+            ),
+        ],
+        horizon=150,
+        f=1,
+    )
+
+    # Per-class Delta_R: Algorithm 1 on each class's own node POMDP.
+    deltas = optimize_class_deltas(
+        scenario.node_classes(),
+        delta_grid=(5, 15, math.inf),
+        horizon=100,
+        episodes_per_evaluation=5,
+        seed=0,
+    )
+    for name, result in deltas.items():
+        print(f"  {name}: Delta_R* = {result.delta_r:g}  (J_i = {result.estimated_cost:.3f})")
+    scenario = apply_class_deltas(scenario, deltas)
+
+    # Class-indexed Algorithm 2 on the fitted kernel stack.
+    env = FleetVectorEnv(scenario, 100)
+    rollout(env, StrategyPolicy(ThresholdStrategy(0.75)), seed=0)
+    cmdp = fit_class_aware_system_model(env, epsilon_a=0.6)
+    lp = solve_class_aware_replication_lp(cmdp)
+    mass = lp.occupancy[:, 1:].sum(axis=0)
+    print(
+        f"  class-aware LP: J={lp.expected_cost:.2f}  T(A)={lp.availability:.2f}  "
+        f"add mass vulnerable={mass[0]:.4f} / hardened={mass[1]:.4f}"
+    )
+
+    # Same add pressure, with and without the class choice.
+    blind = ReplicationThresholdStrategy(beta=3)
+    aware = ClassPreferenceReplicationStrategy(
+        blind, "hardened", ("vulnerable", "hardened")
+    )
+    for label, strategy in (("class-blind", blind), ("class-aware", aware)):
+        controller = TwoLevelController(
+            scenario,
+            num_envs=100,
+            recovery_policy=ThresholdStrategy(0.75),
+            replication_strategy=strategy,
+            initial_nodes=4,
+        )
+        result = controller.run(seed=0)
+        print(
+            f"  {label}: cost={result.average_cost.mean():.3f}  "
+            f"T(A)={result.availability.mean():.2f}  "
+            f"J={result.average_nodes.mean():.2f}"
+        )
+
+
 def main() -> None:
     run_once(tolerance_policy(alpha=0.75), "TOLERANCE")
     run_once(no_recovery_policy(), "NO-RECOVERY")
@@ -144,6 +236,7 @@ def main() -> None:
     )
     run_batched_control_plane()
     run_mixed_fleet()
+    run_class_aware_replication()
 
 
 if __name__ == "__main__":

@@ -36,6 +36,32 @@ parameters, the whole loop uses each slot's own ``p_A``/``Delta_R``/
 (:meth:`TwoLevelResult.class_summary`) plus per-class empirical ``f_S``
 fits (:func:`fit_system_models_per_class`).
 
+On such fleets the system level is **class-aware**: the replication action
+space is ``{wait, add(class c)}``.  :func:`fit_class_aware_system_model`
+assembles the class-indexed CMDP from the per-class fits, the class-aware
+Algorithm 2 (:func:`~repro.solvers.cmdp.solve_class_aware_replication_lp`)
+chooses *which* class to add, :func:`optimize_class_deltas` gives every
+class its own Algorithm-1-optimal BTR deadline
+(``mixed_closed_loop_sweep(optimize_deltas=True)`` routes them through the
+sweeps), and ``train_ppo_replication(class_aware=True)`` learns the
+class-indexed policy directly on the fleet environment.
+
+Layer contract
+--------------
+
+* **What is vectorized:** both feedback levels of ``B`` fleet episodes —
+  belief updates, recovery grants, evictions, CMDP states, replication
+  decisions (including the class choice) — advance per array operation.
+* **Scalar reference:** the scalar
+  :class:`~repro.core.system_controller.SystemController` and
+  :meth:`TwoLevelController.run_scalar_reference`; decision traces are
+  asserted bit-identical under shared seeds
+  (``tests/test_control_plane.py``, ``tests/test_class_aware_cmdp.py``).
+* **Seeding convention (PR 1):** one ``SeedSequence(seed)`` tree feeds the
+  engine's per-(episode, node) children first and the per-episode system
+  controller streams after them, so a single integer seed reproduces the
+  whole closed loop on either path.
+
 Quickstart::
 
     from repro.core import BetaBinomialObservationModel, NodeParameters, ThresholdStrategy
@@ -56,6 +82,11 @@ Quickstart::
 
 from __future__ import annotations
 
+from .class_aware import (
+    ClassDeltaResult,
+    apply_class_deltas,
+    optimize_class_deltas,
+)
 from .replication_ppo import (
     PPOReplicationResult,
     PPOReplicationStrategy,
@@ -74,10 +105,12 @@ from .sweep import (
 from .sysid import (
     SystemIdentificationResult,
     evaluate_replication_closed_loop,
+    fit_class_aware_system_model,
     fit_system_model_from_env,
     fit_system_model_from_pairs,
     fit_system_model_from_trace,
     fit_system_models_per_class,
+    fresh_node_survival_from_model,
     identify_replication_strategies,
 )
 from .two_level import SystemTrace, TwoLevelController, TwoLevelResult
@@ -89,6 +122,7 @@ from .vector_system import (
 )
 
 __all__ = [
+    "ClassDeltaResult",
     "ClosedLoopCell",
     "PPOReplicationResult",
     "PPOReplicationStrategy",
@@ -99,6 +133,7 @@ __all__ = [
     "VectorSystemController",
     "VectorSystemDecision",
     "attacker_intensity_sweep",
+    "apply_class_deltas",
     "closed_loop_sweep",
     "default_replication_config",
     "default_tolerance_threshold",
@@ -110,8 +145,11 @@ __all__ = [
     "fit_system_model_from_pairs",
     "fit_system_model_from_trace",
     "fit_system_models_per_class",
+    "fit_class_aware_system_model",
+    "fresh_node_survival_from_model",
     "identify_replication_strategies",
     "mixed_closed_loop_sweep",
+    "optimize_class_deltas",
     "strategy_consumes_rng",
     "train_ppo_replication",
 ]

@@ -1,0 +1,140 @@
+"""Per-class recovery-deadline optimization (Algorithm 1 per node class).
+
+The BTR deadline ``Delta_R`` is a *constraint* of the node-level recovery
+POMDP (Eq. 6b), but on a mixed fleet there is no reason every container
+class should run the same one: a vulnerable image benefits from a short
+deadline (frequent forced refreshes bound the attacker's dwell time) while
+a hardened image only pays the recovery cost.  This module closes that gap:
+
+* :func:`optimize_class_deltas` runs Algorithm 1
+  (:func:`~repro.solvers.parametric.solve_recovery_problem`, batch path,
+  common random numbers across candidates) on **each class's own node
+  POMDP** for every deadline in a grid, and picks the deadline whose
+  optimized threshold strategy achieves the lowest estimated node cost;
+* :func:`apply_class_deltas` routes the chosen deadlines back into a
+  labelled :class:`~repro.sim.FleetScenario` (via
+  :meth:`~repro.sim.FleetScenario.with_class_deltas`), so the closed-loop
+  control plane — and the ``optimize_deltas`` mode of
+  :func:`~repro.control.sweep.mixed_closed_loop_sweep` — runs every slot
+  under its class's Algorithm-1-optimal deadline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+from ..solvers.optimizers import CrossEntropyMethod, ParametricOptimizer
+from ..solvers.parametric import RecoverySolution, solve_recovery_problem
+
+if TYPE_CHECKING:  # imported lazily to keep the package import graph acyclic
+    from ..sim import FleetScenario, NodeClass
+
+__all__ = ["ClassDeltaResult", "optimize_class_deltas", "apply_class_deltas"]
+
+
+def _default_optimizer_factory() -> ParametricOptimizer:
+    """A small CEM budget: the deadline grid multiplies the solve count."""
+    return CrossEntropyMethod(population_size=30, iterations=8)
+
+
+@dataclass(frozen=True)
+class ClassDeltaResult:
+    """Outcome of the per-class deadline search.
+
+    Attributes:
+        name: The container-class label.
+        delta_r: The Algorithm-1-optimal BTR deadline for the class.
+        estimated_cost: Estimated node cost ``J_i`` under the winning
+            deadline's optimized threshold strategy.
+        costs: Estimated cost per candidate deadline (the whole curve, for
+            inspection/plotting).
+        solution: The winning deadline's full Algorithm 1 solution
+            (threshold strategy + optimizer diagnostics).
+    """
+
+    name: str
+    delta_r: float
+    estimated_cost: float
+    costs: dict[float, float]
+    solution: RecoverySolution
+
+
+def optimize_class_deltas(
+    classes: Sequence[NodeClass],
+    delta_grid: Sequence[float],
+    optimizer_factory: Callable[[], ParametricOptimizer] | None = None,
+    horizon: int = 200,
+    episodes_per_evaluation: int = 10,
+    final_evaluation_episodes: int = 50,
+    seed: int | None = 0,
+) -> dict[str, ClassDeltaResult]:
+    """Algorithm 1 per class x deadline: pick each class's best ``Delta_R``.
+
+    Every ``(class, delta)`` cell solves the class's node POMDP with
+    Algorithm 1 on the batch path under the candidate deadline; the same
+    seed is shared across cells so deadline comparisons use common random
+    numbers.  The search is exhaustive over ``delta_grid`` (the deadline is
+    an integer-or-infinity constraint, not a continuous parameter — a grid
+    is the honest search space).
+
+    Args:
+        classes: The node-class templates (e.g.
+            :meth:`~repro.sim.FleetScenario.node_classes` of a mixed
+            scenario).
+        delta_grid: Candidate deadlines (positive integers and/or
+            ``math.inf``).
+        optimizer_factory: Builds a fresh parametric optimizer per cell;
+            defaults to a small-budget CEM.
+        horizon: Episode length of the Monte-Carlo cost estimator.
+        episodes_per_evaluation: Episodes per objective evaluation.
+        final_evaluation_episodes: Episodes scoring each cell's strategy.
+        seed: Shared seed (common random numbers across cells).
+    """
+    if len(delta_grid) == 0:
+        raise ValueError("delta_grid must contain at least one deadline")
+    for delta in delta_grid:
+        if delta != math.inf and (delta < 1 or int(delta) != delta):
+            raise ValueError(
+                f"deadlines must be positive integers or inf, got {delta}"
+            )
+    factory = optimizer_factory if optimizer_factory is not None else _default_optimizer_factory
+
+    results: dict[str, ClassDeltaResult] = {}
+    for node_class in classes:
+        costs: dict[float, float] = {}
+        best: tuple[float, RecoverySolution] | None = None
+        for delta in delta_grid:
+            solution = solve_recovery_problem(
+                node_class.params.with_updates(delta_r=delta),
+                node_class.observation_model,
+                factory(),
+                horizon=horizon,
+                episodes_per_evaluation=episodes_per_evaluation,
+                final_evaluation_episodes=final_evaluation_episodes,
+                seed=seed,
+                batch=True,
+            )
+            costs[float(delta)] = solution.estimated_cost
+            if best is None or solution.estimated_cost < best[1].estimated_cost:
+                best = (float(delta), solution)
+        delta_r, solution = best
+        results[node_class.name] = ClassDeltaResult(
+            name=node_class.name,
+            delta_r=delta_r,
+            estimated_cost=solution.estimated_cost,
+            costs=costs,
+            solution=solution,
+        )
+    return results
+
+
+def apply_class_deltas(
+    scenario: FleetScenario,
+    results: Mapping[str, ClassDeltaResult],
+) -> FleetScenario:
+    """Route optimized per-class deadlines back into a labelled scenario."""
+    return scenario.with_class_deltas(
+        {name: result.delta_r for name, result in results.items()}
+    )

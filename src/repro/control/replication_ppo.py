@@ -41,6 +41,7 @@ from .two_level import TwoLevelController, TwoLevelResult
 
 __all__ = [
     "PPOReplicationStrategy",
+    "ClassAwarePPOReplicationStrategy",
     "PPOReplicationResult",
     "default_replication_config",
     "train_ppo_replication",
@@ -116,6 +117,139 @@ class PPOReplicationStrategy:
         return 1 if rng.random() < self.add_probability(state) else 0
 
 
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class ClassAwarePPOReplicationStrategy:
+    """A learned class-indexed replication policy ``pi(a | s, N)``.
+
+    Factors the ``1 + C``-action policy into the Bernoulli *add* head of
+    the shared :class:`~repro.solvers.ppo.PPOPolicy` network and a linear
+    softmax *class* head over the same ``(s_t / smax, N_t / smax)``
+    features:
+
+    .. math::
+
+        \\pi(\\text{wait} | s, N) = 1 - p(s, N), \\qquad
+        \\pi(\\text{add}(c) | s, N) = p(s, N) \\, q_c(s, N).
+
+    Because ``log pi`` decomposes into ``log p + log q_c``, the PPO update
+    decouples: the add head trains with the existing binary
+    clipped-surrogate update, and the class head trains with its own
+    clipped surrogate on the add steps (:meth:`update_class_head` — plain
+    softmax policy gradient with the PPO ratio clip).
+
+    Conforms to the
+    :class:`~repro.core.strategies.ClassAwareReplicationStrategy` protocol
+    and exposes the count-conditioned ``action_probabilities_batch``
+    consumed by the batched system controller.
+    """
+
+    consumes_rng = True
+
+    def __init__(
+        self,
+        policy: PPOPolicy,
+        smax: int,
+        reference_node_count: int,
+        class_names: Sequence[str],
+        rng: np.random.Generator,
+    ) -> None:
+        if smax < 1:
+            raise ValueError("smax must be >= 1")
+        if len(class_names) == 0:
+            raise ValueError("at least one class is required")
+        self.policy = policy
+        self.smax = smax
+        self.reference_node_count = reference_node_count
+        self.class_names = tuple(class_names)
+        num_classes = len(self.class_names)
+        # Near-uniform initial class preferences; the scale keeps early
+        # rollouts exploratory across classes.
+        self.class_weights = 0.01 * rng.normal(size=(2, num_classes))
+        self.class_bias = np.zeros(num_classes)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_names)
+
+    def _features(self, states: np.ndarray, node_counts: np.ndarray) -> np.ndarray:
+        return np.stack(
+            [
+                np.asarray(states, dtype=float) / self.smax,
+                np.asarray(node_counts, dtype=float) / self.smax,
+            ],
+            axis=1,
+        )
+
+    def class_probabilities(self, features: np.ndarray) -> np.ndarray:
+        """Softmax class preferences ``q(. | s, N)``, shape ``(B, C)``."""
+        return _softmax(features @ self.class_weights + self.class_bias)
+
+    def action_probabilities_batch(
+        self, states: np.ndarray, node_counts: np.ndarray
+    ) -> np.ndarray:
+        """Joint distributions over ``{wait, add(c)}``, shape ``(B, 1 + C)``."""
+        features = self._features(states, node_counts)
+        add = self.policy.recover_probability(features)
+        classes = self.class_probabilities(features)
+        return np.concatenate(
+            [(1.0 - add)[:, None], add[:, None] * classes], axis=1
+        )
+
+    def action_probabilities(self, state: int) -> np.ndarray:
+        """Scalar marginal at the reference node count."""
+        return self.action_probabilities_batch(
+            np.array([state]), np.array([self.reference_node_count])
+        )[0]
+
+    def add_probability(self, state: int) -> float:
+        return float(1.0 - self.action_probabilities(state)[0])
+
+    def action(self, state: int, rng: np.random.Generator) -> int:
+        from ..core.strategies import sample_action_index
+
+        cumulative = np.cumsum(self.action_probabilities(state))
+        return sample_action_index(cumulative, rng.random())
+
+    def update_class_head(
+        self,
+        features: np.ndarray,
+        taken_classes: np.ndarray,
+        advantages: np.ndarray,
+        old_class_probs: np.ndarray,
+        learning_rate: float,
+        clip_epsilon: float,
+    ) -> None:
+        """One clipped-surrogate ascent step on the class head.
+
+        Operates on add steps only (``taken_classes`` indexes the chosen
+        class): maximizes ``min(r A, clip(r) A)`` with
+        ``r = q_new(c) / q_old(c)``; the gradient of ``log q_c`` w.r.t.
+        the softmax logits is ``onehot(c) - q``.
+        """
+        if features.shape[0] == 0:
+            return
+        logits = features @ self.class_weights + self.class_bias
+        probs = _softmax(logits)
+        idx = np.arange(features.shape[0])
+        ratio = probs[idx, taken_classes] / np.maximum(old_class_probs, 1e-12)
+        # PPO clip: zero the gradient where the ratio already moved past
+        # the clip range in the advantage's direction.
+        clipped = ((ratio > 1.0 + clip_epsilon) & (advantages > 0)) | (
+            (ratio < 1.0 - clip_epsilon) & (advantages < 0)
+        )
+        coefficient = np.where(clipped, 0.0, ratio * advantages)
+        onehot = np.zeros_like(probs)
+        onehot[idx, taken_classes] = 1.0
+        grad_logits = coefficient[:, None] * (onehot - probs) / features.shape[0]
+        self.class_weights += learning_rate * features.T @ grad_logits
+        self.class_bias += learning_rate * grad_logits.sum(axis=0)
+
+
 @dataclass
 class PPOReplicationResult:
     """Training diagnostics of the learned replication policy.
@@ -129,7 +263,7 @@ class PPOReplicationResult:
         wall_clock_seconds: Total training time.
     """
 
-    strategy: PPOReplicationStrategy
+    strategy: PPOReplicationStrategy | ClassAwarePPOReplicationStrategy
     policy: PPOPolicy
     history: list[float] = field(default_factory=list)
     availability_history: list[float] = field(default_factory=list)
@@ -146,6 +280,7 @@ def train_ppo_replication(
     k: int = 1,
     seed: int | None = None,
     evaluation_episodes: int = 100,
+    class_aware: bool = False,
 ) -> PPOReplicationResult:
     """Train a PPO replication policy in closed loop on the batch engine.
 
@@ -169,19 +304,42 @@ def train_ppo_replication(
             evaluation; training is deterministic given the seed.
         evaluation_episodes: Batch size of the final evaluation run (0
             skips it).
+        class_aware: Learn a class-indexed policy
+            ``pi(a | s, N)`` over ``{wait, add(c_1), ..., add(c_C)}``
+            instead of the classless Bernoulli: the add head trains exactly
+            as before and a softmax class head learns *which* container
+            class to add from the same rollouts
+            (:class:`ClassAwarePPOReplicationStrategy`).  Requires a
+            labelled (mixed) scenario.
     """
     config = config if config is not None else default_replication_config()
     rng = np.random.default_rng(seed)
     policy = PPOPolicy(config, rng)
     smax = scenario.num_nodes
     minimum = 2 * (scenario.f or 0) + 1 + k
-    strategy = PPOReplicationStrategy(
-        policy,
-        smax=smax,
-        reference_node_count=(
-            initial_nodes if initial_nodes is not None else min(minimum, smax)
-        ),
+    reference_count = (
+        initial_nodes if initial_nodes is not None else min(minimum, smax)
     )
+    strategy: PPOReplicationStrategy | ClassAwarePPOReplicationStrategy
+    if class_aware:
+        if scenario.node_labels is None:
+            raise ValueError(
+                "class_aware=True requires a labelled scenario; build it "
+                "with FleetScenario.mixed(...)"
+            )
+        strategy = ClassAwarePPOReplicationStrategy(
+            policy,
+            smax=smax,
+            reference_node_count=reference_count,
+            class_names=tuple(scenario.class_slots()),
+            rng=rng,
+        )
+    else:
+        strategy = PPOReplicationStrategy(
+            policy,
+            smax=smax,
+            reference_node_count=reference_count,
+        )
     controller = TwoLevelController(
         scenario,
         config.rollout_episodes,
@@ -260,6 +418,34 @@ def train_ppo_replication(
                 flat_returns,
                 flat_old_probs,
             )
+        if class_aware and trace.add_classes is not None:
+            # The class head trains on the add steps where the strategy
+            # chose a class (emergency/capped overrides carry none): the
+            # joint log-probability decomposes as log p + log q_c, so the
+            # conditional class surrogate uses the same advantages.
+            chosen = trace.add_classes
+            mask = chosen >= 0
+            if mask.any():
+                class_features = features[mask]
+                taken = chosen[mask]
+                rows = trace.action_probabilities[mask]
+                add_mass = np.maximum(1.0 - rows[:, 0], 1e-12)
+                old_q = rows[np.arange(taken.size), 1 + taken] / add_mass
+                class_advantages = advantages[mask]
+                std = class_advantages.std()
+                if std > 1e-8:
+                    class_advantages = (
+                        class_advantages - class_advantages.mean()
+                    ) / std
+                for _ in range(config.epochs_per_update):
+                    strategy.update_class_head(
+                        class_features,
+                        taken,
+                        class_advantages,
+                        old_q,
+                        learning_rate=config.learning_rate,
+                        clip_epsilon=config.clip_epsilon,
+                    )
     elapsed = time.perf_counter() - start
 
     evaluation = None

@@ -16,6 +16,7 @@ fleet's compromise probabilities with :func:`attacker_intensity_sweep`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -223,6 +224,10 @@ def mixed_closed_loop_sweep(
     seed: int | None = 0,
     k: int = 1,
     initial_nodes: int | None = None,
+    optimize_deltas: bool = False,
+    delta_grid: Sequence[float] = (5, 10, 25, math.inf),
+    delta_optimizer_factory: Callable[[], object] | None = None,
+    delta_episodes_per_evaluation: int = 10,
 ) -> dict[tuple[str, str], TwoLevelResult]:
     """Heterogeneous closed-loop sweep over ready-made (mixed) scenarios.
 
@@ -230,9 +235,28 @@ def mixed_closed_loop_sweep(
     episodes; one engine is compiled per scenario and shared across cells.
     Scenarios built with :meth:`~repro.sim.FleetScenario.mixed` carry
     per-class metrics on their results (``TwoLevelResult.class_summary``).
+
+    With ``optimize_deltas=True`` every scenario's classes first get their
+    BTR deadline ``Delta_R`` re-optimized per class — Algorithm 1 on each
+    class's own node POMDP over ``delta_grid``
+    (:func:`~repro.control.class_aware.optimize_class_deltas`) — and the
+    cells run against the deadline-optimized scenario.  Requires labelled
+    scenarios (:meth:`~repro.sim.FleetScenario.mixed`).
     """
+    from .class_aware import apply_class_deltas, optimize_class_deltas
+
     table: dict[tuple[str, str], TwoLevelResult] = {}
     for scenario_name, scenario in scenarios.items():
+        if optimize_deltas:
+            deltas = optimize_class_deltas(
+                scenario.node_classes(),
+                delta_grid=delta_grid,
+                optimizer_factory=delta_optimizer_factory,
+                horizon=scenario.horizon,
+                episodes_per_evaluation=delta_episodes_per_evaluation,
+                seed=seed,
+            )
+            scenario = apply_class_deltas(scenario, deltas)
         for name, result in _run_cells(
             scenario, cells, num_envs, seed, k, initial_nodes
         ).items():

@@ -29,7 +29,11 @@ from typing import Sequence
 import numpy as np
 
 from ..core.strategies import RecoveryStrategy, ReplicationStrategy
-from ..core.system_model import EmpiricalSystemModel
+from ..core.system_model import (
+    ClassAwareSystemModel,
+    EmpiricalSystemModel,
+    class_aware_system_model,
+)
 from ..envs.policies import VectorPolicy
 from ..envs.vector_recovery import FleetVectorEnv
 from ..sim import BatchRecoveryEngine, FleetScenario
@@ -37,6 +41,7 @@ from ..sim.strategies import BatchStrategy
 from ..solvers.cmdp import (
     CMDPSolution,
     LagrangianSolution,
+    policy_stationary_distribution,
     solve_replication_lagrangian,
     solve_replication_lp,
 )
@@ -47,6 +52,8 @@ __all__ = [
     "fit_system_model_from_env",
     "fit_system_models_per_class",
     "fit_system_model_from_trace",
+    "fresh_node_survival_from_model",
+    "fit_class_aware_system_model",
     "evaluate_replication_closed_loop",
     "SystemIdentificationResult",
     "identify_replication_strategies",
@@ -148,6 +155,98 @@ def fit_system_models_per_class(
             smoothing=smoothing,
         )
     return models
+
+
+def fresh_node_survival_from_model(model: EmpiricalSystemModel) -> float:
+    """Empirical per-node survival weight ``q_c`` from a class's fitted kernel.
+
+    Computes the stationary distribution of the class sub-fleet's passive
+    kernel ``\\hat{f}_{S,c}(. | ., 0)`` and returns the long-run expected
+    per-node health
+
+    .. math::
+
+        q_c = \\frac{1}{count_c} \\, \\mathbb{E}_{\\pi_c}[s],
+
+    the probability that a node of this class is healthy at a random step
+    of its renewal cycle (compromise, crash, recovery included).  This is
+    the empirically identifiable weight the class-aware add kernels put on
+    the Eq. 8 shift: it measures what an added node of the class is worth
+    to the healthy count in the average-cost sense, and it separates a
+    hardened image from a vulnerable one even when neither sub-fleet ever
+    visits its full-health state (where a one-step estimate would read
+    pure smoothing mass).  The model-based one-step counterpart is
+    :func:`repro.core.system_model.fresh_node_survival`.
+    """
+    count = model.smax
+    if count < 1:
+        raise ValueError("the class sub-fleet must have at least one node")
+    # The passive kernel is the chain induced by the all-wait policy; the
+    # hardened solver helper supplies the non-finite/degenerate guards.
+    distribution = policy_stationary_distribution(
+        model, np.zeros(model.num_states, dtype=int)
+    )
+    expected = float(distribution @ np.arange(model.num_states))
+    return float(np.clip(expected / count, 0.0, 1.0))
+
+
+def fit_class_aware_system_model(
+    env: FleetVectorEnv,
+    f: int | None = None,
+    epsilon_a: float = 0.9,
+    smoothing: float = 0.5,
+    survival_probabilities: dict[str, float] | None = None,
+    add_costs: dict[str, float] | None = None,
+) -> ClassAwareSystemModel:
+    """Fit the class-indexed replication CMDP of a rolled-out mixed fleet.
+
+    The class-aware counterpart of :func:`fit_system_model_from_env`: the
+    fleet-wide passive kernel ``\\hat{f}_S(. | s, 0)`` comes from the
+    global state pairs, and each class's add kernel weights the Eq. 8
+    shift by the class's fresh-node survival — estimated, by default, from
+    the per-class empirical fits of :func:`fit_system_models_per_class`
+    (a hardened image's sub-fleet kernel certifies a higher survival than
+    a vulnerable one's).  The result feeds the class-indexed Algorithm 2
+    (:func:`~repro.solvers.cmdp.solve_class_aware_replication_lp` /
+    :func:`~repro.solvers.cmdp.solve_class_aware_replication_lagrangian`).
+
+    Args:
+        env: A rolled-out fleet environment over a labelled scenario.
+        f: Tolerance threshold; defaults to the scenario's.
+        epsilon_a: Availability bound recorded on the model.
+        smoothing: Laplace smoothing mass per transition count.
+        survival_probabilities: Optional per-class survival overrides
+            (skips the empirical estimate for the named classes).
+        add_costs: Optional extra per-step cost per class (e.g. the
+            class's ``eta``-weighted deployment price).
+    """
+    base = fit_system_model_from_env(
+        env, f=f, epsilon_a=epsilon_a, smoothing=smoothing
+    )
+    class_models = fit_system_models_per_class(
+        env, f=f, epsilon_a=epsilon_a, smoothing=smoothing
+    )
+    class_names = list(env.scenario.class_slots())
+    overrides = survival_probabilities or {}
+    survivals = [
+        overrides.get(name, fresh_node_survival_from_model(class_models[name]))
+        for name in class_names
+    ]
+    costs = None
+    if add_costs is not None:
+        unknown = set(add_costs) - set(class_names)
+        if unknown:
+            raise ValueError(
+                f"add_costs name classes {sorted(unknown)} that the scenario "
+                f"does not define (available: {class_names})"
+            )
+        costs = [0.0] + [float(add_costs.get(name, 0.0)) for name in class_names]
+    return class_aware_system_model(
+        base,
+        class_names=class_names,
+        survival_probabilities=survivals,
+        add_costs=costs,
+    )
 
 
 def fit_system_model_from_trace(

@@ -32,6 +32,16 @@ threaded through the engine per slot, so a standby slot activates as a
 fresh node of *its own* container class, never node 0's.  Labelled
 scenarios additionally get per-class cost/recovery metrics on the result.
 
+The system level is **class-aware** on such fleets: a replication strategy
+that chooses *which* class to add
+(:class:`~repro.core.strategies.ClassTabularReplicationStrategy`, the
+class-indexed Algorithm 2 output, or any
+:class:`~repro.core.strategies.ClassAwareReplicationStrategy`) has its
+``add(c)`` decision activate the first free slot of class ``c``'s
+sub-fleet on both run paths (falling back to any free slot when the
+sub-fleet is exhausted); emergency adds stay classless.  Classless
+strategies keep the first-free-slot behaviour unchanged.
+
 :meth:`TwoLevelController.run_scalar_reference` executes the identical
 closed loop one episode at a time with the scalar
 :class:`~repro.core.system_controller.SystemController` — the decision
@@ -47,7 +57,11 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.strategies import RecoveryStrategy, ReplicationStrategy
+from ..core.strategies import (
+    RecoveryStrategy,
+    ReplicationStrategy,
+    strategy_is_class_aware,
+)
 from ..core.system_controller import SystemController
 from ..envs.base import VectorObservation
 from ..envs.policies import StrategyPolicy, VectorPolicy
@@ -79,6 +93,13 @@ class SystemTrace:
         decision_counts: ``N_t`` at decision time (after evictions, before
             additions) — the count feature the learned policy conditions on.
         available: Whether at most ``f`` active nodes were failed.
+        add_classes: Chosen container-class indices, shape ``(T, B)`` with
+            ``-1`` where no class was chosen; ``None`` for classless
+            strategies.
+        action_probabilities: Full per-action distributions the decisions
+            were sampled from, shape ``(T, B, 1 + C)``; ``None`` for
+            classless strategies.  The class-aware PPO replication trainer
+            reads its old-policy probabilities off this.
     """
 
     states: np.ndarray
@@ -88,6 +109,8 @@ class SystemTrace:
     node_counts: np.ndarray
     decision_counts: np.ndarray
     available: np.ndarray
+    add_classes: np.ndarray | None = None
+    action_probabilities: np.ndarray | None = None
 
     def transitions(self) -> np.ndarray:
         """Observed ``(s_t, a_t, s_{t+1})`` triples, shape ``(K, 3)``.
@@ -193,6 +216,7 @@ class _DecisionTrace:
     adds: list = field(default_factory=list)
     emergencies: list = field(default_factory=list)
     evictions: list = field(default_factory=list)
+    add_classes: list = field(default_factory=list)
 
 
 class TwoLevelController:
@@ -281,6 +305,33 @@ class TwoLevelController:
         self.class_slots: dict[str, np.ndarray] | None = (
             scenario.class_slots() if scenario.node_labels is not None else None
         )
+        #: Slot indices per strategy class index, for class-aware
+        #: replication strategies: an add(c) decision activates the first
+        #: free slot of class c (falling back to the first free slot of any
+        #: class when c's sub-fleet is exhausted), on both run paths.
+        self._strategy_class_slots: list[np.ndarray] | None = None
+        if replication_strategy is not None and strategy_is_class_aware(
+            replication_strategy
+        ):
+            if self.class_slots is None:
+                raise ValueError(
+                    "a class-aware replication strategy requires a labelled "
+                    "scenario; build it with FleetScenario.mixed(...)"
+                )
+            missing = [
+                name
+                for name in replication_strategy.class_names
+                if name not in self.class_slots
+            ]
+            if missing:
+                raise ValueError(
+                    f"replication strategy chooses among classes {missing} "
+                    f"that the scenario does not define "
+                    f"(available: {sorted(self.class_slots)})"
+                )
+            self._strategy_class_slots = [
+                self.class_slots[name] for name in replication_strategy.class_names
+            ]
 
     # -- interface properties ----------------------------------------------------
     @property
@@ -365,6 +416,8 @@ class TwoLevelController:
         counts_t: list[np.ndarray] = []
         decision_counts_t: list[np.ndarray] = []
         available_t: list[np.ndarray] = []
+        add_classes_t: list[np.ndarray] = []
+        class_probs_t: list[np.ndarray] = []
 
         for _ in range(self.horizon):
             forced = observation.forced
@@ -406,10 +459,7 @@ class TwoLevelController:
                 node_counts=active.sum(axis=1),
             )
             active = active & ~crashed
-            if decision.add_node.any():
-                rows = np.flatnonzero(decision.add_node)
-                first_free = (~active).argmax(axis=1)
-                active[rows, first_free[rows]] = True
+            self._activate_slots(active, decision.add_node, decision.add_class)
 
             node_counts = active.sum(axis=1)
             node_count_sum += node_counts
@@ -423,6 +473,11 @@ class TwoLevelController:
                 trace.adds.append(decision.add_node)
                 trace.emergencies.append(decision.emergency_add)
                 trace.evictions.append(decision.evicted.sum(axis=1))
+                trace.add_classes.append(
+                    decision.add_class
+                    if decision.add_class is not None
+                    else np.full(batch, -1, dtype=np.int64)
+                )
             if record:
                 states_t.append(decision.state)
                 actions_t.append(decision.add_node)
@@ -431,6 +486,9 @@ class TwoLevelController:
                 counts_t.append(node_counts)
                 decision_counts_t.append(decision.node_count_after_eviction)
                 available_t.append(step_available)
+                if decision.add_class is not None:
+                    add_classes_t.append(decision.add_class)
+                    class_probs_t.append(decision.action_probabilities)
 
         self.last_decision_trace = trace
         if record:
@@ -442,6 +500,10 @@ class TwoLevelController:
                 node_counts=np.stack(counts_t),
                 decision_counts=np.stack(decision_counts_t),
                 available=np.stack(available_t),
+                add_classes=np.stack(add_classes_t) if add_classes_t else None,
+                action_probabilities=(
+                    np.stack(class_probs_t) if class_probs_t else None
+                ),
             )
         steps = max(self.horizon, 1)
         slot_steps = np.maximum(active_slot_steps, 1)
@@ -467,6 +529,36 @@ class TwoLevelController:
             class_average_cost=class_average_cost,
             class_recovery_frequency=class_recovery_frequency,
         )
+
+    def _activate_slots(
+        self,
+        active: np.ndarray,
+        add_mask: np.ndarray,
+        add_class: np.ndarray | None,
+    ) -> None:
+        """Activate one standby slot per adding episode, in place.
+
+        Classless adds (and class-aware emergency adds, ``add_class == -1``)
+        claim the first free slot; a class-aware ``add(c)`` claims the first
+        free slot of class ``c``'s sub-fleet, falling back to the first free
+        slot of any class when the sub-fleet is exhausted.  The scalar
+        reference applies the identical rule one episode at a time.
+        """
+        if not add_mask.any():
+            return
+        rows = np.flatnonzero(add_mask)
+        targets = (~active).argmax(axis=1)[rows]
+        if self._strategy_class_slots is not None and add_class is not None:
+            classes = add_class[rows]
+            for c, slots in enumerate(self._strategy_class_slots):
+                members = np.flatnonzero(classes == c)
+                if members.size == 0:
+                    continue
+                free = ~active[np.ix_(rows[members], slots)]
+                has_free = free.any(axis=1)
+                chosen = slots[free.argmax(axis=1)]
+                targets[members[has_free]] = chosen[has_free]
+        active[rows, targets] = True
 
     def _grant_recoveries(
         self, requests: np.ndarray, beliefs: np.ndarray
@@ -521,6 +613,7 @@ class TwoLevelController:
             trace.adds = [[] for _ in range(batch)]
             trace.emergencies = [[] for _ in range(batch)]
             trace.evictions = [[] for _ in range(batch)]
+            trace.add_classes = [[] for _ in range(batch)]
 
         for b in range(batch):
             sim = engine.begin(uniforms=uniforms[b : b + 1])
@@ -592,7 +685,18 @@ class TwoLevelController:
                 )
                 active = active & ~crashed
                 if decision.add_node:
-                    active[int(np.argmax(~active))] = True
+                    target = int(np.argmax(~active))
+                    if (
+                        self._strategy_class_slots is not None
+                        and decision.add_class is not None
+                    ):
+                        class_slot_indices = self._strategy_class_slots[
+                            decision.add_class
+                        ]
+                        free = ~active[class_slot_indices]
+                        if free.any():
+                            target = int(class_slot_indices[int(np.argmax(free))])
+                    active[target] = True
 
                 count = int(active.sum())
                 node_count_sum += count
@@ -605,6 +709,9 @@ class TwoLevelController:
                     trace.adds[b].append(decision.add_node)
                     trace.emergencies[b].append(decision.emergency_add)
                     trace.evictions[b].append(len(decision.evicted_nodes))
+                    trace.add_classes[b].append(
+                        decision.add_class if decision.add_class is not None else -1
+                    )
 
             steps = max(self.horizon, 1)
             slot_steps = max(active_slot_steps, 1)
@@ -641,6 +748,12 @@ class TwoLevelController:
             ]
             trace.evictions = [
                 np.array([trace.evictions[b][t] for b in range(batch)], dtype=np.int64)
+                for t in range(self.horizon)
+            ]
+            trace.add_classes = [
+                np.array(
+                    [trace.add_classes[b][t] for b in range(batch)], dtype=np.int64
+                )
                 for t in range(self.horizon)
             ]
         self.last_decision_trace = trace

@@ -22,6 +22,13 @@ seeds.  Two properties make that exact rather than statistical:
    when a stochastic strategy (``MixedReplicationStrategy``,
    ``TabularReplicationStrategy``) would call ``rng.random()``.
 
+Class-aware strategies (``{wait, add(c_1), ..., add(c_C)}`` on
+heterogeneous fleets) keep both properties: the decision samples one
+uniform per step through the same inverse-CDF rule the scalar strategy's
+``action`` applies (:func:`~repro.core.strategies.sample_action_index`)
+over identical cumulative probability rows, and the chosen class index
+rides on the decision record (:attr:`VectorSystemDecision.add_class`).
+
 ``tests/test_control_plane.py`` asserts the resulting decision parity per
 strategy class.
 """
@@ -38,6 +45,7 @@ from ..core.strategies import (
     NeverAddStrategy,
     ReplicationStrategy,
     ReplicationThresholdStrategy,
+    strategy_is_class_aware,
 )
 
 __all__ = [
@@ -104,11 +112,20 @@ class VectorSystemDecision:
         add_probability: The strategy's ``pi(a=1 | s_t)`` used for the
             decision, shape ``(B,)`` (1/0 for forced/capped overrides are
             *not* folded in — this is the policy probability, which the PPO
-            replication trainer consumes).
+            replication trainer consumes).  For class-aware strategies this
+            is the total add mass ``1 - pi(wait | s_t)``.
         capped: Whether a requested addition was dropped because the
             physical cluster is exhausted (``N_t >= smax``), shape ``(B,)``.
         node_count_after_eviction: ``N_t`` after removing evicted nodes,
             before any addition, shape ``(B,)``.
+        add_class: Chosen container-class index per episode (into the
+            strategy's ``class_names``), shape ``(B,)``; ``-1`` where no
+            class was chosen (wait, emergency add, capped).  ``None`` for
+            classless strategies.
+        action_probabilities: The full per-action distribution
+            ``pi(. | s_t)`` the decision was sampled from, shape
+            ``(B, 1 + C)``; ``None`` for classless strategies.  The
+            class-aware PPO replication trainer consumes it.
     """
 
     state: np.ndarray
@@ -118,6 +135,8 @@ class VectorSystemDecision:
     add_probability: np.ndarray
     capped: np.ndarray
     node_count_after_eviction: np.ndarray
+    add_class: np.ndarray | None = None
+    action_probabilities: np.ndarray | None = None
 
 
 class VectorSystemController:
@@ -177,13 +196,45 @@ class VectorSystemController:
         self.num_episodes = num_episodes
         self.horizon = horizon
         self._stochastic = strategy_consumes_rng(self.strategy)
-        self._batch_probability = getattr(self.strategy, "add_probability_batch", None)
-        if self._batch_probability is None:
-            self._table = np.array(
-                [self.strategy.add_probability(s) for s in range(smax + 1)]
+        self._class_aware = strategy_is_class_aware(self.strategy)
+        self._batch_probability = None
+        self._class_batch_probability = None
+        self._table = None
+        self._class_cumulative = None
+        if self._class_aware:
+            # Class-aware strategies are applied through the cumulative
+            # per-action table (or the count-conditioned batched variant);
+            # the scalar controller samples with np.cumsum over the same
+            # rows, so the inverse-CDF comparison is bit-identical.
+            if not self._stochastic:
+                raise ValueError(
+                    "class-aware replication strategies must consume rng "
+                    "(consumes_rng=True): the batched controller samples "
+                    "them through the shared per-episode uniform buffer, "
+                    "matching the scalar controller's rng.random() draws"
+                )
+            self.class_names: tuple[str, ...] | None = tuple(self.strategy.class_names)
+            self._class_batch_probability = getattr(
+                self.strategy, "action_probabilities_batch", None
             )
+            if self._class_batch_probability is None:
+                table = np.stack(
+                    [
+                        np.asarray(self.strategy.action_probabilities(s), dtype=float)
+                        for s in range(smax + 1)
+                    ]
+                )
+                self._class_cumulative = np.cumsum(table, axis=1)
+                self._class_table = table
         else:
-            self._table = None
+            self.class_names = None
+            self._batch_probability = getattr(
+                self.strategy, "add_probability_batch", None
+            )
+            if self._batch_probability is None:
+                self._table = np.array(
+                    [self.strategy.add_probability(s) for s in range(smax + 1)]
+                )
         self._uniforms: np.ndarray | None = None
         if self._stochastic:
             if seed_sequences is not None:
@@ -253,23 +304,53 @@ class VectorSystemController:
         node_counts = np.asarray(node_counts, dtype=np.int64)
         count_after_eviction = node_counts - evicted.sum(axis=1)
 
-        if self._batch_probability is not None:
-            probs = np.asarray(
-                self._batch_probability(state, count_after_eviction), dtype=float
-            )
-        else:
-            probs = self._table[state]
-        if self._stochastic:
+        add_class = None
+        action_probabilities = None
+        if self._class_aware:
+            if self._class_batch_probability is not None:
+                action_probabilities = np.asarray(
+                    self._class_batch_probability(state, count_after_eviction),
+                    dtype=float,
+                )
+                cumulative = np.cumsum(action_probabilities, axis=1)
+            else:
+                action_probabilities = self._class_table[state]
+                cumulative = self._class_cumulative[state]
             if self._step_index >= self.horizon:
                 raise RuntimeError(
                     "controller horizon exhausted: construct the controller "
                     "with a larger horizon"
                 )
-            # One uniform per episode per step, drawn exactly when the
-            # scalar strategy would call rng.random().
-            add = self._uniforms[:, self._step_index] < probs
+            # One uniform per episode per step, consumed by the same
+            # inverse-CDF rule the scalar strategy's `action` applies
+            # (strategies.sample_action_index) — identical comparisons over
+            # identical cumulative rows.
+            uniforms = self._uniforms[:, self._step_index]
+            num_actions = cumulative.shape[1]
+            action = np.minimum(
+                (cumulative <= uniforms[:, None]).sum(axis=1), num_actions - 1
+            )
+            add = action > 0
+            add_class = np.where(add, action - 1, -1).astype(np.int64)
+            probs = 1.0 - action_probabilities[:, 0]
         else:
-            add = probs > 0.5
+            if self._batch_probability is not None:
+                probs = np.asarray(
+                    self._batch_probability(state, count_after_eviction), dtype=float
+                )
+            else:
+                probs = self._table[state]
+            if self._stochastic:
+                if self._step_index >= self.horizon:
+                    raise RuntimeError(
+                        "controller horizon exhausted: construct the controller "
+                        "with a larger horizon"
+                    )
+                # One uniform per episode per step, drawn exactly when the
+                # scalar strategy would call rng.random().
+                add = self._uniforms[:, self._step_index] < probs
+            else:
+                add = probs > 0.5
         self._step_index += 1
 
         emergency = np.zeros_like(add)
@@ -282,6 +363,10 @@ class VectorSystemController:
         capped = add & (count_after_eviction >= self.smax)
         add = add & ~capped
         emergency = emergency & ~capped
+        if add_class is not None:
+            # Emergency and capped overrides carry no class choice: the
+            # emergency add activates the first free slot of any class.
+            add_class = np.where(add & (add_class >= 0), add_class, -1)
 
         self.total_additions += add
         return VectorSystemDecision(
@@ -292,4 +377,6 @@ class VectorSystemController:
             add_probability=probs,
             capped=capped,
             node_count_after_eviction=count_after_eviction,
+            add_class=add_class,
+            action_probabilities=action_probabilities,
         )

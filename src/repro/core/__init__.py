@@ -71,6 +71,9 @@ from .reliability import (
 from .strategies import (
     AdaptiveHeuristicReplicationStrategy,
     BeliefPeriodicStrategy,
+    ClassAwareReplicationStrategy,
+    ClassPreferenceReplicationStrategy,
+    ClassTabularReplicationStrategy,
     MixedReplicationStrategy,
     MultiThresholdStrategy,
     NeverAddStrategy,
@@ -81,12 +84,17 @@ from .strategies import (
     ReplicationThresholdStrategy,
     TabularReplicationStrategy,
     ThresholdStrategy,
+    sample_action_index,
+    strategy_is_class_aware,
 )
 from .system_controller import SystemController, SystemControllerDecision
 from .system_model import (
     BinomialSystemModel,
+    ClassAwareSystemModel,
     EmpiricalSystemModel,
     SystemModel,
+    class_aware_system_model,
+    fresh_node_survival,
     system_model_from_node_beliefs,
 )
 
@@ -98,6 +106,10 @@ __all__ = [
     "BeliefState",
     "BetaBinomialObservationModel",
     "BinomialSystemModel",
+    "ClassAwareReplicationStrategy",
+    "ClassAwareSystemModel",
+    "ClassPreferenceReplicationStrategy",
+    "ClassTabularReplicationStrategy",
     "CorrectnessAuditor",
     "DiscreteObservationModel",
     "EmpiricalObservationModel",
@@ -152,6 +164,10 @@ __all__ = [
     "summarize_metric_arrays",
     "summarize_runs",
     "system_cost",
+    "class_aware_system_model",
+    "fresh_node_survival",
+    "sample_action_index",
+    "strategy_is_class_aware",
     "system_model_from_node_beliefs",
     "tolerance_threshold",
     "update_compromise_belief",

@@ -14,6 +14,18 @@ by :class:`ReplicationThresholdStrategy` and :class:`MixedReplicationStrategy`.
 Algorithm 2 yields an arbitrary randomized strategy over the state space,
 implemented by :class:`TabularReplicationStrategy`.
 
+Class-aware global level.  On heterogeneous (Table 6 style) fleets the add
+action is class-indexed — ``{wait, add(c_1), ..., add(c_C)}`` — and a
+strategy is a distribution over ``1 + C`` actions per state:
+:class:`ClassTabularReplicationStrategy` (the output of the class-aware
+Algorithm 2) and :class:`ClassPreferenceReplicationStrategy` (any classless
+strategy lifted to always add one preferred class).  Class-aware strategies
+sample their action with **one** uniform via the shared inverse-CDF rule
+:func:`sample_action_index`, which both the scalar
+:class:`~repro.core.system_controller.SystemController` and the batched
+:class:`~repro.control.VectorSystemController` apply with identical float
+operations — the bit-parity requirement of the control plane.
+
 Baselines (Section VIII-B).  ``NO-RECOVERY``, ``PERIODIC`` and
 ``PERIODIC-ADAPTIVE`` replicate the recovery/replication behaviour of the
 state-of-the-art systems the paper compares against.
@@ -42,6 +54,11 @@ __all__ = [
     "TabularReplicationStrategy",
     "NeverAddStrategy",
     "AdaptiveHeuristicReplicationStrategy",
+    "ClassAwareReplicationStrategy",
+    "ClassTabularReplicationStrategy",
+    "ClassPreferenceReplicationStrategy",
+    "sample_action_index",
+    "strategy_is_class_aware",
 ]
 
 
@@ -309,6 +326,147 @@ class NeverAddStrategy:
     def action(self, state: int, rng: np.random.Generator | None = None) -> int:
         del state, rng
         return 0
+
+
+# ---------------------------------------------------------------------------
+# Class-aware global level: pi : S_S -> Delta({wait, add(c_1), ..., add(c_C)})
+# ---------------------------------------------------------------------------
+def sample_action_index(cumulative: np.ndarray, uniform: float) -> int:
+    """Inverse-CDF action sampling shared by the scalar and batched paths.
+
+    ``cumulative`` is the cumulative sum of the per-action probabilities;
+    the sampled action is the number of cumulative entries ``<= uniform``
+    (clipped to the last action against float round-off in the final sum).
+    The batched controller applies the identical comparison-and-sum over a
+    ``(B, 1 + C)`` cumulative array, so both paths pick the same action for
+    the same uniform — bit-parity by construction.
+    """
+    cumulative = np.asarray(cumulative, dtype=float)
+    return int(min((cumulative <= uniform).sum(), cumulative.shape[-1] - 1))
+
+
+class ClassAwareReplicationStrategy(Protocol):
+    """Interface of a class-indexed replication strategy.
+
+    ``action_probabilities(state)`` returns the distribution over the
+    ``1 + C`` actions ``{wait, add(c_1), ..., add(c_C)}``; ``class_names``
+    fixes the class order (action ``c + 1`` adds a node of
+    ``class_names[c]``).  The classless ``add_probability`` marginal makes
+    every class-aware strategy usable where a
+    :class:`ReplicationStrategy` is expected.
+    """
+
+    class_names: tuple[str, ...]
+
+    def action_probabilities(self, state: int) -> np.ndarray:
+        """Distribution over ``{wait, add(c_1), ..., add(c_C)}``."""
+        ...
+
+    def action(self, state: int, rng: np.random.Generator) -> int:
+        """Sample the action index in ``{0, ..., C}`` (0 = wait)."""
+        ...
+
+
+@dataclass(frozen=True)
+class ClassTabularReplicationStrategy:
+    """Randomized class-indexed strategy given by a ``(S, 1 + C)`` table.
+
+    The output format of the class-aware Algorithm 2
+    (:func:`~repro.solvers.cmdp.solve_class_aware_replication_lp`): row
+    ``s`` is the distribution ``pi(. | s)`` over wait and the per-class add
+    actions.  States beyond the table fall back to the last row.
+    """
+
+    class_names: tuple[str, ...]
+    probabilities: np.ndarray
+
+    #: One uniform is consumed per decision (inverse-CDF sampling), like
+    #: the classless randomized strategies.
+    consumes_rng = True
+
+    def __post_init__(self) -> None:
+        probabilities = np.asarray(self.probabilities, dtype=float)
+        if probabilities.ndim != 2 or probabilities.shape[1] != len(self.class_names) + 1:
+            raise ValueError(
+                "probabilities must have shape (num_states, 1 + num_classes), "
+                f"got {probabilities.shape} for {len(self.class_names)} classes"
+            )
+        if np.any(probabilities < -1e-9):
+            raise ValueError("action probabilities must be non-negative")
+        if not np.allclose(probabilities.sum(axis=1), 1.0, atol=1e-6):
+            raise ValueError("action probabilities must sum to one per state")
+        object.__setattr__(self, "probabilities", probabilities)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_names)
+
+    def action_probabilities(self, state: int) -> np.ndarray:
+        index = min(max(int(state), 0), self.probabilities.shape[0] - 1)
+        return self.probabilities[index]
+
+    def add_probability(self, state: int) -> float:
+        """Classless marginal: total probability of adding *some* node."""
+        return float(1.0 - self.action_probabilities(state)[0])
+
+    def action(self, state: int, rng: np.random.Generator) -> int:
+        cumulative = np.cumsum(self.action_probabilities(state))
+        return sample_action_index(cumulative, rng.random())
+
+
+@dataclass(frozen=True)
+class ClassPreferenceReplicationStrategy:
+    """A classless strategy lifted to always add one preferred class.
+
+    Wraps any :class:`ReplicationStrategy`: the total add probability per
+    state is the base strategy's, and all of it lands on ``preferred``.
+    This is the natural class-aware baseline pair for a class-blind
+    strategy — same add pressure, deliberate class choice — used by the
+    class-aware replication benchmark.
+    """
+
+    base: ReplicationStrategy
+    preferred: str
+    class_names: tuple[str, ...]
+
+    consumes_rng = True
+
+    def __post_init__(self) -> None:
+        if self.preferred not in self.class_names:
+            raise ValueError(
+                f"preferred class {self.preferred!r} not among {self.class_names}"
+            )
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_names)
+
+    def action_probabilities(self, state: int) -> np.ndarray:
+        p_add = float(min(max(self.base.add_probability(state), 0.0), 1.0))
+        row = np.zeros(1 + self.num_classes)
+        row[0] = 1.0 - p_add
+        row[1 + self.class_names.index(self.preferred)] = p_add
+        return row
+
+    def add_probability(self, state: int) -> float:
+        return float(min(max(self.base.add_probability(state), 0.0), 1.0))
+
+    def action(self, state: int, rng: np.random.Generator) -> int:
+        cumulative = np.cumsum(self.action_probabilities(state))
+        return sample_action_index(cumulative, rng.random())
+
+
+def strategy_is_class_aware(strategy: object) -> bool:
+    """Whether a replication strategy chooses *which* class to add.
+
+    Detected structurally: the strategy exposes per-action
+    ``action_probabilities`` (or the count-conditioned batched variant
+    ``action_probabilities_batch``) plus the ``class_names`` order.
+    """
+    return hasattr(strategy, "class_names") and (
+        hasattr(strategy, "action_probabilities")
+        or hasattr(strategy, "action_probabilities_batch")
+    )
 
 
 @dataclass(frozen=True)

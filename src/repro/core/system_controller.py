@@ -33,7 +33,7 @@ from typing import Mapping
 
 import numpy as np
 
-from .strategies import NeverAddStrategy, ReplicationStrategy
+from .strategies import NeverAddStrategy, ReplicationStrategy, strategy_is_class_aware
 
 __all__ = ["SystemControllerDecision", "SystemController"]
 
@@ -48,12 +48,17 @@ class SystemControllerDecision:
         evicted_nodes: Node identifiers evicted because they failed to report.
         emergency_add: Whether the addition was forced by the Prop. 1
             invariant rather than by the strategy.
+        add_class: Index of the container class the strategy chose to add
+            (into the strategy's ``class_names``), or ``None`` for a
+            classless strategy and for emergency adds — those activate the
+            first free slot of any class.
     """
 
     state: int
     add_node: bool
     evicted_nodes: tuple[object, ...]
     emergency_add: bool = False
+    add_class: int | None = None
 
 
 class SystemController:
@@ -139,7 +144,13 @@ class SystemController:
             current_node_count = len(registered_nodes)
         node_count_after_eviction = current_node_count - len(evicted)
 
-        add_node = bool(self.strategy.action(state, self._rng))
+        # Class-aware strategies return an action index in {0, ..., C}
+        # (0 = wait, c + 1 = add class c); classless ones return {0, 1}.
+        action = int(self.strategy.action(state, self._rng))
+        add_node = action > 0
+        add_class = (
+            action - 1 if add_node and strategy_is_class_aware(self.strategy) else None
+        )
         emergency = False
         if (
             self.enforce_invariant
@@ -154,6 +165,7 @@ class SystemController:
             # The physical cluster is exhausted; the request is dropped.
             add_node = False
             emergency = False
+            add_class = None
 
         if add_node:
             self.total_additions += 1
@@ -163,4 +175,5 @@ class SystemController:
             add_node=add_node,
             evicted_nodes=evicted,
             emergency_add=emergency,
+            add_class=add_class,
         )

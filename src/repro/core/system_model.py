@@ -23,6 +23,18 @@ added.  In this reproduction we expose two concrete instantiations of
 
 Both satisfy the interface :class:`SystemModel`, which the CMDP solver
 (Algorithm 2) consumes.
+
+Heterogeneous (Table 6 style) fleets additionally get the **class-aware**
+variant :class:`ClassAwareSystemModel`: the action space grows from
+``{wait, add}`` to ``{wait, add(class c_1), ..., add(class c_C)}``, where
+adding a node of class ``c`` shifts the successor state up by one with the
+class's *fresh-node survival probability* ``q_c`` (a hardened container is
+more likely to still be healthy one step after activation than a vulnerable
+one).  :func:`class_aware_system_model` builds the stacked kernel from any
+fitted two-action model plus per-class survivals; with a single class and
+``q = 1`` the stack reproduces the classless kernel bit for bit, which is
+what keeps homogeneous results unchanged (regression-tested in
+``tests/test_class_aware_cmdp.py``).
 """
 
 from __future__ import annotations
@@ -36,6 +48,9 @@ __all__ = [
     "SystemModel",
     "BinomialSystemModel",
     "EmpiricalSystemModel",
+    "ClassAwareSystemModel",
+    "class_aware_system_model",
+    "fresh_node_survival",
     "system_model_from_node_beliefs",
 ]
 
@@ -47,7 +62,8 @@ class SystemModel:
         smax: Maximum number of nodes; states are ``{0, ..., smax}``.
         f: Tolerance threshold; availability requires ``s >= f + 1``.
         epsilon_a: Lower bound on the average availability (Eq. 10b).
-        transition: Array ``T[a, s, s']`` with ``a in {0, 1}``.
+        transition: Array ``T[a, s, s']`` with ``a in {0, 1}`` for the
+            classless model (``a >= 2`` only in the class-aware subclass).
     """
 
     def __init__(
@@ -57,8 +73,8 @@ class SystemModel:
         epsilon_a: float,
     ) -> None:
         transition = np.asarray(transition, dtype=float)
-        if transition.ndim != 3 or transition.shape[0] != 2:
-            raise ValueError("transition must have shape (2, smax+1, smax+1)")
+        if transition.ndim != 3 or transition.shape[0] < 2:
+            raise ValueError("transition must have shape (A >= 2, smax+1, smax+1)")
         if transition.shape[1] != transition.shape[2]:
             raise ValueError("transition matrices must be square")
         if not np.allclose(transition.sum(axis=2), 1.0, atol=1e-8):
@@ -86,8 +102,13 @@ class SystemModel:
         return np.arange(self.num_states)
 
     @property
-    def actions(self) -> tuple[int, int]:
-        return (0, 1)
+    def num_actions(self) -> int:
+        """Size of the action space (2 for the classless ``{wait, add}``)."""
+        return int(self.transition.shape[0])
+
+    @property
+    def actions(self) -> tuple[int, ...]:
+        return tuple(range(self.num_actions))
 
     def probability(self, next_state: int, state: int, action: int) -> float:
         return float(self.transition[action, state, next_state])
@@ -259,6 +280,158 @@ class EmpiricalSystemModel(SystemModel):
             num_observed if num_observed is not None else int(round(counts.sum()))
         )
         return model
+
+
+class ClassAwareSystemModel(SystemModel):
+    """Replication CMDP with one add action per container class.
+
+    Actions are ``{0: wait, 1: add(c_1), ..., C: add(c_C)}`` over the same
+    CMDP state space ``{0, ..., smax}`` (expected healthy nodes, Eq. 8).
+    Adding a node of class ``c`` is worth the class's fresh-node survival:
+    the successor distribution is the Eq. 8 shift with probability ``q_c``
+    and the passive kernel with probability ``1 - q_c`` (see
+    :func:`class_aware_system_model`).
+
+    Unlike the base constructor, this one takes *already normalized*
+    kernels (as produced by :func:`class_aware_system_model` from a fitted
+    base model) and does **not** renormalize them: renormalization is not
+    bit-stable, and preserving the base model's rows exactly is what makes
+    the single-class reduction bit-for-bit.
+
+    Attributes:
+        class_names: The container-class label behind each add action, in
+            action order (``class_names[c]`` is action ``c + 1``).
+        add_costs: Extra per-step cost of each action, shape ``(1 + C,)``
+            with ``add_costs[0] = 0``; lets a deployment price the classes
+            differently on top of the Eq. 9 node count.
+    """
+
+    def __init__(
+        self,
+        transition: np.ndarray,
+        f: int,
+        epsilon_a: float,
+        class_names: Sequence[str],
+        add_costs: Sequence[float] | None = None,
+    ) -> None:
+        transition = np.asarray(transition, dtype=float)
+        if transition.ndim != 3 or transition.shape[0] != len(class_names) + 1:
+            raise ValueError(
+                "transition must have shape (1 + num_classes, smax+1, smax+1); "
+                f"got {transition.shape} for {len(class_names)} classes"
+            )
+        names = tuple(str(name) for name in class_names)
+        if len(set(names)) != len(names) or not names:
+            raise ValueError(f"class names must be unique and non-empty, got {names}")
+        if transition.shape[1] != transition.shape[2]:
+            raise ValueError("transition matrices must be square")
+        if not np.allclose(transition.sum(axis=2), 1.0, atol=1e-8):
+            raise ValueError("transition rows must sum to one")
+        if np.any(transition < -1e-12):
+            raise ValueError("transition probabilities must be non-negative")
+        if f < 0:
+            raise ValueError("f must be non-negative")
+        if not 0.0 < epsilon_a <= 1.0:
+            raise ValueError("epsilon_a must lie in (0, 1]")
+        self.transition = transition
+        self.smax = transition.shape[1] - 1
+        self.f = f
+        self.epsilon_a = epsilon_a
+        self.class_names = names
+        if add_costs is None:
+            costs = np.zeros(self.num_actions)
+        else:
+            costs = np.asarray(add_costs, dtype=float)
+            if costs.shape != (self.num_actions,):
+                raise ValueError(
+                    f"add_costs must have one entry per action "
+                    f"({self.num_actions}), got shape {costs.shape}"
+                )
+            if costs[0] != 0.0:
+                raise ValueError("the wait action must carry zero add cost")
+        self.add_costs = costs
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_names)
+
+    def cost(self, state: int, action: int = 0) -> float:
+        """Eq. 9 node count plus the action's class-specific add cost."""
+        return float(state) + float(self.add_costs[action])
+
+
+def fresh_node_survival(p_a: float, p_c1: float) -> float:
+    """Model-based fresh-node survival ``q = (1 - p_A)(1 - p_C1)``.
+
+    The probability that a node activated fresh (healthy, prior belief
+    ``p_A``) is still healthy one step later: not compromised and not
+    crashed.  The model-based counterpart of the empirical estimate in
+    :func:`repro.control.sysid.fresh_node_survival_from_model`.
+    """
+    if not 0.0 <= p_a <= 1.0 or not 0.0 <= p_c1 <= 1.0:
+        raise ValueError("p_a and p_c1 must be probabilities")
+    return (1.0 - p_a) * (1.0 - p_c1)
+
+
+def class_aware_system_model(
+    base: SystemModel,
+    class_names: Sequence[str],
+    survival_probabilities: Sequence[float],
+    add_costs: Sequence[float] | None = None,
+) -> ClassAwareSystemModel:
+    """Build the class-indexed kernel stack from a fitted two-action model.
+
+    The wait kernel is ``base``'s; the add kernel of class ``c`` mixes the
+    base model's add kernel (the Eq. 8 shift) with its wait kernel by the
+    class's fresh-node survival ``q_c``:
+
+    .. math::
+
+        f_S(s' | s, \\text{add}(c)) = q_c f_S(s' | s, 1)
+            + (1 - q_c) f_S(s' | s, 0).
+
+    With a single class and ``q = 1`` the stacked kernel *is* the base
+    kernel (``0 \\cdot T_0 + 1 \\cdot T_1 = T_1`` exactly in floating
+    point), which makes the class-aware solvers reduce bit for bit to the
+    classless ones on homogeneous fleets.
+
+    Args:
+        base: A fitted classless model (``num_actions == 2``), e.g. an
+            :class:`EmpiricalSystemModel` from the system-identification
+            pipeline.
+        class_names: Container-class labels in action order.
+        survival_probabilities: Per-class fresh-node survivals ``q_c``.
+        add_costs: Optional per-action extra costs (``1 + C`` entries,
+            leading zero for wait).
+    """
+    if base.num_actions != 2:
+        raise ValueError(
+            f"base must be a classless two-action model, got {base.num_actions} actions"
+        )
+    names = tuple(class_names)
+    survivals = [float(q) for q in survival_probabilities]
+    if len(survivals) != len(names):
+        raise ValueError(
+            f"need one survival probability per class ({len(names)}), "
+            f"got {len(survivals)}"
+        )
+    for name, q in zip(names, survivals):
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(
+                f"survival probability of class {name!r} must lie in [0, 1], got {q}"
+            )
+    wait, add = base.transition[0], base.transition[1]
+    stack = np.empty((1 + len(names), base.num_states, base.num_states))
+    stack[0] = wait
+    for c, q in enumerate(survivals):
+        stack[1 + c] = (1.0 - q) * wait + q * add
+    return ClassAwareSystemModel(
+        stack,
+        f=base.f,
+        epsilon_a=base.epsilon_a,
+        class_names=names,
+        add_costs=add_costs,
+    )
 
 
 def system_model_from_node_beliefs(

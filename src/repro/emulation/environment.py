@@ -182,6 +182,50 @@ class EmulationConfig:
             return self.f
         return max(min((self.initial_nodes - 1) // 2, 2), 1)
 
+    @classmethod
+    def from_scenario(cls, scenario, **overrides) -> "EmulationConfig":
+        """Route a simulation :class:`~repro.sim.FleetScenario` to the testbed.
+
+        The emulation backend models one container image per run: a single
+        :class:`~repro.core.node_model.NodeParameters` drives every
+        emulated node.  A homogeneous scenario maps cleanly (``N`` nodes,
+        horizon, the shared parameters and ``Delta_R``); a **mixed** fleet
+        does not — rather than silently running every node with slot 0's
+        parameters, this raises :class:`NotImplementedError` naming the
+        classes so the caller routes mixed fleets to the batched engine
+        (:class:`~repro.control.TwoLevelController`), which is per-slot
+        heterogeneous throughout.  See the "known limitations" section of
+        the docs' architecture page.
+
+        Args:
+            scenario: The fleet scenario to translate.
+            **overrides: Extra :class:`EmulationConfig` fields (``k``,
+                ``attacker``, ...) overriding the derived ones.
+        """
+        distinct = set(scenario.node_params)
+        if len(distinct) > 1:
+            if scenario.node_labels is not None:
+                classes = sorted(set(scenario.node_labels))
+            else:
+                classes = [f"slot {j}" for j in range(scenario.num_nodes)]
+            raise NotImplementedError(
+                "the emulation backend supports a single NodeParameters per "
+                f"run, but the scenario mixes {len(distinct)} parameter sets "
+                f"across classes {classes}; run mixed fleets on the batched "
+                "engine (repro.control.TwoLevelController) instead"
+            )
+        params = scenario.node_params[0]
+        fields = {
+            "initial_nodes": scenario.num_nodes,
+            "horizon": scenario.horizon,
+            "delta_r": params.delta_r if scenario.enforce_btr else math.inf,
+            "node_params": params,
+        }
+        if scenario.f is not None:
+            fields["f"] = scenario.f
+        fields.update(overrides)
+        return cls(**fields)
+
 
 @dataclass
 class EvaluationPolicy:

@@ -20,6 +20,26 @@ The PPO baseline (:mod:`repro.solvers.ppo`) collects its rollouts through
 :class:`VectorRecoveryEnv`: one policy forward pass per timestep over all
 ``B`` episodes instead of ``B x T`` scalar passes.
 
+Layer contract
+--------------
+
+* **What is vectorized:** the ``step(recover_mask)`` / ``reset(seed)``
+  cycle over ``B`` episodes — one call advances every episode; observations
+  are ``(B, N)`` belief/clock/forced/active arrays.
+* **Scalar reference:** the environments add *no* randomness of their own;
+  a trajectory stepped through :class:`VectorRecoveryEnv` is bit-identical
+  to the corresponding scalar
+  :class:`~repro.solvers.evaluation.RecoverySimulator` episode
+  (``tests/test_envs_equivalence.py``), because the engine underneath
+  preserves the per-episode ``SeedSequence`` streams.
+* **Seeding convention (PR 1):** ``reset(seed)`` seeds the same
+  per-(episode, node) ``SeedSequence`` tree the scalar simulator and
+  ``BatchRecoveryEngine.run`` use; ``None`` draws OS entropy.
+* :class:`FleetVectorEnv` additionally exposes the system level: Eq. 8
+  CMDP states, fleet and per-class availability, the class-indexed
+  replication action count (``num_replication_actions``), and the
+  empirical transition pairs that feed ``f_S`` identification.
+
 Quickstart::
 
     from repro.core import BetaBinomialObservationModel, NodeParameters, ThresholdStrategy

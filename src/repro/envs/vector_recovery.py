@@ -207,6 +207,21 @@ class FleetVectorEnv(VectorRecoveryEnv):
             scenario.class_slots() if scenario.node_labels is not None else None
         )
         self._class_states: dict[str, list[np.ndarray]] = {}
+        self._class_available_steps: dict[str, np.ndarray] = {}
+
+    @property
+    def num_replication_actions(self) -> int:
+        """Size of the system-level action space over this fleet.
+
+        ``1 + C`` for a labelled (mixed) scenario — wait plus one add
+        action per container class — and the classless ``2`` otherwise.
+        This is the action dimension a class-aware replication policy
+        (:func:`repro.control.train_ppo_replication` with
+        ``class_aware=True``) learns over.
+        """
+        if self._class_slots is None:
+            return 2
+        return 1 + len(self._class_slots)
 
     def expected_healthy_nodes(self) -> np.ndarray:
         """Per-episode CMDP state ``s_t = floor(sum_i (1 - b_i))`` (Eq. 8)."""
@@ -242,6 +257,10 @@ class FleetVectorEnv(VectorRecoveryEnv):
                 label: [state]
                 for label, state in self.expected_healthy_nodes_by_class().items()
             }
+            self._class_available_steps = {
+                label: np.zeros(self.num_envs, dtype=np.int64)
+                for label in self._class_slots
+            }
         return observation
 
     def step(
@@ -254,6 +273,13 @@ class FleetVectorEnv(VectorRecoveryEnv):
         if self._class_slots is not None:
             for label, state in self.expected_healthy_nodes_by_class().items():
                 self._class_states[label].append(state)
+            failed_mask = info.get("failed_mask")
+            if failed_mask is not None and self.scenario.f is not None:
+                for label, slots in self._class_slots.items():
+                    threshold = min(self.scenario.f, len(slots))
+                    self._class_available_steps[label] += (
+                        failed_mask[:, slots].sum(axis=1) <= threshold
+                    )
         sim = self._require_started()
         if sim.last_failed is not None:
             info["failed_nodes"] = sim.last_failed
@@ -265,6 +291,31 @@ class FleetVectorEnv(VectorRecoveryEnv):
         if sim.available_steps is None:
             return None
         return sim.available_steps / max(sim.t, 1)
+
+    def class_availability(self) -> dict[str, np.ndarray]:
+        """Per-class availability so far: one ``(B,)`` array per class.
+
+        A class sub-fleet counts as available on a step when at most
+        ``min(f, count_c)`` of its nodes are failed — the sub-fleet
+        counterpart of the fleet-level ``T^(A)``, and the per-class signal
+        a class-aware replication policy trades off against the add cost.
+        Requires a labelled scenario with a tolerance threshold ``f``.
+        """
+        if self._class_slots is None:
+            raise ValueError(
+                "per-class availability requires a labelled scenario; build "
+                "it with FleetScenario.mixed(...)"
+            )
+        if self.scenario.f is None:
+            raise ValueError(
+                "per-class availability requires the scenario to define f"
+            )
+        sim = self._require_started()
+        steps = max(sim.t, 1)
+        return {
+            label: counts / steps
+            for label, counts in self._class_available_steps.items()
+        }
 
     def system_state_transitions(self) -> np.ndarray:
         """Observed ``(s_t, s_{t+1})`` pairs across all episodes, shape ``(K, 2)``.

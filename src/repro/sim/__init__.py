@@ -31,6 +31,23 @@ seed (see :mod:`repro.sim.engine` for why), so every consumer — Algorithm
 1's objective estimator, the Table 2 solver comparison, the Table 7 baseline
 sweeps — can switch to the batch path without shifting results.
 
+Layer contract
+--------------
+
+* **What is vectorized:** every per-(episode, node) stream of the node
+  POMDP — hidden states, observations, beliefs, BTR clocks, strategy
+  application, cost/metric accumulation — advances as one ``(B, N)`` array
+  operation per step.
+* **Scalar reference:** :class:`~repro.solvers.evaluation.RecoverySimulator`
+  is kept unchanged as the obviously-correct implementation; the parity
+  suite (``tests/test_sim_equivalence.py``) asserts the engine bit-equal to
+  it per strategy class.
+* **Seeding convention (PR 1):** ``SeedSequence(seed)`` spawns one child
+  per ``(episode, node)`` stream, episode-major; both paths consume the
+  same children, which is what makes parity exact rather than statistical.
+  (This replaced the pre-1.1 single shared generator — same-seed outputs
+  differ from version 1.0.0.)
+
 Quickstart::
 
     from repro.core import BetaBinomialObservationModel, NodeParameters, ThresholdStrategy

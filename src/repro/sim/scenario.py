@@ -190,6 +190,61 @@ class FleetScenario:
         )
 
     # -- derived scenarios -------------------------------------------------------
+    def node_classes(self) -> list[NodeClass]:
+        """Reconstruct the :class:`NodeClass` templates of a labelled scenario.
+
+        The inverse of :meth:`mixed` (up to slot ordering): one template per
+        class in first-appearance order, carrying the class's parameters,
+        observation model and slot count.  Requires every slot of a class to
+        share one parameter set — which :meth:`mixed` guarantees — so the
+        per-class Algorithm 1 optimization of
+        :func:`repro.control.optimize_class_deltas` has a well-defined node
+        POMDP per class.
+        """
+        classes: list[NodeClass] = []
+        for label, slots in self.class_slots().items():
+            params = {self.node_params[j] for j in slots}
+            if len(params) != 1:
+                raise ValueError(
+                    f"slots of class {label!r} carry {len(params)} distinct "
+                    f"parameter sets; node_classes() requires one per class"
+                )
+            classes.append(
+                NodeClass(
+                    name=label,
+                    params=self.node_params[int(slots[0])],
+                    observation_model=self.observation_models[int(slots[0])],
+                    count=len(slots),
+                )
+            )
+        return classes
+
+    def with_class_deltas(self, deltas: "dict[str, float]") -> "FleetScenario":
+        """Scenario with each class's BTR deadline ``Delta_R`` replaced.
+
+        ``deltas`` maps class labels to new deadlines (missing labels keep
+        their current ``Delta_R``); every slot of a class gets its class's
+        deadline.  This is how the per-class Algorithm 1 deadlines of
+        :func:`repro.control.optimize_class_deltas` are routed back into
+        the closed loop.
+        """
+        if self.node_labels is None:
+            raise ValueError(
+                "per-class deadlines require a labelled scenario; build it "
+                "with FleetScenario.mixed(...)"
+            )
+        unknown = set(deltas) - set(self.node_labels)
+        if unknown:
+            raise ValueError(
+                f"deltas name classes {sorted(unknown)} that the scenario "
+                f"does not define (available: {sorted(set(self.node_labels))})"
+            )
+        updated = tuple(
+            p.with_updates(delta_r=deltas[label]) if label in deltas else p
+            for p, label in zip(self.node_params, self.node_labels)
+        )
+        return replace(self, node_params=updated)
+
     def scale_attack(self, intensity: float) -> "FleetScenario":
         """Scenario with every node's ``p_A`` scaled by ``intensity``.
 

@@ -12,9 +12,14 @@
 
 from .cmdp import (
     CMDPSolution,
+    ClassAwareCMDPSolution,
+    ClassAwareLagrangianSolution,
     LagrangianSolution,
+    evaluate_class_aware_strategy,
     evaluate_replication_strategy,
     policy_stationary_distribution,
+    solve_class_aware_replication_lagrangian,
+    solve_class_aware_replication_lp,
     solve_replication_lagrangian,
     solve_replication_lp,
 )
@@ -51,6 +56,8 @@ __all__ = [
     "BayesianOptimization",
     "BeliefValueIterationResult",
     "CMDPSolution",
+    "ClassAwareCMDPSolution",
+    "ClassAwareLagrangianSolution",
     "CrossEntropyMethod",
     "DifferentialEvolution",
     "IncrementalPruningResult",
@@ -67,6 +74,7 @@ __all__ = [
     "RecoverySolution",
     "SPSA",
     "belief_value_iteration",
+    "evaluate_class_aware_strategy",
     "evaluate_replication_strategy",
     "extract_threshold",
     "incremental_pruning",
@@ -75,6 +83,8 @@ __all__ = [
     "policy_stationary_distribution",
     "relative_value_iteration",
     "solve_recovery_problem",
+    "solve_class_aware_replication_lagrangian",
+    "solve_class_aware_replication_lp",
     "solve_replication_lagrangian",
     "solve_replication_lp",
     "threshold_dimension",

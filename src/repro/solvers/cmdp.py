@@ -17,6 +17,31 @@ This module implements Algorithm 2 on top of :func:`scipy.optimize.linprog`
 (the HiGHS solver plays the role of the paper's CBC), plus the Lagrangian
 relaxation route of Theorem 2, which yields the two threshold strategies
 ``pi_{lambda_1}`` and ``pi_{lambda_2}`` and the mixing coefficient ``kappa``.
+
+Class-aware extension (heterogeneous fleets).  On a Table 6 style mixed
+fleet the add action is class-indexed: the CMDP action space becomes
+``{wait, add(c_1), ..., add(c_C)}`` over a
+:class:`~repro.core.system_model.ClassAwareSystemModel` whose per-class add
+kernels weight the Eq. 8 shift by each class's fresh-node survival.  Both
+solution routes generalize:
+:func:`solve_class_aware_replication_lp` runs the same occupancy-measure LP
+over ``1 + C`` actions and recovers a
+:class:`~repro.core.strategies.ClassTabularReplicationStrategy`;
+:func:`solve_class_aware_replication_lagrangian` runs the Theorem 2
+bisection with ``(1 + C)``-action relative value iteration and mixes the
+two bracketing deterministic policies.  With a single class the LP matrices
+and the relaxed MDPs are float-for-float the classless ones, so both
+solvers reduce **bit for bit** to :func:`solve_replication_lp` /
+:func:`solve_replication_lagrangian` (pinned in
+``tests/test_class_aware_cmdp.py``) — growing a homogeneous fleet's action
+space never changes its solution.
+
+**Layer contract.**  This module is pure planning: it consumes a fitted
+:class:`~repro.core.system_model.SystemModel` (no simulation, no RNG except
+HiGHS-internal pivoting, which is deterministic) and returns strategy
+objects plus stationary-analysis diagnostics.  Monte-Carlo counterparts of
+the evaluation live in :mod:`repro.control`
+(:func:`~repro.control.evaluate_replication_closed_loop`).
 """
 
 from __future__ import annotations
@@ -27,11 +52,12 @@ import numpy as np
 from scipy import optimize
 
 from ..core.strategies import (
+    ClassTabularReplicationStrategy,
     MixedReplicationStrategy,
     ReplicationThresholdStrategy,
     TabularReplicationStrategy,
 )
-from ..core.system_model import SystemModel
+from ..core.system_model import ClassAwareSystemModel, SystemModel
 from .mdp import relative_value_iteration
 
 __all__ = [
@@ -39,8 +65,13 @@ __all__ = [
     "solve_replication_lp",
     "LagrangianSolution",
     "solve_replication_lagrangian",
+    "ClassAwareCMDPSolution",
+    "solve_class_aware_replication_lp",
+    "ClassAwareLagrangianSolution",
+    "solve_class_aware_replication_lagrangian",
     "policy_stationary_distribution",
     "evaluate_replication_strategy",
+    "evaluate_class_aware_strategy",
 ]
 
 
@@ -63,19 +94,25 @@ class CMDPSolution:
     feasible: bool
 
 
-def solve_replication_lp(model: SystemModel) -> CMDPSolution:
-    """Solve Problem 2 exactly via the LP of Equation (14).
+def _solve_occupancy_lp(
+    model: SystemModel, num_actions: int
+) -> tuple[np.ndarray, float, float, bool]:
+    """The Eq. 14 occupancy-measure LP over an arbitrary action count.
 
-    Decision variables are ``rho(s, a)`` flattened in state-major order.
+    Shared core of the classless and class-aware Algorithm 2: with
+    ``num_actions == 2`` it performs float-for-float the arithmetic the
+    classless solver always performed, which is what keeps the class-aware
+    route bit-identical on single-class models.
+
+    Returns ``(occupancy, expected_cost, availability, feasible)``.
     """
     num_states = model.num_states
-    num_actions = 2
     num_vars = num_states * num_actions
 
     def var(s: int, a: int) -> int:
         return s * num_actions + a
 
-    # Objective (14a): minimize sum_s sum_a s * rho(s, a).
+    # Objective (14a): minimize sum_s sum_a cost(s, a) * rho(s, a).
     objective = np.zeros(num_vars)
     for s in range(num_states):
         for a in range(num_actions):
@@ -120,17 +157,54 @@ def solve_replication_lp(model: SystemModel) -> CMDPSolution:
     )
 
     if not result.success:
-        empty = TabularReplicationStrategy({}, default_add_probability=1.0)
-        return CMDPSolution(
-            strategy=empty,
-            occupancy=np.zeros((num_states, num_actions)),
-            expected_cost=float("inf"),
-            availability=0.0,
-            feasible=False,
-        )
+        return np.zeros((num_states, num_actions)), float("inf"), 0.0, False
 
     occupancy = np.asarray(result.x).reshape(num_states, num_actions)
     occupancy = np.clip(occupancy, 0.0, None)
+    expected_cost = float(objective @ result.x)
+    availability = float(
+        sum(
+            occupancy[s, a] * model.availability_indicator(s)
+            for s in range(num_states)
+            for a in range(num_actions)
+        )
+    )
+    return occupancy, expected_cost, availability, True
+
+
+def _require_classless(model: SystemModel, solver: str) -> None:
+    """Reject class-aware models: solving only their first add action would
+    silently answer a truncated problem."""
+    if model.num_actions != 2:
+        raise ValueError(
+            f"{solver} handles the classless two-action CMDP, but the model "
+            f"has {model.num_actions} actions; use the class-aware "
+            "counterpart (solve_class_aware_replication_lp / "
+            "solve_class_aware_replication_lagrangian / "
+            "evaluate_class_aware_strategy)"
+        )
+
+
+def solve_replication_lp(model: SystemModel) -> CMDPSolution:
+    """Solve Problem 2 exactly via the LP of Equation (14).
+
+    Decision variables are ``rho(s, a)`` flattened in state-major order.
+    """
+    _require_classless(model, "solve_replication_lp")
+    num_states = model.num_states
+    occupancy, expected_cost, availability, feasible = _solve_occupancy_lp(
+        model, num_actions=2
+    )
+
+    if not feasible:
+        empty = TabularReplicationStrategy({}, default_add_probability=1.0)
+        return CMDPSolution(
+            strategy=empty,
+            occupancy=occupancy,
+            expected_cost=expected_cost,
+            availability=availability,
+            feasible=False,
+        )
 
     add_probabilities: dict[int, float] = {}
     for s in range(num_states):
@@ -143,21 +217,70 @@ def solve_replication_lp(model: SystemModel) -> CMDPSolution:
         # which can only help availability.
         default_add_probability=1.0,
     )
-
-    expected_cost = float(objective @ result.x)
-    availability = float(
-        sum(
-            occupancy[s, a] * model.availability_indicator(s)
-            for s in range(num_states)
-            for a in range(num_actions)
-        )
-    )
     return CMDPSolution(
         strategy=strategy,
         occupancy=occupancy,
         expected_cost=expected_cost,
         availability=availability,
         feasible=True,
+    )
+
+
+@dataclass
+class ClassAwareCMDPSolution:
+    """Solution of the class-indexed occupancy-measure LP.
+
+    Attributes:
+        strategy: The randomized class-indexed strategy ``pi*(a | s)``.
+        occupancy: The optimal occupancy measure, shape ``(S, 1 + C)``.
+        expected_cost: Optimal objective ``J`` (average node count plus any
+            per-class add costs).
+        availability: Achieved average availability under ``pi*``.
+        feasible: Whether the LP was feasible.
+    """
+
+    strategy: ClassTabularReplicationStrategy
+    occupancy: np.ndarray
+    expected_cost: float
+    availability: float
+    feasible: bool
+
+
+def solve_class_aware_replication_lp(
+    model: ClassAwareSystemModel,
+) -> ClassAwareCMDPSolution:
+    """Class-indexed Algorithm 2: the Eq. 14 LP over ``{wait, add(c)}``.
+
+    Identical to :func:`solve_replication_lp` except that the action
+    dimension enumerates the container classes; on a single-class model the
+    LP matrices coincide bit for bit with the classless ones, so the
+    occupancy measure, cost and availability are exactly the classless
+    solution (the homogeneous-reduction regression).
+    """
+    num_states = model.num_states
+    num_actions = model.num_actions
+    occupancy, expected_cost, availability, feasible = _solve_occupancy_lp(
+        model, num_actions=num_actions
+    )
+
+    probabilities = np.zeros((num_states, num_actions))
+    # States never visited under rho*: act conservatively and add a node
+    # (uniformly over the classes), which can only help availability.
+    probabilities[:, 1:] = 1.0 / (num_actions - 1)
+    if feasible:
+        for s in range(num_states):
+            mass = occupancy[s].sum()
+            if mass > 1e-12:
+                probabilities[s] = occupancy[s] / mass
+    strategy = ClassTabularReplicationStrategy(
+        class_names=model.class_names, probabilities=probabilities
+    )
+    return ClassAwareCMDPSolution(
+        strategy=strategy,
+        occupancy=occupancy,
+        expected_cost=expected_cost,
+        availability=availability,
+        feasible=feasible,
     )
 
 
@@ -263,6 +386,7 @@ def solve_replication_lagrangian(
     coefficient ``kappa`` that meets the constraint with equality yields the
     Theorem 2 strategy.
     """
+    _require_classless(model, "solve_replication_lagrangian")
 
     def solve_for(lam: float) -> tuple[np.ndarray, float]:
         transition, costs = _lagrangian_mdp(model, lam)
@@ -297,7 +421,7 @@ def solve_replication_lagrangian(
         if availability_mid >= model.epsilon_a:
             high, policy_high, availability_high = mid, policy_mid, availability_mid
         else:
-            low, policy_low, availability_low = mid, policy_mid, availability_low
+            low, policy_low, availability_low = mid, policy_mid, availability_mid
         if high - low < tolerance:
             break
 
@@ -324,6 +448,196 @@ def solve_replication_lagrangian(
     )
 
 
+@dataclass
+class ClassAwareLagrangianSolution:
+    """Result of the class-indexed Lagrangian relaxation (Theorem 2 route).
+
+    Attributes:
+        strategy: The mixture ``kappa pi_1 + (1 - kappa) pi_2`` of the two
+            bracketing deterministic class-indexed policies, as one
+            probability table.
+        policy_low: Deterministic policy of the low-multiplier MDP
+            (action indices, 0 = wait, ``c + 1`` = add class ``c``).
+        policy_high: Deterministic policy of the high-multiplier MDP.
+        kappa: Mixing coefficient.
+        lambda_low: Lagrange multiplier of the first policy.
+        lambda_high: Lagrange multiplier of the second policy.
+    """
+
+    strategy: ClassTabularReplicationStrategy
+    policy_low: np.ndarray
+    policy_high: np.ndarray
+    kappa: float
+    lambda_low: float
+    lambda_high: float
+
+
+def _complete_threshold_policy(policy: np.ndarray) -> np.ndarray:
+    """Impose the Theorem 2 order-up-to structure on a VI policy.
+
+    Value iteration is indifferent at states that are unreachable under the
+    relaxed-optimal policy, so the raw policy may wait below its largest
+    add state.  Theorem 2 guarantees a threshold-structured optimum exists;
+    this completes the policy to it by assigning every waiting state below
+    the threshold the add action of the nearest add state at or above it
+    (in the classless case this is exactly the
+    ``ReplicationThresholdStrategy(beta)`` coercion of
+    :func:`_threshold_of_policy`, which keeps the single-class reduction
+    bit-for-bit).
+    """
+    policy = np.asarray(policy, dtype=int)
+    add_states = np.nonzero(policy > 0)[0]
+    if add_states.size == 0:
+        return policy.copy()
+    beta = int(add_states.max())
+    completed = policy.copy()
+    for s in range(beta + 1):
+        if completed[s] == 0:
+            nearest = int(add_states[add_states >= s].min())
+            completed[s] = policy[nearest]
+    return completed
+
+
+def _mix_deterministic_policies(
+    model: ClassAwareSystemModel,
+    policy_low: np.ndarray,
+    policy_high: np.ndarray,
+    kappa: float,
+) -> ClassTabularReplicationStrategy:
+    """Probability table of ``kappa pi_low + (1 - kappa) pi_high``."""
+    num_states, num_actions = model.num_states, model.num_actions
+    probabilities = np.zeros((num_states, num_actions))
+    for s in range(num_states):
+        probabilities[s, policy_low[s]] += kappa
+        probabilities[s, policy_high[s]] += 1.0 - kappa
+    return ClassTabularReplicationStrategy(
+        class_names=model.class_names, probabilities=probabilities
+    )
+
+
+def solve_class_aware_replication_lagrangian(
+    model: ClassAwareSystemModel,
+    lambda_max: float = 1000.0,
+    tolerance: float = 1e-4,
+    max_bisections: int = 60,
+) -> ClassAwareLagrangianSolution:
+    """Theorem 2 route over the class-indexed action space.
+
+    For each multiplier ``lambda`` the relaxed MDP (costs
+    ``cost(s, a) + lambda [s unavailable]``) is solved with relative value
+    iteration over all ``1 + C`` actions; availability is monotone in
+    ``lambda``, so the same bisection as the classless
+    :func:`solve_replication_lagrangian` brackets the constraint and the
+    two bracketing deterministic policies are mixed with the coefficient
+    ``kappa`` that meets it with equality.  On a single-class model the
+    relaxed MDPs are float-for-float the classless ones, so the policies,
+    multipliers and ``kappa`` reduce bit for bit.
+    """
+
+    def solve_for(lam: float) -> tuple[np.ndarray, float]:
+        num_states = model.num_states
+        costs = np.zeros((model.num_actions, num_states))
+        for a in range(model.num_actions):
+            for s in range(num_states):
+                penalty = lam * (1.0 - model.availability_indicator(s))
+                costs[a, s] = model.cost(s, a) + penalty
+        solution = relative_value_iteration(
+            model.transition, costs, max_iterations=5000, tolerance=1e-8
+        )
+        availability = _policy_availability(model, solution.policy)
+        return solution.policy, availability
+
+    policy_low, availability_low = solve_for(0.0)
+    if availability_low >= model.epsilon_a:
+        completed = _complete_threshold_policy(policy_low)
+        return ClassAwareLagrangianSolution(
+            strategy=_mix_deterministic_policies(model, completed, completed, 1.0),
+            policy_low=completed,
+            policy_high=completed,
+            kappa=1.0,
+            lambda_low=0.0,
+            lambda_high=0.0,
+        )
+
+    policy_high, availability_high = solve_for(lambda_max)
+    if availability_high < model.epsilon_a:
+        raise ValueError(
+            "availability constraint infeasible even with the maximum Lagrange "
+            "multiplier; assumption A of Theorem 2 is violated"
+        )
+
+    low, high = 0.0, lambda_max
+    for _ in range(max_bisections):
+        mid = 0.5 * (low + high)
+        policy_mid, availability_mid = solve_for(mid)
+        if availability_mid >= model.epsilon_a:
+            high, policy_high, availability_high = mid, policy_mid, availability_mid
+        else:
+            low, policy_low, availability_low = mid, policy_mid, availability_mid
+        if high - low < tolerance:
+            break
+
+    if abs(availability_high - availability_low) < 1e-12:
+        kappa = 0.0
+    else:
+        kappa = (availability_high - model.epsilon_a) / (
+            availability_high - availability_low
+        )
+        kappa = float(np.clip(kappa, 0.0, 1.0))
+
+    # The bisection and kappa use the raw VI policies' availabilities (like
+    # the classless route); the returned strategy mixes their Theorem 2
+    # threshold completions.
+    policy_low = _complete_threshold_policy(policy_low)
+    policy_high = _complete_threshold_policy(policy_high)
+    return ClassAwareLagrangianSolution(
+        strategy=_mix_deterministic_policies(model, policy_low, policy_high, kappa),
+        policy_low=policy_low,
+        policy_high=policy_high,
+        kappa=kappa,
+        lambda_low=low,
+        lambda_high=high,
+    )
+
+
+def evaluate_class_aware_strategy(
+    model: ClassAwareSystemModel,
+    probabilities: np.ndarray,
+) -> tuple[float, float]:
+    """Expected cost and availability of a class-indexed strategy table.
+
+    The class-aware counterpart of :func:`evaluate_replication_strategy`:
+    builds the chain induced by mixing all ``1 + C`` action kernels with
+    the per-state action probabilities, computes its stationary
+    distribution, and returns ``(J, T^(A))``.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    num_states, num_actions = model.num_states, model.num_actions
+    if probabilities.shape != (num_states, num_actions):
+        raise ValueError(
+            f"probabilities must have shape ({num_states}, {num_actions}), "
+            f"got {probabilities.shape}"
+        )
+    chain = np.einsum("sa,ast->st", probabilities, model.transition)
+    a_matrix = np.vstack([chain.T - np.eye(num_states), np.ones(num_states)])
+    b_vector = np.zeros(num_states + 1)
+    b_vector[-1] = 1.0
+    distribution, *_ = np.linalg.lstsq(a_matrix, b_vector, rcond=None)
+    distribution = np.clip(distribution, 0.0, None)
+    distribution /= distribution.sum()
+    cost = float(
+        sum(
+            distribution[s] * probabilities[s, a] * model.cost(s, a)
+            for s in range(num_states)
+            for a in range(num_actions)
+        )
+    )
+    availability = float(
+        sum(distribution[s] * model.availability_indicator(s) for s in range(num_states))
+    )
+    return cost, availability
+
+
 def evaluate_replication_strategy(
     model: SystemModel,
     add_probabilities: np.ndarray,
@@ -337,6 +651,7 @@ def evaluate_replication_strategy(
     :func:`repro.control.evaluate_replication_closed_loop`, which measures
     the same pair against the actual closed-loop simulation dynamics.
     """
+    _require_classless(model, "evaluate_replication_strategy")
     add_probabilities = np.asarray(add_probabilities, dtype=float)
     num_states = model.num_states
     if add_probabilities.shape != (num_states,):

@@ -1,0 +1,609 @@
+"""Class-aware system level: solvers, strategies, control plane, deadlines.
+
+The anchor of this suite is the homogeneous-reduction regression: with a
+single ``NodeClass`` (and survival ``q = 1``) the class-indexed solvers
+must reduce **bit for bit** to the classless Algorithm 2 solutions, so
+growing the action space never changes homogeneous results.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    TwoLevelController,
+    apply_class_deltas,
+    fit_class_aware_system_model,
+    fit_system_models_per_class,
+    fresh_node_survival_from_model,
+    optimize_class_deltas,
+    train_ppo_replication,
+)
+from repro.core import (
+    BetaBinomialObservationModel,
+    BinomialSystemModel,
+    ClassAwareSystemModel,
+    ClassPreferenceReplicationStrategy,
+    ClassTabularReplicationStrategy,
+    NodeParameters,
+    ReplicationThresholdStrategy,
+    ThresholdStrategy,
+    class_aware_system_model,
+    fresh_node_survival,
+    sample_action_index,
+    strategy_is_class_aware,
+)
+from repro.emulation import EmulationConfig
+from repro.envs import FleetVectorEnv, StrategyPolicy, rollout
+from repro.sim import FleetScenario, NodeClass
+from repro.solvers import (
+    PPOConfig,
+    evaluate_class_aware_strategy,
+    evaluate_replication_strategy,
+    solve_class_aware_replication_lagrangian,
+    solve_class_aware_replication_lp,
+    solve_replication_lagrangian,
+    solve_replication_lp,
+)
+
+HARDENED = NodeParameters(p_a=0.05, p_c1=0.02, p_c2=0.06, eta=1.5, delta_r=25)
+VULNERABLE = NodeParameters(p_a=0.25, p_c1=0.04, p_c2=0.15, eta=3.0, delta_r=10)
+
+
+@pytest.fixture
+def base_model():
+    return BinomialSystemModel(
+        smax=10,
+        f=2,
+        per_node_failure_probability=0.1,
+        regeneration_probability=0.05,
+        epsilon_a=0.9,
+    )
+
+
+def mixed_scenario(horizon: int = 80) -> FleetScenario:
+    model = BetaBinomialObservationModel()
+    return FleetScenario.mixed(
+        [
+            NodeClass("vulnerable", VULNERABLE, model, count=3),
+            NodeClass("hardened", HARDENED, model, count=3),
+        ],
+        horizon=horizon,
+        f=1,
+    )
+
+
+def stochastic_class_strategy(num_states: int = 7) -> ClassTabularReplicationStrategy:
+    probabilities = np.zeros((num_states, 3))
+    probabilities[:, 0] = np.linspace(0.0, 1.0, num_states)
+    probabilities[:, 1] = 0.3 * (1.0 - probabilities[:, 0])
+    probabilities[:, 2] = 0.7 * (1.0 - probabilities[:, 0])
+    probabilities /= probabilities.sum(axis=1, keepdims=True)
+    return ClassTabularReplicationStrategy(("vulnerable", "hardened"), probabilities)
+
+
+# ---------------------------------------------------------------------------
+# Homogeneous reduction: single class == classless, bit for bit
+# ---------------------------------------------------------------------------
+class TestHomogeneousReduction:
+    def test_single_class_kernel_is_bitwise_classless(self, base_model):
+        model = class_aware_system_model(base_model, ["only"], [1.0])
+        assert np.array_equal(model.transition[0], base_model.transition[0])
+        assert np.array_equal(model.transition[1], base_model.transition[1])
+
+    def test_lp_reduces_bit_for_bit(self, base_model):
+        classless = solve_replication_lp(base_model)
+        class_aware = solve_class_aware_replication_lp(
+            class_aware_system_model(base_model, ["only"], [1.0])
+        )
+        assert class_aware.feasible
+        assert np.array_equal(classless.occupancy, class_aware.occupancy)
+        assert classless.expected_cost == class_aware.expected_cost
+        assert classless.availability == class_aware.availability
+        for s, p_add in classless.strategy.add_probabilities.items():
+            assert class_aware.strategy.probabilities[s, 1] == p_add
+
+    def test_lagrangian_reduces_bit_for_bit(self, base_model):
+        classless = solve_replication_lagrangian(base_model)
+        class_aware = solve_class_aware_replication_lagrangian(
+            class_aware_system_model(base_model, ["only"], [1.0])
+        )
+        assert classless.kappa == class_aware.kappa
+        assert classless.lambda_low == class_aware.lambda_low
+        assert classless.lambda_high == class_aware.lambda_high
+        classless_probs = np.array(
+            [
+                classless.strategy.add_probability(s)
+                for s in range(base_model.num_states)
+            ]
+        )
+        assert np.array_equal(classless_probs, class_aware.strategy.probabilities[:, 1])
+        assert np.array_equal(
+            classless_probs,
+            np.array(
+                [
+                    class_aware.strategy.add_probability(s)
+                    for s in range(base_model.num_states)
+                ]
+            ),
+        )
+
+    def test_stationary_evaluation_matches_classless(self, base_model):
+        model = class_aware_system_model(base_model, ["only"], [1.0])
+        add_probs = np.linspace(1.0, 0.0, base_model.num_states)
+        table = np.stack([1.0 - add_probs, add_probs], axis=1)
+        cost_classless, avail_classless = evaluate_replication_strategy(
+            base_model, add_probs
+        )
+        cost_ca, avail_ca = evaluate_class_aware_strategy(model, table)
+        assert cost_ca == pytest.approx(cost_classless, abs=1e-9)
+        assert avail_ca == pytest.approx(avail_classless, abs=1e-9)
+
+
+class TestSolverGuards:
+    def test_classless_solvers_reject_class_aware_models(self, base_model):
+        """A class-aware model must not silently solve a truncated problem."""
+        model = class_aware_system_model(base_model, ["weak", "strong"], [0.4, 0.95])
+        with pytest.raises(ValueError, match="class-aware counterpart"):
+            solve_replication_lp(model)
+        with pytest.raises(ValueError, match="class-aware counterpart"):
+            solve_replication_lagrangian(model)
+        with pytest.raises(ValueError, match="class-aware counterpart"):
+            evaluate_replication_strategy(model, np.zeros(model.num_states))
+
+    def test_lagrangian_mixture_tracks_the_constraint(self):
+        """Regression: the bisection must refresh availability_low, so the
+        kappa mixture lands near the availability constraint instead of
+        overshooting it from the stale lambda=0 bracket."""
+        model = BinomialSystemModel(
+            smax=8,
+            f=2,
+            per_node_failure_probability=0.12,
+            regeneration_probability=0.05,
+            epsilon_a=0.88,
+        )
+        solution = solve_replication_lagrangian(model)
+        add_probs = np.array(
+            [solution.strategy.add_probability(s) for s in range(model.num_states)]
+        )
+        _, availability = evaluate_replication_strategy(model, add_probs)
+        assert availability >= model.epsilon_a - 1e-6
+        assert availability <= model.epsilon_a + 0.05, (
+            f"mixture availability {availability:.3f} overshoots the "
+            f"constraint {model.epsilon_a} (stale bisection bracket)"
+        )
+        class_solution = solve_class_aware_replication_lagrangian(
+            class_aware_system_model(model, ["only"], [1.0])
+        )
+        assert class_solution.kappa == solution.kappa
+
+    def test_vector_controller_rejects_non_rng_class_aware_strategy(self):
+        from repro.control import VectorSystemController
+
+        class DeterministicClassStrategy:
+            class_names = ("a", "b")
+            consumes_rng = False
+
+            def action_probabilities(self, state):
+                return np.array([0.0, 1.0, 0.0])
+
+            def add_probability(self, state):
+                return 1.0
+
+            def action(self, state, rng):
+                return 1
+
+        with pytest.raises(ValueError, match="consumes_rng"):
+            VectorSystemController(
+                f=1, strategy=DeterministicClassStrategy(), smax=4, num_episodes=2
+            )
+
+
+# ---------------------------------------------------------------------------
+# Class-aware model construction
+# ---------------------------------------------------------------------------
+class TestClassAwareModel:
+    def test_survival_interpolates_kernels(self, base_model):
+        model = class_aware_system_model(base_model, ["a", "b"], [0.0, 0.5])
+        assert np.array_equal(model.transition[1], base_model.transition[0])
+        expected = 0.5 * base_model.transition[0] + 0.5 * base_model.transition[1]
+        assert np.allclose(model.transition[2], expected)
+        assert model.num_actions == 3
+        assert model.actions == (0, 1, 2)
+
+    def test_add_costs_enter_the_cost_function(self, base_model):
+        model = class_aware_system_model(
+            base_model, ["a", "b"], [1.0, 1.0], add_costs=[0.0, 0.25, 0.75]
+        )
+        assert model.cost(4, 0) == 4.0
+        assert model.cost(4, 1) == 4.25
+        assert model.cost(4, 2) == 4.75
+
+    def test_validation_errors(self, base_model):
+        with pytest.raises(ValueError, match="survival"):
+            class_aware_system_model(base_model, ["a"], [1.5])
+        with pytest.raises(ValueError, match="one survival"):
+            class_aware_system_model(base_model, ["a", "b"], [1.0])
+        with pytest.raises(ValueError, match="unique"):
+            ClassAwareSystemModel(
+                np.stack([base_model.transition[0]] * 3),
+                f=2,
+                epsilon_a=0.9,
+                class_names=("a", "a"),
+            )
+        with pytest.raises(ValueError, match="zero add cost"):
+            class_aware_system_model(
+                base_model, ["a"], [1.0], add_costs=[0.5, 0.0]
+            )
+        with pytest.raises(ValueError, match="classless two-action"):
+            class_aware_system_model(
+                class_aware_system_model(base_model, ["a", "b"], [1.0, 1.0]),
+                ["c"],
+                [1.0],
+            )
+
+    def test_costly_class_loses_the_add_mass(self, base_model):
+        """With equal survivals, the LP routes additions to the cheap class."""
+        model = class_aware_system_model(
+            base_model, ["cheap", "pricey"], [1.0, 1.0], add_costs=[0.0, 0.0, 5.0]
+        )
+        solution = solve_class_aware_replication_lp(model)
+        assert solution.feasible
+        mass = solution.occupancy[:, 1:].sum(axis=0)
+        assert mass[0] > mass[1]
+
+    def test_better_survival_wins_the_add_mass(self, base_model):
+        model = class_aware_system_model(base_model, ["weak", "strong"], [0.4, 0.95])
+        solution = solve_class_aware_replication_lp(model)
+        assert solution.feasible
+        mass = solution.occupancy[:, 1:].sum(axis=0)
+        assert mass[1] > mass[0]
+
+    def test_fresh_node_survival_model_based(self):
+        assert fresh_node_survival(0.0, 0.0) == 1.0
+        assert fresh_node_survival(0.2, 0.1) == pytest.approx(0.72)
+        with pytest.raises(ValueError):
+            fresh_node_survival(1.5, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Class-aware strategies
+# ---------------------------------------------------------------------------
+class TestClassAwareStrategies:
+    def test_sample_action_index_inverse_cdf(self):
+        cumulative = np.array([0.2, 0.5, 1.0])
+        assert sample_action_index(cumulative, 0.1) == 0
+        assert sample_action_index(cumulative, 0.2) == 1  # boundary: cum <= u
+        assert sample_action_index(cumulative, 0.49) == 1
+        assert sample_action_index(cumulative, 0.99) == 2
+        assert sample_action_index(cumulative, 1.0) == 2  # clipped
+
+    def test_tabular_strategy_protocol(self):
+        strategy = stochastic_class_strategy()
+        assert strategy_is_class_aware(strategy)
+        assert not strategy_is_class_aware(ReplicationThresholdStrategy(beta=3))
+        row = strategy.action_probabilities(2)
+        assert row.sum() == pytest.approx(1.0)
+        assert strategy.add_probability(2) == pytest.approx(1.0 - row[0])
+        rng = np.random.default_rng(0)
+        actions = [strategy.action(2, rng) for _ in range(500)]
+        counts = np.bincount(actions, minlength=3) / 500
+        assert np.allclose(counts, row, atol=0.08)
+
+    def test_preference_strategy_lifts_classless(self):
+        base = ReplicationThresholdStrategy(beta=3)
+        strategy = ClassPreferenceReplicationStrategy(
+            base, "hardened", ("vulnerable", "hardened")
+        )
+        assert strategy_is_class_aware(strategy)
+        assert np.array_equal(strategy.action_probabilities(2), [0.0, 0.0, 1.0])
+        assert np.array_equal(strategy.action_probabilities(5), [1.0, 0.0, 0.0])
+        rng = np.random.default_rng(0)
+        assert strategy.action(2, rng) == 2
+        assert strategy.action(5, rng) == 0
+        with pytest.raises(ValueError, match="not among"):
+            ClassPreferenceReplicationStrategy(base, "missing", ("a", "b"))
+
+    def test_tabular_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            ClassTabularReplicationStrategy(("a",), np.ones((3, 3)))
+        with pytest.raises(ValueError, match="sum to one"):
+            ClassTabularReplicationStrategy(("a", "b"), np.full((2, 3), 0.5))
+
+
+# ---------------------------------------------------------------------------
+# Closed-loop control plane
+# ---------------------------------------------------------------------------
+class TestClassAwareControlPlane:
+    def test_batched_and_scalar_decisions_identical(self):
+        scenario = mixed_scenario()
+        controller = TwoLevelController(
+            scenario,
+            num_envs=6,
+            recovery_policy=ThresholdStrategy(0.75),
+            replication_strategy=stochastic_class_strategy(),
+            initial_nodes=4,
+            record_decisions=True,
+        )
+        batched = controller.run(seed=11)
+        batched_trace = controller.last_decision_trace
+        scalar = controller.run_scalar_reference(seed=11)
+        scalar_trace = controller.last_decision_trace
+        for t in range(scenario.horizon):
+            assert np.array_equal(batched_trace.states[t], scalar_trace.states[t])
+            assert np.array_equal(batched_trace.adds[t], scalar_trace.adds[t])
+            assert np.array_equal(
+                batched_trace.add_classes[t], scalar_trace.add_classes[t]
+            )
+            assert np.array_equal(
+                batched_trace.emergencies[t], scalar_trace.emergencies[t]
+            )
+        assert np.array_equal(batched.additions, scalar.additions)
+        assert np.array_equal(batched.availability, scalar.availability)
+        assert np.allclose(batched.average_cost, scalar.average_cost)
+
+    def test_add_activates_slot_of_chosen_class(self):
+        """A deterministic hardened-only strategy must fill hardened slots."""
+        scenario = mixed_scenario(horizon=40)
+        strategy = ClassPreferenceReplicationStrategy(
+            ReplicationThresholdStrategy(beta=scenario.num_nodes),
+            "hardened",
+            ("vulnerable", "hardened"),
+        )
+        controller = TwoLevelController(
+            scenario,
+            num_envs=4,
+            recovery_policy=ThresholdStrategy(0.75),
+            replication_strategy=strategy,
+            initial_nodes=2,
+            enforce_invariant=False,
+            record_decisions=True,
+        )
+        controller.run(seed=0)
+        trace = controller.last_decision_trace
+        # With always-add pressure, the first additions must claim hardened
+        # slots (indices 3..5) even though vulnerable slots 2 is free.
+        first_step_classes = trace.add_classes[0]
+        assert (first_step_classes == 1).all()
+
+    def test_classless_strategy_requires_no_labels(self):
+        """Classless strategies keep working on unlabelled scenarios."""
+        params = NodeParameters(p_a=0.1, p_c1=0.01, p_c2=0.05)
+        scenario = FleetScenario.homogeneous(
+            params, BetaBinomialObservationModel(), num_nodes=5, horizon=30, f=1
+        )
+        controller = TwoLevelController(
+            scenario,
+            num_envs=3,
+            recovery_policy=ThresholdStrategy(0.75),
+            replication_strategy=ReplicationThresholdStrategy(beta=3),
+            initial_nodes=4,
+        )
+        result = controller.run(seed=0)
+        assert result.num_episodes == 3
+
+    def test_class_aware_strategy_rejects_unlabelled_scenario(self):
+        params = NodeParameters(p_a=0.1, p_c1=0.01, p_c2=0.05)
+        scenario = FleetScenario.homogeneous(
+            params, BetaBinomialObservationModel(), num_nodes=5, horizon=30, f=1
+        )
+        with pytest.raises(ValueError, match="labelled scenario"):
+            TwoLevelController(
+                scenario,
+                num_envs=2,
+                recovery_policy=ThresholdStrategy(0.75),
+                replication_strategy=stochastic_class_strategy(),
+            )
+
+    def test_class_aware_strategy_rejects_unknown_class(self):
+        scenario = mixed_scenario(horizon=20)
+        strategy = ClassTabularReplicationStrategy(
+            ("vulnerable", "missing"), stochastic_class_strategy().probabilities
+        )
+        with pytest.raises(ValueError, match="missing"):
+            TwoLevelController(
+                scenario,
+                num_envs=2,
+                recovery_policy=ThresholdStrategy(0.75),
+                replication_strategy=strategy,
+            )
+
+    def test_system_trace_records_classes(self):
+        scenario = mixed_scenario(horizon=30)
+        controller = TwoLevelController(
+            scenario,
+            num_envs=4,
+            recovery_policy=ThresholdStrategy(0.75),
+            replication_strategy=stochastic_class_strategy(),
+            initial_nodes=4,
+            record_system_trace=True,
+        )
+        controller.run(seed=5)
+        trace = controller.system_trace
+        assert trace.add_classes is not None
+        assert trace.add_classes.shape == (30, 4)
+        assert trace.action_probabilities.shape == (30, 4, 3)
+        # Wherever a class was chosen the action must be an add.
+        chosen = trace.add_classes >= 0
+        assert np.all(trace.actions[chosen])
+
+
+# ---------------------------------------------------------------------------
+# Per-class deadlines and the fitted class-aware kernel
+# ---------------------------------------------------------------------------
+class TestPerClassPipeline:
+    def test_scenario_node_classes_roundtrip(self):
+        scenario = mixed_scenario()
+        classes = scenario.node_classes()
+        assert [c.name for c in classes] == ["vulnerable", "hardened"]
+        assert [c.count for c in classes] == [3, 3]
+        rebuilt = FleetScenario.mixed(
+            classes, horizon=scenario.horizon, f=scenario.f
+        )
+        assert rebuilt.node_params == scenario.node_params
+        assert rebuilt.node_labels == scenario.node_labels
+
+    def test_with_class_deltas_routes_per_slot(self):
+        scenario = mixed_scenario()
+        updated = scenario.with_class_deltas({"vulnerable": 5, "hardened": math.inf})
+        deltas = [p.delta_r for p in updated.node_params]
+        assert deltas == [5, 5, 5, math.inf, math.inf, math.inf]
+        # Untouched fields survive.
+        assert updated.node_params[0].p_a == VULNERABLE.p_a
+        with pytest.raises(ValueError, match="does not define"):
+            scenario.with_class_deltas({"missing": 5})
+        unlabelled = FleetScenario.homogeneous(
+            HARDENED, BetaBinomialObservationModel(), num_nodes=3, horizon=20
+        )
+        with pytest.raises(ValueError, match="labelled"):
+            unlabelled.with_class_deltas({"hardened": 5})
+
+    def test_optimize_class_deltas_picks_grid_minimum(self):
+        scenario = mixed_scenario(horizon=40)
+        results = optimize_class_deltas(
+            scenario.node_classes(),
+            delta_grid=(5, math.inf),
+            horizon=40,
+            episodes_per_evaluation=3,
+            final_evaluation_episodes=5,
+            seed=0,
+        )
+        assert set(results) == {"vulnerable", "hardened"}
+        for result in results.values():
+            assert set(result.costs) == {5.0, math.inf}
+            assert result.estimated_cost == min(result.costs.values())
+            assert result.costs[result.delta_r] == result.estimated_cost
+        optimized = apply_class_deltas(scenario, results)
+        for label, slots in optimized.class_slots().items():
+            for j in slots:
+                assert optimized.node_params[j].delta_r == results[label].delta_r
+
+    def test_optimize_class_deltas_validates_grid(self):
+        scenario = mixed_scenario(horizon=20)
+        with pytest.raises(ValueError, match="at least one"):
+            optimize_class_deltas(scenario.node_classes(), delta_grid=())
+        with pytest.raises(ValueError, match="positive integers"):
+            optimize_class_deltas(scenario.node_classes(), delta_grid=(2.5,))
+
+    def test_fit_class_aware_model_orders_and_separates_classes(self):
+        scenario = mixed_scenario(horizon=60)
+        env = FleetVectorEnv(scenario, 60)
+        rollout(env, StrategyPolicy(ThresholdStrategy(0.75)), seed=0)
+        model = fit_class_aware_system_model(env, epsilon_a=0.6)
+        assert model.class_names == ("vulnerable", "hardened")
+        class_models = fit_system_models_per_class(env, epsilon_a=0.6)
+        survival_vulnerable = fresh_node_survival_from_model(
+            class_models["vulnerable"]
+        )
+        survival_hardened = fresh_node_survival_from_model(class_models["hardened"])
+        assert survival_hardened > survival_vulnerable
+
+    def test_fit_class_aware_model_survival_overrides(self):
+        scenario = mixed_scenario(horizon=40)
+        env = FleetVectorEnv(scenario, 30)
+        rollout(env, StrategyPolicy(ThresholdStrategy(0.75)), seed=0)
+        model = fit_class_aware_system_model(
+            env,
+            epsilon_a=0.6,
+            survival_probabilities={"vulnerable": 0.0, "hardened": 1.0},
+        )
+        assert np.array_equal(model.transition[1], model.transition[0])
+        with pytest.raises(ValueError, match="does not define"):
+            fit_class_aware_system_model(env, add_costs={"missing": 1.0})
+
+
+# ---------------------------------------------------------------------------
+# Fleet environment and learned policies
+# ---------------------------------------------------------------------------
+class TestEnvAndPPO:
+    def test_fleet_env_class_availability(self):
+        scenario = mixed_scenario(horizon=25)
+        env = FleetVectorEnv(scenario, 8)
+        assert env.num_replication_actions == 3
+        rollout(env, StrategyPolicy(ThresholdStrategy(0.75)), seed=0)
+        availability = env.class_availability()
+        assert set(availability) == {"vulnerable", "hardened"}
+        for values in availability.values():
+            assert values.shape == (8,)
+            assert np.all((0.0 <= values) & (values <= 1.0))
+        # The hardened sub-fleet fails less often.
+        assert (
+            availability["hardened"].mean() >= availability["vulnerable"].mean()
+        )
+
+    def test_fleet_env_class_availability_requires_labels(self):
+        params = NodeParameters(p_a=0.1, p_c1=0.01, p_c2=0.05)
+        scenario = FleetScenario.homogeneous(
+            params, BetaBinomialObservationModel(), num_nodes=4, horizon=10, f=1
+        )
+        env = FleetVectorEnv(scenario, 2)
+        assert env.num_replication_actions == 2
+        rollout(env, StrategyPolicy(ThresholdStrategy(0.75)), seed=0)
+        with pytest.raises(ValueError, match="labelled"):
+            env.class_availability()
+
+    def test_class_aware_ppo_trains_deterministically(self):
+        scenario = mixed_scenario(horizon=40)
+        config = PPOConfig(
+            hidden_size=8, learning_rate=5e-2, updates=2, rollout_episodes=4
+        )
+        kwargs = dict(
+            config=config,
+            initial_nodes=4,
+            seed=0,
+            evaluation_episodes=5,
+            class_aware=True,
+        )
+        first = train_ppo_replication(scenario, ThresholdStrategy(0.75), **kwargs)
+        second = train_ppo_replication(scenario, ThresholdStrategy(0.75), **kwargs)
+        assert np.array_equal(
+            first.strategy.class_weights, second.strategy.class_weights
+        )
+        assert first.strategy.class_names == ("vulnerable", "hardened")
+        row = first.strategy.action_probabilities(2)
+        assert row.shape == (3,)
+        assert row.sum() == pytest.approx(1.0)
+        batch = first.strategy.action_probabilities_batch(
+            np.array([1, 3]), np.array([4, 5])
+        )
+        assert batch.shape == (2, 3)
+        assert np.allclose(batch.sum(axis=1), 1.0)
+
+    def test_class_aware_ppo_requires_labels(self):
+        params = NodeParameters(p_a=0.1, p_c1=0.01, p_c2=0.05)
+        scenario = FleetScenario.homogeneous(
+            params, BetaBinomialObservationModel(), num_nodes=4, horizon=10, f=1
+        )
+        with pytest.raises(ValueError, match="labelled"):
+            train_ppo_replication(
+                scenario, ThresholdStrategy(0.75), class_aware=True
+            )
+
+
+# ---------------------------------------------------------------------------
+# Emulation-backend limitation (documented, loudly enforced)
+# ---------------------------------------------------------------------------
+class TestEmulationRouting:
+    def test_homogeneous_scenario_maps_to_config(self):
+        params = NodeParameters(p_a=0.1, p_c1=0.01, p_c2=0.05, delta_r=20)
+        scenario = FleetScenario.homogeneous(
+            params, BetaBinomialObservationModel(), num_nodes=4, horizon=50, f=1
+        )
+        config = EmulationConfig.from_scenario(scenario, k=2)
+        assert config.initial_nodes == 4
+        assert config.horizon == 50
+        assert config.delta_r == 20
+        assert config.node_params == params
+        assert config.f == 1
+        assert config.k == 2
+
+    def test_mixed_scenario_raises_with_class_names(self):
+        scenario = mixed_scenario()
+        with pytest.raises(NotImplementedError) as excinfo:
+            EmulationConfig.from_scenario(scenario)
+        message = str(excinfo.value)
+        assert "hardened" in message and "vulnerable" in message
+        assert "TwoLevelController" in message
