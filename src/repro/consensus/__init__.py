@@ -12,6 +12,7 @@ simulated authenticated network they run on.
   trusted USIG component of the hybrid failure model.
 """
 
+from .audit import SafetyAuditResult, audit_safety
 from .client import ClientWorkload, CompletedRequest, MinBFTClient
 from .crypto import KeyPair, KeyRegistry, Signature, digest
 from .messages import (
@@ -61,6 +62,7 @@ __all__ = [
     "RaftRole",
     "ReconfigurationReply",
     "Reply",
+    "SafetyAuditResult",
     "Signature",
     "SimulatedNetwork",
     "StateTransferRequest",
@@ -69,5 +71,6 @@ __all__ = [
     "USIGVerifier",
     "UniqueIdentifier",
     "ViewChange",
+    "audit_safety",
     "digest",
 ]

@@ -1,0 +1,94 @@
+"""Safety audits for a MinBFT cluster under reconfiguration.
+
+The closed-loop integration (:mod:`repro.control.consensus_loop`) reconfigures
+a live cluster continuously — evictions, joins, recoveries — and the paper's
+correctness claim (Theorem 1 / Proposition 1) is that none of this violates
+safety.  This module checks two invariants after arbitrary churn:
+
+* **Prefix consistency** — the executed-request logs of all non-Byzantine
+  replicas' state machines are prefixes of one another (replicas may lag but
+  never diverge).  This reuses :func:`repro.core.correctness.check_safety`.
+* **No duplicate execution** — no replica applied the same client request
+  twice across its lifetime, *including across recoveries*.  The state
+  machine is replaced on recovery, so this is audited against the replica's
+  append-only :attr:`~repro.consensus.minbft.MinBFTReplica.execution_log`,
+  which survives recovery precisely so the audit can see duplicates that a
+  fresh state machine would hide.
+
+Byzantine replicas are excluded from both checks: a compromised replica may
+corrupt its own log at will; safety is a claim about correct replicas only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.correctness import check_safety
+from .minbft import ByzantineBehavior, MinBFTCluster
+
+__all__ = ["SafetyAuditResult", "audit_safety"]
+
+
+@dataclass(frozen=True)
+class SafetyAuditResult:
+    """Outcome of one safety audit over a cluster.
+
+    Attributes:
+        consistent: ``True`` when every audited replica's executed-request
+            log is a prefix of the longest one.
+        no_duplicates: ``True`` when no audited replica executed any client
+            request more than once (across recoveries).
+        audited: Replica ids included in the audit (non-Byzantine, live).
+        divergent: Replica ids whose logs are not prefixes of the longest.
+        duplicated: Map of replica id to the request identifiers it
+            executed more than once (empty when ``no_duplicates``).
+    """
+
+    consistent: bool
+    no_duplicates: bool
+    audited: tuple[str, ...] = ()
+    divergent: tuple[str, ...] = ()
+    duplicated: dict[str, tuple[tuple[str, int], ...]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.consistent and self.no_duplicates
+
+
+def audit_safety(cluster: MinBFTCluster) -> SafetyAuditResult:
+    """Audit the safety invariants of ``cluster``'s correct replicas."""
+    audited = {
+        replica_id: replica
+        for replica_id, replica in sorted(cluster.replicas.items())
+        if replica.byzantine is ByzantineBehavior.NONE
+    }
+    sequences = {
+        replica_id: replica.state_machine.executed_requests()
+        for replica_id, replica in audited.items()
+    }
+    consistent = check_safety(sequences.values())
+    divergent: list[str] = []
+    if not consistent and sequences:
+        reference = max(sequences.values(), key=len)
+        divergent = [
+            replica_id
+            for replica_id, sequence in sequences.items()
+            if reference[: len(sequence)] != sequence
+        ]
+    duplicated: dict[str, tuple[tuple[str, int], ...]] = {}
+    for replica_id, replica in audited.items():
+        seen: set[tuple[str, int]] = set()
+        repeats: list[tuple[str, int]] = []
+        for identifier, _sequence in replica.execution_log:
+            if identifier in seen and identifier not in repeats:
+                repeats.append(identifier)
+            seen.add(identifier)
+        if repeats:
+            duplicated[replica_id] = tuple(repeats)
+    return SafetyAuditResult(
+        consistent=consistent,
+        no_duplicates=not duplicated,
+        audited=tuple(audited),
+        divergent=tuple(divergent),
+        duplicated=duplicated,
+    )

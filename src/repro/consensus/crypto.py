@@ -81,6 +81,17 @@ class KeyRegistry:
             self._keys[owner] = KeyPair(owner)
         return self._keys[owner]
 
+    def rotate(self, owner: str) -> KeyPair:
+        """Replace ``owner``'s key with a fresh one (revoking the old one).
+
+        Signatures produced under the previous key no longer verify — this
+        is how a recovered replica's re-keyed USIG invalidates anything the
+        attacker may have signed with the compromised container's secret.
+        """
+        key = KeyPair(owner)
+        self._keys[owner] = key
+        return key
+
     def verify(self, payload: object, signature: Signature) -> bool:
         key = self._keys.get(signature.signer)
         if key is None:

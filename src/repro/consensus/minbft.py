@@ -26,6 +26,7 @@ participates with corrupted messages.
 from __future__ import annotations
 
 import enum
+import functools
 import itertools
 from collections import defaultdict
 from dataclasses import dataclass
@@ -57,6 +58,24 @@ __all__ = [
     "MinBFTReplica",
     "MinBFTCluster",
 ]
+
+
+@functools.lru_cache(maxsize=8192)
+def _cached_request_digest(request: ClientRequest) -> str:
+    return digest(request.payload())
+
+
+def _request_digest(request: ClientRequest) -> str:
+    """Digest of a client request's signable payload, memoized when hashable.
+
+    The same request is digested a handful of times per replica (prepare
+    handling, commit sending, quorum counting); the cache keeps the
+    closed-loop benchmark from re-serializing the payload each time.
+    """
+    try:
+        return _cached_request_digest(request)
+    except TypeError:  # unhashable request value
+        return digest(request.payload())
 
 
 class ByzantineBehavior(enum.Enum):
@@ -110,14 +129,38 @@ class MinBFTReplica:
         self.byzantine = ByzantineBehavior.NONE
         self._rng = np.random.default_rng(abs(hash(replica_id)) % (2 ** 32))
 
-        # Normal-case protocol state.
+        # Normal-case protocol state.  Commit votes are keyed by
+        # ``(sequence, request_digest)``: a corrupted COMMIT that arrives
+        # before its PREPARE (jitter reordering skips the digest check) must
+        # vote for *its own* digest, never toward the f + 1 quorum of the
+        # honest one.
         self.next_sequence = 0  # leader only
+        #: Highest sequence number seen in any verified PREPARE, COMMIT or
+        #: NEW-VIEW.  A leader never assigns a sequence at or below this
+        #: watermark, so a recovered replica that could not complete state
+        #: transfer (e.g. too many compromised peers to form the f + 1
+        #: response quorum) cannot restart sequencing from zero and execute
+        #: a divergent history on its fresh state machine — it proposes
+        #: *above* the watermark and stays safely behind until state
+        #: transfer succeeds.
+        self.known_sequence = 0
+        self._last_state_request_tick = 0
         self.prepare_log: dict[int, Prepare] = {}
-        self.commit_votes: dict[int, set[str]] = defaultdict(set)
+        self.commit_votes: dict[tuple[int, str], set[str]] = defaultdict(set)
         self.executed_sequence = 0
         self.pending_client_requests: dict[tuple[str, int], tuple[ClientRequest, int]] = {}
         self.executed_request_ids: set[tuple[str, int]] = set()
         self.replies_sent = 0
+        # Replies to executed requests, kept until the next stable checkpoint
+        # so retransmitted client requests can be answered without
+        # re-execution (clients retry under churn).
+        self.reply_cache: dict[tuple[str, int], Reply] = {}
+        #: Append-only observer log of ``(request identifier, sequence)``
+        #: pairs in execution order.  Unlike the state machine it survives
+        #: recovery (a recovered replica starts a fresh container but the
+        #: *observer* still saw the old replies), which is what lets the
+        #: safety audit detect duplicate execution across recoveries.
+        self.execution_log: list[tuple[tuple[str, int], int]] = []
 
         # View change state.
         self.view_change_votes: dict[int, set[str]] = defaultdict(set)
@@ -190,6 +233,12 @@ class MinBFTReplica:
     # -- normal case -----------------------------------------------------------------
     def _handle_request(self, request: ClientRequest, tick: int) -> None:
         if request.identifier in self.executed_request_ids:
+            # Retransmission of an executed request: re-send the cached
+            # reply (the original may have been lost to a crash or raced a
+            # reconfiguration) instead of executing again.
+            reply = self.reply_cache.get(request.identifier)
+            if reply is not None and self._acting_correctly():
+                self.network.send(self.replica_id, request.client_id, reply)
             return
         if request.signature is not None and not self.registry.verify(
             request.payload(), request.signature
@@ -206,9 +255,11 @@ class MinBFTReplica:
         )
         if already_prepared:
             return
-        self.next_sequence = max(self.next_sequence, self.executed_sequence) + 1
+        self.next_sequence = (
+            max(self.next_sequence, self.executed_sequence, self.known_sequence) + 1
+        )
         sequence = self.next_sequence
-        content = {"view": self.view, "sequence": sequence, "request": digest(request.payload())}
+        content = {"view": self.view, "sequence": sequence, "request": _request_digest(request)}
         ui = self.usig.create_ui(content)
         prepare = Prepare(
             view=self.view,
@@ -239,7 +290,7 @@ class MinBFTReplica:
         content = {
             "view": prepare.view,
             "sequence": prepare.sequence,
-            "request": digest(prepare.request.payload()),
+            "request": _request_digest(prepare.request),
         }
         if not self.verifier.verify(content, prepare.ui, enforce_order=False):
             return
@@ -247,6 +298,7 @@ class MinBFTReplica:
         self._accept_prepare(prepare)
 
     def _accept_prepare(self, prepare: Prepare) -> None:
+        self.known_sequence = max(self.known_sequence, prepare.sequence)
         if prepare.sequence in self.prepare_log:
             return
         self.prepare_log[prepare.sequence] = prepare
@@ -257,7 +309,7 @@ class MinBFTReplica:
         self._send_commit(prepare, corrupt=False)
 
     def _send_commit(self, prepare: Prepare, corrupt: bool) -> None:
-        request_digest = digest(prepare.request.payload())
+        request_digest = _request_digest(prepare.request)
         if corrupt:
             request_digest = digest({"corrupted": self._rng.integers(1 << 30)})
         content = {
@@ -291,12 +343,13 @@ class MinBFTReplica:
         if not self.verifier.verify(content, commit.ui, enforce_order=False):
             return
         prepare = self.prepare_log.get(commit.sequence)
-        if prepare is not None and commit.request_digest != digest(prepare.request.payload()):
+        if prepare is not None and commit.request_digest != _request_digest(prepare.request):
             return  # Corrupted commit from a Byzantine replica.
         self._register_commit(commit)
 
     def _register_commit(self, commit: Commit) -> None:
-        self.commit_votes[commit.sequence].add(commit.replica_id)
+        self.known_sequence = max(self.known_sequence, commit.sequence)
+        self.commit_votes[(commit.sequence, commit.request_digest)].add(commit.replica_id)
         self._try_execute()
 
     def _try_execute(self) -> None:
@@ -306,7 +359,12 @@ class MinBFTReplica:
             prepare = self.prepare_log.get(next_sequence)
             if prepare is None:
                 return
-            votes = self.commit_votes.get(next_sequence, set())
+            # Only COMMITs matching the prepared request's digest count
+            # toward the quorum: votes for a corrupted digest accumulate
+            # under their own key and never reach f + 1.
+            votes = self.commit_votes.get(
+                (next_sequence, _request_digest(prepare.request)), set()
+            )
             if len(votes) < self.quorum_size:
                 return
             if not self._acting_correctly():
@@ -314,6 +372,12 @@ class MinBFTReplica:
             result = self.state_machine.apply(prepare.request, next_sequence)
             self.executed_sequence = next_sequence
             self.executed_request_ids.add(prepare.request.identifier)
+            if not result.duplicate:
+                # Only effectful applies enter the observer log: idempotent
+                # re-deliveries (view-change re-proposals) are benign, while
+                # a re-execution on a *fresh* state machine after recovery
+                # is the duplicate the safety audit must catch.
+                self.execution_log.append((prepare.request.identifier, next_sequence))
             self.pending_client_requests.pop(prepare.request.identifier, None)
             reply = Reply(
                 view=self.view,
@@ -324,6 +388,7 @@ class MinBFTReplica:
                 sequence=next_sequence,
             )
             self.network.send(self.replica_id, prepare.request.client_id, reply)
+            self.reply_cache[prepare.request.identifier] = reply
             self.replies_sent += 1
             if (
                 self.config.checkpoint_interval > 0
@@ -365,9 +430,14 @@ class MinBFTReplica:
         for sequence in list(self.prepare_log):
             if sequence <= stable_sequence:
                 del self.prepare_log[sequence]
-        for sequence in list(self.commit_votes):
-            if sequence <= stable_sequence:
-                del self.commit_votes[sequence]
+        for key in list(self.commit_votes):
+            if key[0] <= stable_sequence:
+                del self.commit_votes[key]
+        self.reply_cache = {
+            identifier: reply
+            for identifier, reply in self.reply_cache.items()
+            if reply.sequence > stable_sequence
+        }
 
     # -- view changes -------------------------------------------------------------------
     def on_tick(self, tick: int) -> None:
@@ -377,6 +447,15 @@ class MinBFTReplica:
         if self.in_view_change:
             return
         timeout = self.config.view_change_timeout
+        if (
+            self.known_sequence > self.executed_sequence + self.config.checkpoint_interval
+            and tick - self._last_state_request_tick >= timeout
+        ):
+            # Lagging badly (e.g. recovery while too many peers were
+            # compromised to answer the first transfer): retry state
+            # transfer until an f + 1 response quorum forms.
+            self._last_state_request_tick = tick
+            self.request_state_transfer()
         for request, received_at in list(self.pending_client_requests.values()):
             if tick - received_at > timeout:
                 self._start_view_change(self.view + 1)
@@ -456,6 +535,7 @@ class MinBFTReplica:
     def _apply_new_view(self, message: NewView) -> None:
         if message.view < self.view:
             return
+        self.known_sequence = max(self.known_sequence, message.starting_sequence)
         self.view = message.view
         self.membership = sorted(message.membership)
         self.in_view_change = False
@@ -466,9 +546,10 @@ class MinBFTReplica:
             seq: prep for seq, prep in self.prepare_log.items() if seq <= self.executed_sequence
         }
         self.commit_votes = defaultdict(set, {
-            seq: votes for seq, votes in self.commit_votes.items() if seq <= self.executed_sequence
+            key: votes for key, votes in self.commit_votes.items()
+            if key[0] <= self.executed_sequence
         })
-        self.next_sequence = self.executed_sequence
+        self.next_sequence = max(self.executed_sequence, self.known_sequence)
         if self.is_leader and self._acting_correctly():
             for request, _ in list(self.pending_client_requests.values()):
                 self._send_prepare(request)
@@ -507,7 +588,8 @@ class MinBFTReplica:
             self.state_machine.restore(response.state_snapshot)
             self.executed_sequence = response.last_executed
             self.executed_request_ids = set(response.executed_requests)
-            self.next_sequence = self.executed_sequence
+            self.known_sequence = max(self.known_sequence, response.last_executed)
+            self.next_sequence = max(self.executed_sequence, self.known_sequence)
 
     # -- reconfiguration ----------------------------------------------------------------------
     def _handle_join(self, request: JoinRequest) -> None:
@@ -531,15 +613,23 @@ class MinBFTReplica:
     ) -> None:
         """Apply a membership change through a view change (Fig. 17e-f).
 
-        Only the current leader announces the NEW-VIEW; other replicas adopt
-        it when they receive the announcement.
+        The current leader announces the NEW-VIEW; other replicas adopt it
+        when they receive the announcement.  When the change removes the
+        current leader itself (leader eviction), the *designated successor*
+        — the leader of ``view + 1`` under the new membership — is entitled
+        to announce instead: without this, an EVICT of the leader handed to
+        a follower would silently no-op and the cluster would never produce
+        the NEW-VIEW that actually reconfigures the group.
         """
         if not self._acting_correctly():
             return
-        if not self.is_leader:
-            # Followers update their local membership lazily via NEW-VIEW.
-            return
         new_view = self.view + 1
+        if not self.is_leader:
+            successor = sorted(new_membership)[new_view % len(new_membership)]
+            leader_removed = self.leader_of(self.view) not in new_membership
+            if not (leader_removed and successor == self.replica_id):
+                # Followers update their local membership lazily via NEW-VIEW.
+                return
         content = {
             "view": new_view,
             "membership": new_membership,
@@ -632,21 +722,32 @@ class MinBFTCluster:
         return new_id
 
     def evict_replica(self, replica_id: str, issued_by: str = "system-controller") -> None:
-        """Evict a replica and reconfigure the group (EVICT, Fig. 17f)."""
+        """Evict a replica and reconfigure the group (EVICT, Fig. 17f).
+
+        Evicting the current leader hands the EVICT to the remaining
+        replicas, whose designated successor (the leader of the next view
+        under the shrunk membership) announces the NEW-VIEW — see
+        :meth:`MinBFTReplica._reconfigure`.
+        """
         if replica_id not in self.replicas:
             return
         evict = EvictRequest(replica_id=replica_id, issued_by=issued_by)
         leader = self.current_leader()
         if leader == replica_id:
-            # Ask the next correct replica to run the reconfiguration.
-            others = [r for r in self.membership if r != replica_id]
-            leader = others[0]
-            self.replicas[leader]._handle_evict(evict)
+            # The leader cannot be trusted to evict itself: deliver the
+            # EVICT to every remaining replica; the entitlement rule in
+            # _reconfigure lets exactly the designated successor announce.
+            for other in self.membership:
+                if other != replica_id:
+                    self.network.send(issued_by, other, evict)
         else:
             self.network.send(issued_by, leader, evict)
         self.run(ticks=10)
         self.network.unregister(replica_id)
         self.replicas.pop(replica_id, None)
+        # Cleanup for replicas that missed the NEW-VIEW announcement (e.g.
+        # crashed at eviction time); live replicas adopted it via the
+        # protocol above.
         for replica in self.replicas.values():
             if replica_id in replica.membership:
                 replica.membership = [r for r in replica.membership if r != replica_id]
@@ -659,12 +760,30 @@ class MinBFTCluster:
         self.network.crash(replica_id)
 
     def recover_replica(self, replica_id: str) -> None:
-        """Recover a replica: new container, state transfer from f+1 peers."""
+        """Recover a replica: new container, re-keyed USIG, state transfer.
+
+        The fresh container starts with *no* protocol state: besides the
+        state machine, the prepare log, commit votes and checkpoint state
+        are cleared — stale quorums left in place would let the replica
+        re-execute old requests and send duplicate replies before state
+        transfer completes.  The USIG is re-provisioned with a fresh key,
+        revoking anything the compromised container may have signed.
+        """
         replica = self.replicas[replica_id]
         replica.recover()
         replica.state_machine = KeyValueStateMachine()
         replica.executed_sequence = 0
         replica.executed_request_ids = set()
+        replica.reply_cache = {}
+        replica.next_sequence = 0
+        replica.prepare_log = {}
+        replica.commit_votes = defaultdict(set)
+        replica.pending_client_requests = {}
+        replica.view_change_votes = defaultdict(set)
+        replica.in_view_change = False
+        replica.last_checkpoint_sequence = 0
+        replica.checkpoint_votes = defaultdict(set)
+        replica.usig = USIG(replica_id, self.registry, fresh_key=True)
         self.network.restart(replica_id)
         replica.request_state_transfer()
         self.run(ticks=10)

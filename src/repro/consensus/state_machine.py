@@ -11,6 +11,7 @@ safety check used by the tests.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from .crypto import digest
@@ -21,11 +22,19 @@ __all__ = ["OperationResult", "KeyValueStateMachine"]
 
 @dataclass(frozen=True)
 class OperationResult:
-    """Result of applying one operation to the state machine."""
+    """Result of applying one operation to the state machine.
+
+    ``duplicate`` marks an idempotent no-op: the request identifier was
+    already applied by *this* state machine incarnation (e.g. re-proposed
+    at a new sequence after a view change), so no state changed.  Effectful
+    applies report ``duplicate=False`` — the safety audit counts only those
+    when checking for duplicate execution across recoveries.
+    """
 
     success: bool
     value: object | None
     sequence: int
+    duplicate: bool = False
 
 
 class KeyValueStateMachine:
@@ -44,14 +53,20 @@ class KeyValueStateMachine:
         self._store: dict[str, object] = {}
         self._applied: list[tuple[str, int]] = []
         self._last_sequence = 0
+        self._applied_set: set[tuple[str, int]] = set()
+        # Rolling digest of the applied-request history: updated in O(1)
+        # per apply so that state_digest() stays O(|store|) instead of
+        # re-serializing the entire history (which made checkpointing
+        # quadratic in the number of executed requests).
+        self._history_digest = ""
 
     # -- execution -----------------------------------------------------------------
     def apply(self, request: ClientRequest, sequence: int) -> OperationResult:
         """Apply a committed request at ``sequence``; idempotent per request id."""
-        if request.identifier in set(self._applied):
+        if request.identifier in self._applied_set:
             # Duplicate delivery (e.g. after a view change): return the stored value.
             value = self._store.get(request.key)
-            return OperationResult(success=True, value=value, sequence=sequence)
+            return OperationResult(success=True, value=value, sequence=sequence, duplicate=True)
         if request.operation == "write":
             self._store[request.key] = request.value
             result_value: object | None = request.value
@@ -60,8 +75,15 @@ class KeyValueStateMachine:
         else:
             return OperationResult(success=False, value=None, sequence=sequence)
         self._applied.append(request.identifier)
+        self._applied_set.add(request.identifier)
+        self._extend_history(request.identifier)
         self._last_sequence = sequence
         return OperationResult(success=True, value=result_value, sequence=sequence)
+
+    def _extend_history(self, identifier: tuple[str, int]) -> None:
+        self._history_digest = hashlib.sha256(
+            f"{self._history_digest}|{identifier[0]}:{identifier[1]}".encode("utf-8")
+        ).hexdigest()
 
     # -- introspection ----------------------------------------------------------------
     @property
@@ -76,9 +98,18 @@ class KeyValueStateMachine:
         return self._store.get(key)
 
     def state_digest(self) -> str:
-        """Digest of the full state; equal digests imply equal states."""
-        return digest({"store": sorted(self._store.items(), key=lambda kv: kv[0]),
-                       "applied": self._applied})
+        """Digest of the full state; equal digests imply equal states.
+
+        The applied-request history enters through the rolling
+        ``_history_digest`` (plus the count), so the cost is O(|store|)
+        rather than O(|history|) — checkpointing every ``k`` requests
+        stays linear in the run length instead of quadratic.
+        """
+        return digest({
+            "store": sorted(self._store.items(), key=lambda kv: kv[0]),
+            "history": self._history_digest,
+            "count": len(self._applied),
+        })
 
     # -- state transfer -----------------------------------------------------------------
     def snapshot(self) -> dict:
@@ -86,9 +117,18 @@ class KeyValueStateMachine:
             "store": dict(self._store),
             "applied": list(self._applied),
             "last_sequence": self._last_sequence,
+            "history_digest": self._history_digest,
         }
 
     def restore(self, snapshot: dict) -> None:
         self._store = dict(snapshot["store"])
         self._applied = [tuple(item) for item in snapshot["applied"]]
+        self._applied_set = set(self._applied)
         self._last_sequence = int(snapshot["last_sequence"])
+        if "history_digest" in snapshot:
+            self._history_digest = str(snapshot["history_digest"])
+        else:
+            # Snapshot from an older producer: recompute from the history.
+            self._history_digest = ""
+            for identifier in self._applied:
+                self._extend_history(identifier)

@@ -37,9 +37,18 @@ class UniqueIdentifier:
 class USIG:
     """Trusted monotonic counter service of one replica."""
 
-    def __init__(self, replica_id: str, registry: KeyRegistry) -> None:
+    def __init__(
+        self, replica_id: str, registry: KeyRegistry, fresh_key: bool = False
+    ) -> None:
         self.replica_id = replica_id
-        self._key: KeyPair = registry.get_or_create(f"usig:{replica_id}")
+        owner = f"usig:{replica_id}"
+        # ``fresh_key`` models re-provisioning the trusted component when a
+        # replica recovers into a new container: the old signing secret is
+        # revoked in the registry, so stale in-flight messages signed by the
+        # compromised container stop verifying.
+        self._key: KeyPair = (
+            registry.rotate(owner) if fresh_key else registry.get_or_create(owner)
+        )
         self._counter = 0
 
     @property

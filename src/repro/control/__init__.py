@@ -87,6 +87,11 @@ from .class_aware import (
     apply_class_deltas,
     optimize_class_deltas,
 )
+from .consensus_loop import (
+    ConsensusBackedFleet,
+    ConsensusLoopResult,
+    ConsensusSafetyError,
+)
 from .replication_ppo import (
     PPOReplicationResult,
     PPOReplicationStrategy,
@@ -113,7 +118,12 @@ from .sysid import (
     fresh_node_survival_from_model,
     identify_replication_strategies,
 )
-from .two_level import SystemTrace, TwoLevelController, TwoLevelResult
+from .two_level import (
+    SystemTrace,
+    TwoLevelController,
+    TwoLevelResult,
+    TwoLevelStepEvent,
+)
 from .vector_system import (
     VectorSystemController,
     VectorSystemDecision,
@@ -124,12 +134,16 @@ from .vector_system import (
 __all__ = [
     "ClassDeltaResult",
     "ClosedLoopCell",
+    "ConsensusBackedFleet",
+    "ConsensusLoopResult",
+    "ConsensusSafetyError",
     "PPOReplicationResult",
     "PPOReplicationStrategy",
     "SystemIdentificationResult",
     "SystemTrace",
     "TwoLevelController",
     "TwoLevelResult",
+    "TwoLevelStepEvent",
     "VectorSystemController",
     "VectorSystemDecision",
     "attacker_intensity_sweep",

@@ -53,7 +53,7 @@ is the control-plane speedup asserted in the Table 7 closed-loop benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -69,9 +69,56 @@ from ..envs.vector_recovery import VectorRecoveryEnv
 from ..sim import BatchRecoveryEngine, FleetScenario
 from ..sim.strategies import BatchStrategy
 from ..core.metrics import summarize_metric_arrays
-from .vector_system import VectorSystemController, strategy_consumes_rng
+from .vector_system import (
+    VectorSystemController,
+    VectorSystemDecision,
+    strategy_consumes_rng,
+)
 
-__all__ = ["SystemTrace", "TwoLevelResult", "TwoLevelController"]
+__all__ = [
+    "SystemTrace",
+    "TwoLevelResult",
+    "TwoLevelStepEvent",
+    "TwoLevelController",
+]
+
+
+@dataclass(frozen=True)
+class TwoLevelStepEvent:
+    """One step of the batched closed loop, as seen by an ``on_step`` observer.
+
+    :meth:`TwoLevelController.run` emits one event per step *after* the
+    step's recoveries, evictions and additions have been applied.  The
+    consensus integration (:mod:`repro.control.consensus_loop`) consumes the
+    events to mirror every controller decision onto a live MinBFT cluster;
+    the arrays are the controller's own working state — observers must not
+    mutate them.
+
+    Attributes:
+        t: Step index, ``0 <= t < horizon``.
+        executed_recoveries: Recoveries executed this step (granted
+            voluntary plus BTR-forced, active slots only), shape ``(B, S)``.
+        crashed: Slots that crashed this step (evicted by the system
+            level), shape ``(B, S)``.
+        failed: Ground-truth failed mask (compromised or crashed) after the
+            step, shape ``(B, S)``.
+        decision: The system level's full :class:`VectorSystemDecision`.
+        activated: Slot activated by this step's addition per episode,
+            shape ``(B,)``; ``-1`` where no slot was added.
+        active: Active mask after evictions and additions, shape
+            ``(B, S)``.
+        available: Whether the step counted toward ``T^(A)``, shape
+            ``(B,)``.
+    """
+
+    t: int
+    executed_recoveries: np.ndarray
+    crashed: np.ndarray
+    failed: np.ndarray
+    decision: VectorSystemDecision
+    activated: np.ndarray
+    active: np.ndarray
+    available: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -367,6 +414,7 @@ class TwoLevelController:
         self,
         seed: int | None = None,
         policy_rng: np.random.Generator | None = None,
+        on_step: Callable[[TwoLevelStepEvent], None] | None = None,
     ) -> TwoLevelResult:
         """Run one batch of ``B`` closed-loop episodes.
 
@@ -376,6 +424,11 @@ class TwoLevelController:
                 one ``SeedSequence`` tree.
             policy_rng: Generator handed to stochastic node-level policies
                 (deterministic strategies ignore it).
+            on_step: Observer called once per step with a
+                :class:`TwoLevelStepEvent` after the step's recoveries,
+                evictions and additions have been applied; the consensus
+                integration mirrors controller decisions onto a live
+                cluster through it.
         """
         env = self.env
         batch, slots = self.num_envs, self.smax
@@ -419,7 +472,7 @@ class TwoLevelController:
         add_classes_t: list[np.ndarray] = []
         class_probs_t: list[np.ndarray] = []
 
-        for _ in range(self.horizon):
+        for step in range(self.horizon):
             forced = observation.forced
             policy_observation = VectorObservation(
                 beliefs=observation.beliefs,
@@ -459,7 +512,7 @@ class TwoLevelController:
                 node_counts=active.sum(axis=1),
             )
             active = active & ~crashed
-            self._activate_slots(active, decision.add_node, decision.add_class)
+            activated = self._activate_slots(active, decision.add_node, decision.add_class)
 
             node_counts = active.sum(axis=1)
             node_count_sum += node_counts
@@ -467,6 +520,20 @@ class TwoLevelController:
                 node_counts >= 2 * self.f + 1
             )
             available_steps += step_available
+
+            if on_step is not None:
+                on_step(
+                    TwoLevelStepEvent(
+                        t=step,
+                        executed_recoveries=executed,
+                        crashed=crashed,
+                        failed=info["failed_mask"],
+                        decision=decision,
+                        activated=activated,
+                        active=active,
+                        available=step_available,
+                    )
+                )
 
             if trace is not None:
                 trace.states.append(decision.state)
@@ -535,7 +602,7 @@ class TwoLevelController:
         active: np.ndarray,
         add_mask: np.ndarray,
         add_class: np.ndarray | None,
-    ) -> None:
+    ) -> np.ndarray:
         """Activate one standby slot per adding episode, in place.
 
         Classless adds (and class-aware emergency adds, ``add_class == -1``)
@@ -543,9 +610,13 @@ class TwoLevelController:
         free slot of class ``c``'s sub-fleet, falling back to the first free
         slot of any class when the sub-fleet is exhausted.  The scalar
         reference applies the identical rule one episode at a time.
+
+        Returns the activated slot index per episode (``-1`` where the
+        episode added nothing), for ``on_step`` observers.
         """
+        activated = np.full(active.shape[0], -1, dtype=np.int64)
         if not add_mask.any():
-            return
+            return activated
         rows = np.flatnonzero(add_mask)
         targets = (~active).argmax(axis=1)[rows]
         if self._strategy_class_slots is not None and add_class is not None:
@@ -559,6 +630,8 @@ class TwoLevelController:
                 chosen = slots[free.argmax(axis=1)]
                 targets[members[has_free]] = chosen[has_free]
         active[rows, targets] = True
+        activated[rows] = targets
+        return activated
 
     def _grant_recoveries(
         self, requests: np.ndarray, beliefs: np.ndarray

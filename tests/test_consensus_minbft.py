@@ -231,3 +231,135 @@ class TestLossyNetwork:
         client = MinBFTClient("client-0", cluster)
         result = client.write_and_wait("x", 11, max_ticks=400)
         assert result is not None and result.result == 11
+
+
+class TestCommitQuorumKeying:
+    """Regression: commit votes are keyed by (sequence, digest) so a corrupted
+    COMMIT arriving before its PREPARE cannot count toward the honest quorum."""
+
+    def test_corrupted_commit_before_prepare_does_not_reach_quorum(self):
+        from repro.consensus import Commit
+        from repro.consensus.minbft import _request_digest
+
+        cluster = MinBFTCluster(num_replicas=4, seed=11)
+        client = MinBFTClient("client-0", cluster)
+        leader = cluster.replicas["replica-0"]
+        byzantine = cluster.replicas["replica-1"]
+        target = cluster.replicas["replica-2"]
+        assert leader.is_leader
+
+        # The leader prepares a request; pick the Prepare off its log without
+        # stepping the network, so delivery order can be forced by hand.
+        request = client._build_request("write", "x", 1)
+        leader._handle_request(request, tick=0)
+        prepare = leader.prepare_log[1]
+
+        # A Byzantine replica's COMMIT for a corrupted digest, certified by
+        # its own (real) USIG, delivered to the target BEFORE the Prepare —
+        # the digest cross-check against the prepare log cannot run yet.
+        bad_digest = "ff" * 32
+        content = {"view": 0, "sequence": 1, "digest": bad_digest}
+        corrupted = Commit(
+            view=0,
+            sequence=1,
+            request_digest=bad_digest,
+            replica_id="replica-1",
+            prepare_ui=prepare.ui,
+            ui=byzantine.usig.create_ui(content),
+        )
+        target.on_message("replica-1", corrupted, 0)
+        target.on_message("replica-0", prepare, 0)
+
+        # The target's own COMMIT is its only vote for the honest digest
+        # (quorum is f + 1 = 2): the corrupted vote must not fill the gap.
+        honest_votes = target.commit_votes[(1, _request_digest(request))]
+        assert honest_votes == {"replica-2"}
+        assert target.executed_sequence == 0
+        assert target.state_machine.executed_requests() == ()
+
+
+class TestRecoveryClearsProtocolState:
+    """Regression: recover_replica must clear stale quorums; duplicate
+    execution across the recovery is detected by the safety audit."""
+
+    def test_no_duplicate_execution_with_traffic_during_recovery(self):
+        from repro.consensus import audit_safety
+
+        cluster = MinBFTCluster(num_replicas=4, seed=12)
+        client = MinBFTClient("client-0", cluster)
+        for i in range(3):
+            client.write_and_wait("x", i)
+        cluster.run(ticks=20)
+        # Submit a request and recover replica-2 while its PREPARE/COMMITs
+        # are still in flight: pre-fix, the stale prepare log and commit
+        # votes re-execute sequences 1..3 on the fresh state machine before
+        # state transfer completes.
+        client.write("x", 99)
+        cluster.recover_replica("replica-2")
+        cluster.run(ticks=60)
+        audit = audit_safety(cluster)
+        assert audit.no_duplicates, audit.duplicated
+        assert audit.consistent
+        recovered = cluster.replicas["replica-2"]
+        identifiers = [entry[0] for entry in recovered.execution_log]
+        assert len(identifiers) == len(set(identifiers))
+
+    def test_recovery_rekeys_usig(self):
+        cluster = MinBFTCluster(num_replicas=4, seed=13)
+        client = MinBFTClient("client-0", cluster)
+        client.write_and_wait("x", 1)
+        stale_ui = cluster.replicas["replica-2"].usig.create_ui("stale")
+        cluster.recover_replica("replica-2")
+        verifier = cluster.replicas["replica-0"].verifier
+        assert not verifier.verify("stale", stale_ui, enforce_order=False)
+
+    def test_recovered_replica_does_not_regress_sequencing(self):
+        """A recovered replica that missed state transfer must not restart
+        sequencing below the cluster's watermark (it would execute a
+        divergent history on its fresh state machine)."""
+        cluster = MinBFTCluster(num_replicas=4, seed=14)
+        client = MinBFTClient("client-0", cluster)
+        for i in range(4):
+            client.write_and_wait("x", i)
+        cluster.run(ticks=20)
+        watermark = max(r.executed_sequence for r in cluster.replicas.values())
+        cluster.recover_replica("replica-1")
+        recovered = cluster.replicas["replica-1"]
+        assert recovered.known_sequence >= watermark
+        # A fresh proposal from the recovered replica (were it leader) would
+        # start above the watermark, never at 1.
+        assert max(recovered.executed_sequence, recovered.known_sequence) >= watermark
+
+
+class TestLeaderEviction:
+    """Regression: evicting the leader must produce a real NEW-VIEW from the
+    designated successor, not a silent membership prune."""
+
+    def test_evicting_leader_advances_view(self, cluster, client):
+        client.write_and_wait("x", 1)
+        leader = cluster.current_leader()
+        views_before = {
+            rid: r.view for rid, r in cluster.replicas.items() if rid != leader
+        }
+        cluster.evict_replica(leader)
+        assert leader not in cluster.membership
+        for rid, replica in cluster.replicas.items():
+            assert replica.view > views_before[rid], (
+                f"{rid} never adopted the NEW-VIEW after leader eviction"
+            )
+            assert leader not in replica.membership
+
+    def test_service_continues_after_leader_eviction(self, cluster, client):
+        client.write_and_wait("x", 1)
+        leader = cluster.current_leader()
+        cluster.evict_replica(leader)
+        result = client.write_and_wait("y", 2, max_ticks=400)
+        assert result is not None and result.result == 2
+
+    def test_successor_is_new_leader(self, cluster, client):
+        client.write_and_wait("x", 1)
+        leader = cluster.current_leader()
+        cluster.evict_replica(leader)
+        new_leader = cluster.current_leader()
+        assert new_leader != leader
+        assert new_leader in cluster.membership

@@ -265,3 +265,141 @@ class TestStateMachine:
         assert b.read("x") == 1
         assert b.last_sequence == 1
         assert b.state_digest() == a.state_digest()
+
+    def test_restore_legacy_snapshot_without_history_digest(self):
+        """Snapshots from older producers recompute the rolling history digest."""
+        a = KeyValueStateMachine()
+        for i in range(1, 4):
+            a.apply(self._request(i, "write", "x", i), i)
+        legacy = a.snapshot()
+        legacy.pop("history_digest")
+        b = KeyValueStateMachine()
+        b.restore(legacy)
+        assert b.state_digest() == a.state_digest()
+
+    def test_restored_machine_digest_tracks_further_execution(self):
+        """Executing on a restored machine matches executing from scratch."""
+        a = KeyValueStateMachine()
+        a.apply(self._request(1, "write", "x", 1), 1)
+        b = KeyValueStateMachine()
+        b.restore(a.snapshot())
+        a.apply(self._request(2, "write", "y", 2), 2)
+        b.apply(self._request(2, "write", "y", 2), 2)
+        assert b.state_digest() == a.state_digest()
+
+    def test_duplicate_apply_reports_duplicate_flag(self):
+        machine = KeyValueStateMachine()
+        request = self._request(1, "write", "x", 10)
+        first = machine.apply(request, 1)
+        second = machine.apply(request, 2)
+        assert not first.duplicate
+        assert second.duplicate
+
+
+class TestPartitionTiming:
+    def test_blocked_head_does_not_defer_deliverable_messages(self):
+        """Regression: a partitioned envelope at the queue head must not delay
+        same-tick deliverable messages behind it (the old drain re-queued the
+        blocked envelope and stopped, deferring everything else a tick)."""
+        network = SimulatedNetwork(NetworkConfig(base_delay=1))
+        a, b, c = Recorder("a"), Recorder("b"), Recorder("c")
+        for process in (a, b, c):
+            network.register(process)
+        network.partition([["a"], ["b", "c"]])
+        # The blocked a->b envelope is queued first (lower heap tiebreak) and
+        # shares the delivery tick with the deliverable c->b envelope.
+        network.send("a", "b", "blocked")
+        network.send("c", "b", "deliverable")
+        delivered = network.step()
+        assert delivered == 1
+        assert b.received == [("c", "deliverable", 1)]
+        # The partitioned message stays queued and arrives once healed.
+        network.heal_partition()
+        network.run(max_ticks=5)
+        assert b.received[1][:2] == ("a", "blocked")
+
+    def test_partitioned_envelope_does_not_spin_the_drain(self):
+        network = SimulatedNetwork(NetworkConfig(base_delay=1))
+        a, b = Recorder("a"), Recorder("b")
+        network.register(a)
+        network.register(b)
+        network.partition([["a"], ["b"]])
+        network.send("a", "b", "x")
+        for _ in range(10):
+            network.step()
+        assert b.received == []
+        assert network.pending_messages() == 1
+
+
+class TestMessageBatching:
+    def test_batched_payloads_delivered_individually_in_order(self):
+        network = SimulatedNetwork(NetworkConfig(base_delay=1, batch_messages=True))
+        a, b = Recorder("a"), Recorder("b")
+        network.register(a)
+        network.register(b)
+        for i in range(5):
+            network.send("a", "b", f"m{i}")
+        assert network.pending_messages() == 5
+        network.run(max_ticks=10)
+        assert [payload for _, payload, _ in b.received] == [f"m{i}" for i in range(5)]
+        assert network.messages_delivered == 5
+
+    def test_batching_matches_unbatched_delivery_set(self):
+        def run(batch: bool) -> list[tuple[str, object]]:
+            network = SimulatedNetwork(
+                NetworkConfig(base_delay=1, batch_messages=batch), seed=3
+            )
+            recorders = [Recorder(f"p{i}") for i in range(3)]
+            for recorder in recorders:
+                network.register(recorder)
+            for i in range(4):
+                network.send("p0", "p1", f"a{i}")
+                network.send("p0", "p2", f"b{i}")
+                network.send("p1", "p2", f"c{i}")
+            network.run(max_ticks=10)
+            return sorted(
+                (recorder.process_id, payload)
+                for recorder in recorders
+                for _, payload, _ in recorder.received
+            )
+
+        assert run(True) == run(False)
+
+    def test_batched_loss_drops_whole_batch(self):
+        network = SimulatedNetwork(
+            NetworkConfig(
+                base_delay=1, loss_probability=0.5, reliable=False, batch_messages=True
+            ),
+            seed=0,
+        )
+        a, b = Recorder("a"), Recorder("b")
+        network.register(a)
+        network.register(b)
+        for tick in range(40):
+            network.send("a", "b", tick)
+            network.step()
+        network.run(max_ticks=10)
+        assert network.messages_dropped > 0
+        assert network.messages_delivered + network.messages_dropped == 40
+
+
+class TestUSIGRekeying:
+    def test_rotate_revokes_old_signatures(self):
+        registry = KeyRegistry()
+        usig = USIG("replica-0", registry)
+        verifier = USIGVerifier(registry)
+        ui = usig.create_ui("msg")
+        assert verifier.verify("msg", ui, enforce_order=False)
+        fresh = USIG("replica-0", registry, fresh_key=True)
+        assert not verifier.verify("msg", ui, enforce_order=False)
+        new_ui = fresh.create_ui("msg2")
+        assert verifier.verify("msg2", new_ui, enforce_order=False)
+
+    def test_fresh_key_resets_counter(self):
+        registry = KeyRegistry()
+        usig = USIG("replica-0", registry)
+        for _ in range(5):
+            usig.create_ui("m")
+        fresh = USIG("replica-0", registry, fresh_key=True)
+        assert fresh.counter == 0
+        assert fresh.create_ui("m").counter == 1
