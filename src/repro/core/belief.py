@@ -44,11 +44,15 @@ the live-conditioned compromise probability ``P[C | alive]``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .node_model import NODE_STATES, NodeAction, NodeState, NodeTransitionModel
 from .observation import ObservationModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core <- sim)
+    from ..sim.kernels import CachedBeliefDynamics
 
 __all__ = [
     "BeliefState",
@@ -246,10 +250,11 @@ def _batch_two_state_posterior(
         recover_matrix: ``3 x 3`` transition matrix ``f_N(. | ., R)``.
         workspace: Optional reusable buffer dict for hot loops (the batch
             engine passes one per simulation): ``embedded`` of shape
-            ``(B, 3)`` with the third column zeroed, and ``prior_wait`` /
-            ``prior_recover`` of shape ``(B, 3)``.  Callers supplying a
-            workspace must consume (or copy) the result before the next
-            call.
+            ``(B, 3)`` with the third column zeroed, ``prior_wait`` /
+            ``prior_recover`` of shape ``(B, 3)``, and optionally ``ones``
+            of shape ``(B,)`` for the degenerate-observation fallback.
+            Callers supplying a workspace must consume (or copy) the result
+            before the next call.
         assume_regular: The caller guarantees the degenerate-observation
             fallback cannot trigger (full-support observation model and
             sub-stochastic-to-live transition rows, Assumption D), so the
@@ -284,10 +289,15 @@ def _batch_two_state_posterior(
         return weight_compromised / total
 
     live_mass = prior[:, 0] + prior[:, 1]
+    if workspace is not None and "ones" in workspace:
+        ones = workspace["ones"]
+        ones.fill(1.0)
+    else:
+        ones = np.ones(batch)
     fallback = np.divide(
         prior[:, 1],
         live_mass,
-        out=np.ones(batch),
+        out=ones,
         where=live_mass > 0.0,
     )
     posterior = np.divide(
@@ -357,13 +367,29 @@ def belief_transition_distribution(
     action: NodeAction,
     transition_model: NodeTransitionModel,
     observation_model: ObservationModel,
+    cache: "CachedBeliefDynamics | None" = None,
 ) -> list[tuple[float, float]]:
     """Distribution over next beliefs ``(probability, b')`` given ``(b, a)``.
 
     Used by the belief-MDP value iteration and by the proofs' machinery: for
     every observation ``o`` with positive probability under ``(b, a)`` the
     next belief ``b' = tau(b, a, o)`` occurs with probability ``P[o | b, a]``.
+
+    Args:
+        cache: Optional
+            :class:`~repro.sim.kernels.CachedBeliefDynamics` memo.  The
+            distribution is a pure function of ``(belief, action)`` for
+            fixed models, so backward-induction sweeps that revisit grid
+            beliefs reuse the exact previously computed list.
     """
+    if cache is not None:
+        key = ("btd", float(belief), int(action))
+        return cache.get(
+            key,
+            lambda: belief_transition_distribution(
+                belief, action, transition_model, observation_model
+            ),
+        )
     results: list[tuple[float, float]] = []
     prior_vector = np.array([1.0 - belief, belief, 0.0]) @ transition_model.matrix(action)
     live_mass = prior_vector[NodeState.HEALTHY] + prior_vector[NodeState.COMPROMISED]

@@ -48,6 +48,17 @@ Layer contract
   (This replaced the pre-1.1 single shared generator — same-seed outputs
   differ from version 1.0.0.)
 
+Kernel backends (PR 7)
+----------------------
+
+The belief kernels and the closed run loop live in :mod:`repro.sim.kernels`
+behind a selectable backend: ``fused`` (default, bit-exact flat-gather
+kernels plus a prefix-memoized belief trellis), ``reference`` (the
+node-by-node path of PRs 1-6, bit-exact), and ``numba`` (optional JIT,
+``pip install .[kernels]``, validated under a versioned tolerance tier).
+Select with ``BatchRecoveryEngine(scenario, backend=...)`` or the
+``REPRO_ENGINE_BACKEND`` environment variable.
+
 Quickstart::
 
     from repro.core import BetaBinomialObservationModel, NodeParameters, ThresholdStrategy
@@ -64,6 +75,14 @@ Quickstart::
 
 from ..core.belief import batch_update_compromise_belief
 from .engine import BatchEpisodeState, BatchRecoveryEngine, BatchSimulationResult
+from .kernels import (
+    BeliefTrellis,
+    CachedBeliefDynamics,
+    EngineProfile,
+    available_backends,
+    resolve_backend,
+    trellis_eligible,
+)
 from .scenario import FleetScenario, NodeClass
 from .strategies import (
     BatchMultiThreshold,
@@ -78,9 +97,15 @@ __all__ = [
     "BatchRecoveryEngine",
     "BatchSimulationResult",
     "BatchStrategy",
+    "BeliefTrellis",
+    "CachedBeliefDynamics",
+    "EngineProfile",
     "FleetScenario",
     "LoopedBatchStrategy",
     "NodeClass",
     "as_batch_strategy",
+    "available_backends",
     "batch_update_compromise_belief",
+    "resolve_backend",
+    "trellis_eligible",
 ]

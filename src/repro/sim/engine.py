@@ -33,19 +33,33 @@ per episode.  Three properties make that possible:
 
 ``tests/test_sim_equivalence.py`` asserts the resulting exact parity for
 every strategy class.
+
+Backends
+--------
+
+The belief kernels and the closed run loop live behind a selectable backend
+(:mod:`repro.sim.kernels`): ``fused`` (default) runs the whole update as
+flat gathers plus one fused multiply-add and memoizes belief prefixes in a
+trellis for deterministic strategies, ``reference`` is the node-by-node
+path of PRs 1-6, and ``numba`` (optional, ``pip install .[kernels]``) JITs
+the full step loop.  ``reference`` and ``fused`` are both bit-exact; the
+``numba`` backend is validated under a versioned tolerance tier.  Select
+with ``BatchRecoveryEngine(scenario, backend=...)`` or the
+``REPRO_ENGINE_BACKEND`` environment variable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from time import perf_counter_ns
 from typing import Sequence
 
 import numpy as np
 
-from ..core.belief import _batch_two_state_posterior
 from ..core.metrics import summarize_metric_arrays
-from ..core.node_model import NodeAction, NodeState
+from ..core.node_model import NodeState
 from ..core.strategies import RecoveryStrategy
+from .kernels import BACKENDS, EngineProfile, resolve_backend
 from .scenario import FleetScenario
 from .strategies import BatchMultiThreshold, BatchStrategy, as_batch_strategy
 
@@ -54,6 +68,13 @@ __all__ = ["BatchEpisodeState", "BatchSimulationResult", "BatchRecoveryEngine"]
 _HEALTHY = int(NodeState.HEALTHY)
 _COMPROMISED = int(NodeState.COMPROMISED)
 _CRASHED = int(NodeState.CRASHED)
+
+# Memo of seeded uniform buffers keyed (seed, B, N, width); the arrays are
+# marked read-only before caching.  FIFO-bounded, and very large buffers are
+# never cached so the memo cannot pin hundreds of megabytes.
+_UNIFORM_CACHE: dict[tuple, np.ndarray] = {}
+_UNIFORM_CACHE_MAX_ENTRIES = 8
+_UNIFORM_CACHE_MAX_ELEMENTS = 8_000_000  # 64 MB of float64 per entry
 
 
 @dataclass(frozen=True)
@@ -73,6 +94,8 @@ class BatchSimulationResult:
         availability: Per-episode fleet availability ``T^(A)`` of shape
             ``(B,)`` when the scenario defines a tolerance threshold ``f``,
             else ``None``.
+        profile: Per-phase wall-clock accounting of the run, when it was
+            requested with ``run(..., profile=True)``; else ``None``.
     """
 
     average_cost: np.ndarray
@@ -82,6 +105,7 @@ class BatchSimulationResult:
     num_compromises: np.ndarray
     steps: int
     availability: np.ndarray | None = None
+    profile: EngineProfile | None = None
 
     @property
     def num_episodes(self) -> int:
@@ -178,6 +202,7 @@ class BatchEpisodeState:
     transition_base: np.ndarray = field(default=None, repr=False)  # (B, N) flat bases
     observation_base: np.ndarray = field(default=None, repr=False)  # (B, N) flat bases
     belief_workspace: dict = field(default=None, repr=False)  # reusable (B,) buffers
+    profile: EngineProfile | None = field(default=None, repr=False)  # opt-in timings
 
     @property
     def num_episodes(self) -> int:
@@ -201,9 +226,15 @@ class BatchRecoveryEngine:
     need to interleave computation with the dynamics (the vectorized
     environments of :mod:`repro.envs`, and through them the PPO rollout
     loop) drive exactly the same array operations as :meth:`run`.
+
+    Args:
+        scenario: The fleet scenario to precompile.
+        backend: Kernel backend name (``"reference"``, ``"fused"`` or
+            ``"numba"``); ``None`` consults the ``REPRO_ENGINE_BACKEND``
+            environment variable and defaults to ``"fused"``.
     """
 
-    def __init__(self, scenario: FleetScenario) -> None:
+    def __init__(self, scenario: FleetScenario, backend: str | None = None) -> None:
         self.scenario = scenario
         transition_models = scenario.transition_models()
         #: (N, |A|, |S|, |S|) raw transition matrices for belief updates.
@@ -242,6 +273,9 @@ class BatchRecoveryEngine:
             (self._observation_pmf[:, :2, :] > 0.0).all()
             and (self._matrices[:, :, :2, :2].sum(axis=3) > 0.0).all()
         )
+        #: Resolved backend name and the kernel instance implementing it.
+        self.backend = resolve_backend(backend)
+        self._kernel = BACKENDS[self.backend](self)
 
     # -- randomness -------------------------------------------------------------
     def draw_uniforms(self, seed: int | None, num_episodes: int) -> np.ndarray:
@@ -253,21 +287,40 @@ class BatchRecoveryEngine:
         consumes one uniform for the state transition and, unless the node
         crashed, one for the observation, so ``2 * horizon`` doubles bound
         an episode's consumption.
+
+        Seeded buffers are memoized in a small module-level cache (the
+        buffer is a pure function of ``(seed, B, N, width)`` and the engine
+        never writes into it), so common-random-number loops that rebuild
+        engines per candidate stop regenerating identical gigastreams.
         """
         num_nodes = self.scenario.num_nodes
-        children = np.random.SeedSequence(seed).spawn(num_episodes * num_nodes)
         width = 2 * self.scenario.horizon
+        key = (seed, num_episodes, num_nodes, width)
+        if seed is not None:
+            cached = _UNIFORM_CACHE.get(key)
+            if cached is not None:
+                return cached
+        children = np.random.SeedSequence(seed).spawn(num_episodes * num_nodes)
         buffer = np.empty((num_episodes * num_nodes, width))
         for row, child in enumerate(children):
             buffer[row] = np.random.default_rng(child).random(width)
-        return buffer.reshape(num_episodes, num_nodes, width)
+        uniforms = buffer.reshape(num_episodes, num_nodes, width)
+        if seed is not None and uniforms.size <= _UNIFORM_CACHE_MAX_ELEMENTS:
+            uniforms.setflags(write=False)
+            if len(_UNIFORM_CACHE) >= _UNIFORM_CACHE_MAX_ENTRIES:
+                _UNIFORM_CACHE.pop(next(iter(_UNIFORM_CACHE)))
+            _UNIFORM_CACHE[key] = uniforms
+        return uniforms
 
     # -- public API -------------------------------------------------------------
     def run(
         self,
         strategies: RecoveryStrategy | BatchStrategy | Sequence,
-        num_episodes: int,
+        num_episodes: int | None = None,
         seed: int | None = None,
+        uniforms: np.ndarray | None = None,
+        profile: bool | EngineProfile | None = None,
+        trellis: bool | None = None,
     ) -> BatchSimulationResult:
         """Simulate ``num_episodes`` episodes of the whole fleet.
 
@@ -275,14 +328,30 @@ class BatchRecoveryEngine:
             strategies: One strategy shared by every node, or a sequence of
                 per-node strategies (scalar strategies are batched via
                 :func:`~repro.sim.strategies.as_batch_strategy`).
-            num_episodes: Batch size ``B``.
+            num_episodes: Batch size ``B``; required unless ``uniforms`` is
+                given.
             seed: Seed for the episode seed tree; ``None`` draws fresh OS
                 entropy (non-reproducible), matching the scalar simulator.
+            uniforms: Pre-drawn ``(B, N, width)`` uniform buffer, bypassing
+                :meth:`draw_uniforms` (benchmarks use this to time the step
+                path separately from stream generation).
+            profile: ``True`` (or an :class:`EngineProfile` to accumulate
+                into) records per-phase wall-clock time; the filled profile
+                is returned on the result.
+            trellis: Force the prefix-memoized belief trellis on or off for
+                eligible deterministic strategies; ``None`` lets the
+                backend decide.
         """
-        if num_episodes < 1:
-            raise ValueError("num_episodes must be >= 1")
+        if uniforms is None:
+            if num_episodes is None or num_episodes < 1:
+                raise ValueError("num_episodes must be >= 1")
+            uniforms = self.draw_uniforms(seed, num_episodes)
         batch_strategies = self._normalize_strategies(strategies)
-        return self._simulate(batch_strategies, self.draw_uniforms(seed, num_episodes))
+        prof = EngineProfile(backend=self.backend) if profile is True else profile
+        result = self._simulate(batch_strategies, uniforms, profile=prof, trellis=trellis)
+        if prof is not None:
+            result = replace(result, profile=prof)
+        return result
 
     def run_threshold_population(
         self,
@@ -338,6 +407,7 @@ class BatchRecoveryEngine:
         seed: int | None = None,
         track_metrics: bool = True,
         uniforms: np.ndarray | None = None,
+        profile: bool = False,
     ) -> BatchEpisodeState:
         """Initialize the per-stream state for ``num_episodes`` episodes.
 
@@ -360,6 +430,9 @@ class BatchRecoveryEngine:
                 to that row — the scalar reference loop of
                 :mod:`repro.control` relies on this.  Mutually exclusive
                 with ``seed``/``num_episodes``.
+            profile: When ``True``, attach an :class:`EngineProfile` to the
+                state; :meth:`step` then records per-phase wall-clock time
+                into ``sim.profile``.
         """
         if uniforms is not None:
             if num_episodes is not None or seed is not None:
@@ -370,10 +443,14 @@ class BatchRecoveryEngine:
                     "uniforms must have shape (B, num_nodes, width), got "
                     f"{uniforms.shape}"
                 )
-            return self._begin(uniforms, track_metrics)
-        if num_episodes is None or num_episodes < 1:
-            raise ValueError("num_episodes must be >= 1")
-        return self._begin(self.draw_uniforms(seed, num_episodes), track_metrics)
+        else:
+            if num_episodes is None or num_episodes < 1:
+                raise ValueError("num_episodes must be >= 1")
+            uniforms = self.draw_uniforms(seed, num_episodes)
+        sim = self._begin(uniforms, track_metrics)
+        if profile:
+            sim.profile = EngineProfile(backend=self.backend)
+        return sim
 
     def _begin(
         self, uniforms: np.ndarray, track_metrics: bool = True
@@ -409,6 +486,7 @@ class BatchRecoveryEngine:
             btr_deadline_mat=np.broadcast_to(self._btr_deadline, shape),
             transition_base=np.broadcast_to(self._transition_node_base, shape),
             observation_base=np.broadcast_to(self._observation_node_base, shape),
+            belief_workspace=self._kernel.make_step_workspace(num_episodes),
         )
 
     def forced_recoveries(self, sim: BatchEpisodeState) -> np.ndarray:
@@ -443,6 +521,9 @@ class BatchRecoveryEngine:
         time_since_recovery = sim.time_since_recovery
         cursor = sim.cursor
         num_states = self._num_states
+        prof = sim.profile
+        if prof is not None:
+            t_mark = perf_counter_ns()
 
         # Policy decision on the current belief; the BTR constraint
         # overrides with a forced recovery at the deadline.
@@ -457,6 +538,10 @@ class BatchRecoveryEngine:
             # total_cost only feeds finalize(); fast-path consumers read the
             # returned per-step costs instead.
             sim.total_cost += step_cost
+        if prof is not None:
+            now = perf_counter_ns()
+            prof.add("bookkeeping", now - t_mark)
+            t_mark = now
 
         # Hidden-state transition: invert the per-(node, action, state)
         # sampling CDF on this step's transition uniform.
@@ -469,6 +554,10 @@ class BatchRecoveryEngine:
         crashed = next_state == _CRASHED
         alive = ~crashed
         sim.last_crashed = crashed
+        if prof is not None:
+            now = perf_counter_ns()
+            prof.add("transition_sample", now - t_mark)
+            t_mark = now
 
         if sim.track_metrics:
             sim.recoveries += recover
@@ -496,6 +585,10 @@ class BatchRecoveryEngine:
                 sim.available_steps += failed_counts <= self.scenario.f
                 sim.last_failed = failed_counts
                 sim.last_failed_mask = failed
+        if prof is not None:
+            now = perf_counter_ns()
+            prof.add("bookkeeping", now - t_mark)
+            t_mark = now
 
         # Observation + belief update for live nodes only (a crashed node
         # is replaced by a fresh one and draws no observation).  A crashed
@@ -508,16 +601,21 @@ class BatchRecoveryEngine:
         live_state = next_state * alive
         obs_cdf_rows = self._observation_cdf_flat[sim.observation_base + live_state]
         observation_index = (obs_cdf_rows <= u_observation[..., None]).sum(axis=2)
+        if prof is not None:
+            now = perf_counter_ns()
+            prof.add("observation_draw", now - t_mark)
+            t_mark = now
         if sim.belief_workspace is None:
-            batch = state.shape[0]
-            sim.belief_workspace = {
-                "embedded": np.zeros((batch, 3)),
-                "prior_wait": np.empty((batch, 3)),
-                "prior_recover": np.empty((batch, 3)),
-            }
-        new_belief = self._update_beliefs(
+            # States constructed outside begin() (tests, adapters) arrive
+            # without engine-owned buffers; allocate them once, not per step.
+            sim.belief_workspace = self._kernel.make_step_workspace(state.shape[0])
+        new_belief = self._kernel.update_beliefs(
             recover, observation_index, belief, workspace=sim.belief_workspace
         )
+        if prof is not None:
+            now = perf_counter_ns()
+            prof.add("belief_update", now - t_mark)
+            t_mark = now
 
         # Resets: a crashed node is replaced by a fresh healthy node; a
         # recovery restarts the BTR window and the belief.
@@ -526,6 +624,9 @@ class BatchRecoveryEngine:
         sim.time_since_recovery = np.where(reset, 0, time_since_recovery + ~reset)
         sim.state = live_state
         sim.t += 1
+        if prof is not None:
+            prof.add("bookkeeping", perf_counter_ns() - t_mark)
+            prof.steps += 1
         return step_cost
 
     def finalize(self, sim: BatchEpisodeState) -> BatchSimulationResult:
@@ -570,18 +671,15 @@ class BatchRecoveryEngine:
         )
 
     def _simulate(
-        self, strategies: list[BatchStrategy], uniforms: np.ndarray
+        self,
+        strategies: list[BatchStrategy],
+        uniforms: np.ndarray,
+        profile: EngineProfile | None = None,
+        trellis: bool | None = None,
     ) -> BatchSimulationResult:
-        sim = self._begin(uniforms)
-        shape = sim.state.shape
-        for _ in range(self.scenario.horizon):
-            recover = np.empty(shape, dtype=bool)
-            for j, strategy in enumerate(strategies):
-                recover[:, j] = strategy.action_batch(
-                    sim.belief[:, j], sim.time_since_recovery[:, j]
-                )
-            self.step(sim, recover)
-        return self.finalize(sim)
+        return self._kernel.simulate(
+            strategies, uniforms, profile=profile, trellis=trellis
+        )
 
     def _update_beliefs(
         self,
@@ -590,34 +688,7 @@ class BatchRecoveryEngine:
         belief: np.ndarray,
         workspace: dict | None = None,
     ) -> np.ndarray:
-        """Batched Appendix A recursion, node by node (shared matrices)."""
-        regular = self._regular_observations
-        if self.scenario.num_nodes == 1:
-            likelihoods = self._observation_pmf[0]  # (|S|, |O|)
-            obs = observation_index[:, 0]
-            posterior = _batch_two_state_posterior(
-                belief[:, 0],
-                recover[:, 0],
-                likelihoods[_HEALTHY][obs],
-                likelihoods[_COMPROMISED][obs],
-                self._matrices[0, int(NodeAction.WAIT)],
-                self._matrices[0, int(NodeAction.RECOVER)],
-                workspace=workspace,
-                assume_regular=regular,
-            )
-            return posterior.reshape(-1, 1)
-        updated = np.empty_like(belief)
-        for j in range(self.scenario.num_nodes):
-            likelihoods = self._observation_pmf[j]  # (|S|, |O|)
-            obs = observation_index[:, j]
-            updated[:, j] = _batch_two_state_posterior(
-                belief[:, j],
-                recover[:, j],
-                likelihoods[_HEALTHY][obs],
-                likelihoods[_COMPROMISED][obs],
-                self._matrices[j, int(NodeAction.WAIT)],
-                self._matrices[j, int(NodeAction.RECOVER)],
-                workspace=workspace,
-                assume_regular=regular,
-            )
-        return updated
+        """Batched Appendix A recursion (delegates to the active kernel)."""
+        return self._kernel.update_beliefs(
+            recover, observation_index, belief, workspace=workspace
+        )

@@ -1,0 +1,65 @@
+"""Per-phase wall-clock accounting for the batch engine.
+
+:class:`EngineProfile` accumulates cumulative nanoseconds per simulation
+phase so that kernel regressions are attributable: when a backend change
+slows the Table 2/7 evaluation down, the profile says whether the time went
+into transition sampling, observation draws, the belief update, or the
+bookkeeping around them.
+
+Profiles are opt-in (``BatchRecoveryEngine.begin(..., profile=True)`` or
+``run(..., profile=True)``) because the timer calls themselves cost a few
+hundred nanoseconds per step; the hot loop stays timer-free when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EngineProfile", "PHASES"]
+
+#: Canonical phase names, in simulation order.  Backends may add phases of
+#: their own (the trellis driver does), but these four are always present.
+PHASES = (
+    "strategy",
+    "transition_sample",
+    "observation_draw",
+    "belief_update",
+    "bookkeeping",
+)
+
+
+@dataclass
+class EngineProfile:
+    """Cumulative per-phase nanoseconds of one (or several) engine runs.
+
+    Attributes:
+        nanos: Phase name -> cumulative nanoseconds.
+        steps: Number of engine steps accounted for.
+        backend: Name of the backend that filled the profile (informational).
+    """
+
+    nanos: dict[str, int] = field(default_factory=lambda: {p: 0 for p in PHASES})
+    steps: int = 0
+    backend: str = ""
+
+    def add(self, phase: str, ns: int) -> None:
+        self.nanos[phase] = self.nanos.get(phase, 0) + int(ns)
+
+    @property
+    def total_ns(self) -> int:
+        return sum(self.nanos.values())
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """``(phase, milliseconds, share)`` rows, largest first."""
+        total = self.total_ns or 1
+        return sorted(
+            ((name, ns / 1e6, ns / total) for name, ns in self.nanos.items() if ns),
+            key=lambda row: -row[1],
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        head = f"EngineProfile(backend={self.backend or '?'}, steps={self.steps})"
+        body = "".join(
+            f"\n  {name:<20} {ms:9.3f} ms  {share:6.1%}" for name, ms, share in self.rows()
+        )
+        return head + body

@@ -1,0 +1,192 @@
+"""Prefix-memoized belief trellis for deterministic-policy evaluation.
+
+Under a deterministic recovery strategy the belief ``b_t`` is a pure
+function of the ``(action, observation)`` prefix since the last reset: every
+episode that has seen the same observations since its last recovery (or
+crash, or episode start) carries *exactly* the same belief, bit for bit,
+because the recursion of Appendix A is deterministic.  The batch engine
+therefore does not need to update ``B`` beliefs per step — it can maintain
+one **trellis** of distinct prefixes per fleet node (the partis
+``new_trellis`` idiom: memoize shared sub-paths across sequences) and track,
+per episode, only an integer node id.
+
+A trellis node stores the belief, its depth (``time_since_recovery``, since
+only WAIT edges descend — every recovery or crash resets to the root), and
+the strategy's decision at that node (with the BTR deadline already folded
+in).  Children are discovered lazily: the first episode to extend a prefix
+with a new observation computes the posterior once via
+:func:`repro.core.belief._batch_two_state_posterior` (the bit-exact batched
+update), and every later episode sharing the prefix reuses it with a single
+integer gather.
+
+:class:`CachedBeliefDynamics` is the solver-facing face of the same idea:
+an exact memo table for ``tau(b, a, o)`` / ``P[o | b, a]`` evaluations,
+used by :class:`~repro.solvers.pomdp.RecoveryPOMDP` and
+:func:`~repro.core.belief.belief_transition_distribution` so that
+backward-induction sweeps stop recomputing identical belief updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.strategies import (
+    BeliefPeriodicStrategy,
+    MultiThresholdStrategy,
+    NoRecoveryStrategy,
+    PeriodicStrategy,
+    ThresholdStrategy,
+)
+from ..strategies import BatchMultiThreshold, BatchStrategy, LoopedBatchStrategy
+
+__all__ = ["BeliefTrellis", "CachedBeliefDynamics", "trellis_eligible"]
+
+#: Scalar strategy classes that are pure functions of
+#: ``(belief, time_since_recovery)`` — the precondition for sharing trellis
+#: nodes across episodes.
+_DETERMINISTIC_STRATEGIES = (
+    ThresholdStrategy,
+    MultiThresholdStrategy,
+    NoRecoveryStrategy,
+    PeriodicStrategy,
+    BeliefPeriodicStrategy,
+)
+
+
+def trellis_eligible(strategy: BatchStrategy) -> bool:
+    """Whether ``strategy`` may be evaluated through a shared belief trellis.
+
+    Only strategies that are deterministic functions of
+    ``(belief, time_since_recovery)`` qualify; per-episode threshold
+    matrices (``BatchMultiThreshold`` with 2-D thresholds) and arbitrary
+    wrapped policies (e.g. PPO) do not, because different episodes at the
+    same trellis node could act differently.
+    """
+    if isinstance(strategy, BatchMultiThreshold):
+        return strategy.thresholds.ndim == 1
+    if isinstance(strategy, LoopedBatchStrategy):
+        return isinstance(strategy.strategy, _DETERMINISTIC_STRATEGIES)
+    return isinstance(strategy, _DETERMINISTIC_STRATEGIES)
+
+
+class BeliefTrellis:
+    """Growable trellis of distinct belief prefixes for one fleet node.
+
+    Node ``0`` is the root (the post-reset belief at depth ``0``).  Only
+    WAIT edges are stored — a recovery or a crash always returns to the
+    root — so a node's depth equals ``time_since_recovery``.  All per-node
+    attributes are flat arrays so the hot loop reads them with single
+    ``take`` gathers:
+
+    Attributes:
+        beliefs: ``(capacity,)`` belief at each node.
+        depths: ``(capacity,)`` time-since-recovery at each node.
+        actions: ``(capacity,)`` strategy decision at each node, with the
+            BTR deadline already OR-ed in.
+        children: ``(capacity * num_observations,)`` child id per
+            ``(node, observation)``, ``-1`` where undiscovered.
+        size: Number of discovered nodes.
+    """
+
+    def __init__(
+        self,
+        root_belief: float,
+        num_observations: int,
+        max_nodes: int = 65536,
+        initial_capacity: int = 256,
+    ) -> None:
+        if num_observations < 1:
+            raise ValueError("num_observations must be >= 1")
+        self.num_observations = int(num_observations)
+        self.max_nodes = int(max_nodes)
+        capacity = min(max(int(initial_capacity), 2), self.max_nodes)
+        self._capacity = capacity
+        self.beliefs = np.empty(capacity)
+        self.depths = np.zeros(capacity, dtype=np.int64)
+        self.actions = np.zeros(capacity, dtype=bool)
+        self.children = np.full(capacity * self.num_observations, -1, dtype=np.int64)
+        self.beliefs[0] = float(root_belief)
+        self.size = 1
+
+    def __len__(self) -> int:
+        return self.size
+
+    def reserve(self, extra: int) -> bool:
+        """Ensure room for ``extra`` more nodes; ``False`` if over the cap."""
+        need = self.size + extra
+        if need > self.max_nodes:
+            return False
+        if need > self._capacity:
+            new_capacity = min(self.max_nodes, max(2 * self._capacity, need))
+            self.beliefs = np.resize(self.beliefs, new_capacity)
+            self.depths = np.resize(self.depths, new_capacity)
+            self.actions = np.resize(self.actions, new_capacity)
+            children = np.full(new_capacity * self.num_observations, -1, dtype=np.int64)
+            children[: self._capacity * self.num_observations] = self.children
+            self.children = children
+            self._capacity = new_capacity
+        return True
+
+    def add_children(
+        self,
+        edge_keys: np.ndarray,
+        beliefs: np.ndarray,
+        depths: np.ndarray,
+        actions: np.ndarray,
+    ) -> np.ndarray | None:
+        """Append nodes for the given flat ``parent * |O| + obs`` edges.
+
+        Returns the new node ids, or ``None`` when the capacity cap would be
+        exceeded (the caller then materializes beliefs and abandons the
+        trellis for the rest of the run).
+        """
+        count = len(edge_keys)
+        if not self.reserve(count):
+            return None
+        ids = np.arange(self.size, self.size + count, dtype=np.int64)
+        self.beliefs[ids] = beliefs
+        self.depths[ids] = depths
+        self.actions[ids] = actions
+        self.children[edge_keys] = ids
+        self.size += count
+        return ids
+
+
+class CachedBeliefDynamics:
+    """Exact memo table for deterministic belief-dynamics evaluations.
+
+    Belief updates and observation probabilities are pure functions of
+    ``(belief, action, observation)``; backward-induction solvers evaluate
+    them for the same grid beliefs over and over (every stage of a
+    finite-horizon sweep revisits the full grid).  The memo returns the
+    previously computed float — which is *exact*, not approximate, because
+    identical double inputs produce identical doubles.
+
+    The table is keyed by the raw float belief plus the discrete arguments;
+    ``hits`` / ``misses`` counters make cache effectiveness observable.
+    """
+
+    def __init__(self) -> None:
+        self._memo: dict[tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def get(self, key: tuple, compute):
+        """Return the memoized value for ``key``, computing it on first use."""
+        try:
+            value = self._memo[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self._memo[key] = value
+            return value
+        self.hits += 1
+        return value
+
+    def clear(self) -> None:
+        self._memo.clear()
+        self.hits = 0
+        self.misses = 0

@@ -31,6 +31,7 @@ from ..core.belief import update_compromise_belief
 from ..core.costs import expected_node_cost
 from ..core.node_model import NodeAction, NodeParameters, NodeState, NodeTransitionModel
 from ..core.observation import ObservationModel
+from ..sim.kernels import CachedBeliefDynamics
 
 __all__ = [
     "RecoveryPOMDP",
@@ -74,6 +75,10 @@ class RecoveryPOMDP:
                 for a in (NodeAction.WAIT, NodeAction.RECOVER)
             ]
         )
+        #: Exact memo for tau(b, a, o) / P[o | b, a]: backward-induction
+        #: sweeps revisit the same grid beliefs at every stage, so both
+        #: become dictionary lookups after the first sweep.
+        self.dynamics_cache = CachedBeliefDynamics()
 
     @staticmethod
     def _live_transition(model: NodeTransitionModel) -> np.ndarray:
@@ -106,6 +111,14 @@ class RecoveryPOMDP:
         return expected_node_cost(belief, action, self.params.eta)
 
     def belief_update(self, belief: float, action: NodeAction, observation_index: int) -> float:
+        key = ("bu", float(belief), int(action), int(observation_index))
+        return self.dynamics_cache.get(
+            key, lambda: self._belief_update(belief, action, observation_index)
+        )
+
+    def _belief_update(
+        self, belief: float, action: NodeAction, observation_index: int
+    ) -> float:
         observation = int(self.observation_model.observations[observation_index])
         return update_compromise_belief(
             belief, action, observation, self.transition_model, self.observation_model
@@ -115,6 +128,14 @@ class RecoveryPOMDP:
         self, belief: float, action: NodeAction, observation_index: int
     ) -> float:
         """``P[o | b, a]`` over the live states."""
+        key = ("op", float(belief), int(action), int(observation_index))
+        return self.dynamics_cache.get(
+            key, lambda: self._observation_probability(belief, action, observation_index)
+        )
+
+    def _observation_probability(
+        self, belief: float, action: NodeAction, observation_index: int
+    ) -> float:
         prior = np.array([1.0 - belief, belief]) @ self.transition[action]
         return float(prior @ self.observation[:, observation_index])
 
