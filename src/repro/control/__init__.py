@@ -27,7 +27,12 @@ package closes that loop on the batched simulation path:
 * :mod:`~repro.control.sweep` — the consolidated fleet-sweep API the
   Table 7 / Figure 12 benchmarks run on, including the heterogeneous
   mixed-fleet sweep (:func:`mixed_closed_loop_sweep`) and the
-  attacker-intensity sweep (:func:`attacker_intensity_sweep`).
+  attacker-intensity sweep (:func:`attacker_intensity_sweep`); every
+  sweep takes ``n_jobs=`` to shard its episodes across worker processes
+  (:mod:`~repro.control.parallel`) with bit-identical results;
+* :mod:`~repro.control.policy_cache` — the fitted-model-keyed cache of
+  Algorithm 2 / Lagrangian solves (:class:`PolicySolveCache`): refits
+  that reproduce an already-solved kernel skip the solver entirely.
 
 Fleets may be heterogeneous: :meth:`~repro.sim.FleetScenario.mixed`
 expands per-class container templates (Table 6 style) into per-slot
@@ -92,6 +97,18 @@ from .consensus_loop import (
     ConsensusLoopResult,
     ConsensusSafetyError,
 )
+from .parallel import (
+    SharedResultStore,
+    parallel_closed_loop_table,
+    parallel_engine_sweep_table,
+    shard_episodes,
+    validate_n_jobs,
+)
+from .policy_cache import (
+    DEFAULT_POLICY_CACHE,
+    PolicySolveCache,
+    fitted_model_key,
+)
 from .replication_ppo import (
     PPOReplicationResult,
     PPOReplicationStrategy,
@@ -137,8 +154,11 @@ __all__ = [
     "ConsensusBackedFleet",
     "ConsensusLoopResult",
     "ConsensusSafetyError",
+    "DEFAULT_POLICY_CACHE",
     "PPOReplicationResult",
     "PPOReplicationStrategy",
+    "PolicySolveCache",
+    "SharedResultStore",
     "SystemIdentificationResult",
     "SystemTrace",
     "TwoLevelController",
@@ -160,10 +180,15 @@ __all__ = [
     "fit_system_model_from_trace",
     "fit_system_models_per_class",
     "fit_class_aware_system_model",
+    "fitted_model_key",
     "fresh_node_survival_from_model",
     "identify_replication_strategies",
     "mixed_closed_loop_sweep",
     "optimize_class_deltas",
+    "parallel_closed_loop_table",
+    "parallel_engine_sweep_table",
+    "shard_episodes",
     "strategy_consumes_rng",
     "train_ppo_replication",
+    "validate_n_jobs",
 ]

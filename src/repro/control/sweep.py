@@ -40,7 +40,17 @@ __all__ = [
 
 
 def default_tolerance_threshold(n1: int) -> int:
-    """The ``f = (N_1 - 1) / 3`` BFT rule used by the fleet sweeps."""
+    """The ``f = (N_1 - 1) / 3`` BFT rule used by the fleet sweeps.
+
+    Raises:
+        ValueError: When ``n1 <= 0`` — a fleet needs at least one node, and
+            the silent ``f = 0`` this used to return for non-positive sizes
+            let misconfigured sweeps run whole tables of meaningless cells.
+    """
+    if n1 <= 0:
+        raise ValueError(
+            f"default_tolerance_threshold requires a fleet size n1 >= 1, got {n1}"
+        )
     return (n1 - 1) // 3 if n1 >= 3 else 0
 
 
@@ -109,6 +119,7 @@ def engine_fleet_sweep(
     horizon: int = 200,
     seed: int | None = 0,
     tolerance_threshold: Callable[[int], int] = default_tolerance_threshold,
+    n_jobs: int = 1,
 ) -> dict[tuple[int, str], BatchSimulationResult]:
     """Node-POMDP fleet sweep on the batch engine (no system level).
 
@@ -117,17 +128,31 @@ def engine_fleet_sweep(
     with common random numbers.  ``node_params``/``observation_model``
     accept either one shared value or a per-node sequence of length ``n1``
     (the latter only when a single ``n1`` is swept, since the sequence must
-    match the fleet size).
+    match the fleet size).  ``n_jobs > 1`` shards the episodes across
+    worker processes (:mod:`repro.control.parallel`); the table is
+    bit-identical to ``n_jobs=1`` under a fixed seed.
     """
-    table: dict[tuple[int, str], BatchSimulationResult] = {}
-    for n1 in n1_values:
-        scenario = _sweep_scenario(
-            node_params,
-            observation_model,
-            num_nodes=n1,
-            horizon=horizon,
-            f=tolerance_threshold(n1),
+    scenarios = [
+        (
+            n1,
+            _sweep_scenario(
+                node_params,
+                observation_model,
+                num_nodes=n1,
+                horizon=horizon,
+                f=tolerance_threshold(n1),
+            ),
         )
+        for n1 in n1_values
+    ]
+    if n_jobs != 1:
+        from .parallel import parallel_engine_sweep_table
+
+        return parallel_engine_sweep_table(
+            scenarios, strategies, num_episodes, seed, n_jobs
+        )
+    table: dict[tuple[int, str], BatchSimulationResult] = {}
+    for n1, scenario in scenarios:
         engine = BatchRecoveryEngine(scenario)
         for name, strategy in strategies.items():
             table[(n1, name)] = engine.run(strategy, num_episodes=num_episodes, seed=seed)
@@ -191,6 +216,7 @@ def closed_loop_sweep(
     seed: int | None = 0,
     k: int = 1,
     tolerance_threshold: Callable[[int], int] = default_tolerance_threshold,
+    n_jobs: int = 1,
 ) -> dict[tuple[int, str], TwoLevelResult]:
     """Closed-loop Table 7 / Figure 12 sweep on the batched control plane.
 
@@ -199,17 +225,37 @@ def closed_loop_sweep(
     cell's recovery strategy with its replication strategy — the workload
     the scalar ``SystemController`` loop served one episode at a time.
     ``node_params``/``observation_model`` accept one shared value or a
-    per-slot sequence of length ``smax``.
+    per-slot sequence of length ``smax``.  ``n_jobs > 1`` shards the
+    episodes across worker processes (:mod:`repro.control.parallel`);
+    the table is bit-identical to ``n_jobs=1`` under a fixed seed.
     """
-    table: dict[tuple[int, str], TwoLevelResult] = {}
-    for n1 in n1_values:
-        scenario = _sweep_scenario(
-            node_params,
-            observation_model,
-            num_nodes=smax,
-            horizon=horizon,
-            f=tolerance_threshold(n1),
+    scenarios = [
+        (
+            n1,
+            _sweep_scenario(
+                node_params,
+                observation_model,
+                num_nodes=smax,
+                horizon=horizon,
+                f=tolerance_threshold(n1),
+            ),
         )
+        for n1 in n1_values
+    ]
+    if n_jobs != 1:
+        from .parallel import parallel_closed_loop_table
+
+        return parallel_closed_loop_table(
+            scenarios,
+            cells,
+            num_envs,
+            seed,
+            k,
+            [n1 for n1, _ in scenarios],
+            n_jobs,
+        )
+    table: dict[tuple[int, str], TwoLevelResult] = {}
+    for n1, scenario in scenarios:
         for name, result in _run_cells(
             scenario, cells, num_envs, seed, k, initial_nodes=n1
         ).items():
@@ -228,6 +274,7 @@ def mixed_closed_loop_sweep(
     delta_grid: Sequence[float] = (5, 10, 25, math.inf),
     delta_optimizer_factory: Callable[[], object] | None = None,
     delta_episodes_per_evaluation: int = 10,
+    n_jobs: int = 1,
 ) -> dict[tuple[str, str], TwoLevelResult]:
     """Heterogeneous closed-loop sweep over ready-made (mixed) scenarios.
 
@@ -242,10 +289,16 @@ def mixed_closed_loop_sweep(
     (:func:`~repro.control.class_aware.optimize_class_deltas`) — and the
     cells run against the deadline-optimized scenario.  Requires labelled
     scenarios (:meth:`~repro.sim.FleetScenario.mixed`).
+
+    ``n_jobs > 1`` shards the closed-loop episodes across worker processes
+    (:mod:`repro.control.parallel`); the per-class ``Delta_R``
+    optimization — a different, solver-bound workload — always runs in the
+    parent, and the table is bit-identical to ``n_jobs=1`` under a fixed
+    seed.
     """
     from .class_aware import apply_class_deltas, optimize_class_deltas
 
-    table: dict[tuple[str, str], TwoLevelResult] = {}
+    prepared: list[tuple[str, FleetScenario]] = []
     for scenario_name, scenario in scenarios.items():
         if optimize_deltas:
             deltas = optimize_class_deltas(
@@ -257,6 +310,15 @@ def mixed_closed_loop_sweep(
                 seed=seed,
             )
             scenario = apply_class_deltas(scenario, deltas)
+        prepared.append((scenario_name, scenario))
+    if n_jobs != 1:
+        from .parallel import parallel_closed_loop_table
+
+        return parallel_closed_loop_table(
+            prepared, cells, num_envs, seed, k, initial_nodes, n_jobs
+        )
+    table: dict[tuple[str, str], TwoLevelResult] = {}
+    for scenario_name, scenario in prepared:
         for name, result in _run_cells(
             scenario, cells, num_envs, seed, k, initial_nodes
         ).items():
@@ -272,6 +334,7 @@ def attacker_intensity_sweep(
     seed: int | None = 0,
     k: int = 1,
     initial_nodes: int | None = None,
+    n_jobs: int = 1,
 ) -> dict[tuple[float, str], TwoLevelResult]:
     """Closed-loop sweep over attacker intensities (fleet-wide ``p_A`` scale).
 
@@ -280,13 +343,25 @@ def attacker_intensity_sweep(
     (:meth:`~repro.sim.FleetScenario.scale_attack`) — node classes keep
     their identity, only the attacker gets faster — and every cell runs
     ``num_envs`` two-level episodes against the scaled fleet.  One engine
-    is compiled per intensity and shared across cells.
+    is compiled per intensity and shared across cells.  ``n_jobs > 1``
+    shards the episodes across worker processes
+    (:mod:`repro.control.parallel`); the table is bit-identical to
+    ``n_jobs=1`` under a fixed seed.
     """
+    scaled_scenarios = [
+        (float(intensity), scenario.scale_attack(intensity))
+        for intensity in intensities
+    ]
+    if n_jobs != 1:
+        from .parallel import parallel_closed_loop_table
+
+        return parallel_closed_loop_table(
+            scaled_scenarios, cells, num_envs, seed, k, initial_nodes, n_jobs
+        )
     table: dict[tuple[float, str], TwoLevelResult] = {}
-    for intensity in intensities:
-        scaled = scenario.scale_attack(intensity)
+    for intensity, scaled in scaled_scenarios:
         for name, result in _run_cells(
             scaled, cells, num_envs, seed, k, initial_nodes
         ).items():
-            table[(float(intensity), name)] = result
+            table[(intensity, name)] = result
     return table

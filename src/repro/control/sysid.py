@@ -331,6 +331,7 @@ def identify_replication_strategies(
     initial_nodes: int | None = None,
     k: int = 1,
     smoothing: float = 0.5,
+    policy_cache: "PolicySolveCache | None | bool" = None,
 ) -> SystemIdentificationResult:
     """Full system-identification loop on the batched control plane.
 
@@ -338,9 +339,19 @@ def identify_replication_strategies(
     episodes, solves Problem 2 on the estimate (LP and Lagrangian routes),
     and re-evaluates the resulting strategies in closed loop against the
     engine — all without touching the emulation testbed.
+
+    Args:
+        policy_cache: Where to look up previous solves of the fitted
+            kernel.  ``None`` (default) uses the process-wide
+            :data:`~repro.control.policy_cache.DEFAULT_POLICY_CACHE` —
+            refits that reproduce an already-solved kernel (same counts,
+            any episode order) skip the LP and Lagrangian solves entirely.
+            Pass a :class:`~repro.control.policy_cache.PolicySolveCache`
+            to scope caching, or ``False`` to always re-solve.
     """
     from ..envs.policies import StrategyPolicy
     from ..envs.rollout import rollout
+    from .policy_cache import DEFAULT_POLICY_CACHE
 
     if scenario.f is None:
         raise ValueError("the scenario must define a tolerance threshold f")
@@ -357,11 +368,20 @@ def identify_replication_strategies(
         fit_env, epsilon_a=epsilon_a, smoothing=smoothing
     )
 
-    lp = solve_replication_lp(model)
-    try:
-        lagrangian = solve_replication_lagrangian(model)
-    except ValueError:
-        lagrangian = None
+    if policy_cache is None:
+        policy_cache = DEFAULT_POLICY_CACHE
+    if policy_cache is False:
+        lp = solve_replication_lp(model)
+        try:
+            lagrangian = solve_replication_lagrangian(model)
+        except ValueError:
+            lagrangian = None
+    else:
+        lp = policy_cache.solve_lp(model)
+        try:
+            lagrangian = policy_cache.solve_lagrangian(model)
+        except ValueError:
+            lagrangian = None
 
     eval_seed = None if seed is None else seed + 1
     strategies: dict[str, ReplicationStrategy | None] = {"never-add": None}

@@ -67,6 +67,7 @@ from ..envs.base import VectorObservation
 from ..envs.policies import StrategyPolicy, VectorPolicy
 from ..envs.vector_recovery import VectorRecoveryEnv
 from ..sim import BatchRecoveryEngine, FleetScenario
+from ..sim.kernels import EngineProfile
 from ..sim.strategies import BatchStrategy
 from ..core.metrics import summarize_metric_arrays
 from .vector_system import (
@@ -205,6 +206,10 @@ class TwoLevelResult:
             (mixed) scenarios, else ``None``.
         class_recovery_frequency: Per-class executed recoveries per active
             slot-step, same convention.
+        profile: Engine per-phase wall-clock accounting, when the run was
+            requested with ``run(..., profile=True)``; the sharded sweeps
+            (:mod:`repro.control.parallel`) merge per-shard profiles into
+            this field at join.  Else ``None``.
     """
 
     availability: np.ndarray
@@ -217,6 +222,7 @@ class TwoLevelResult:
     steps: int
     class_average_cost: dict[str, np.ndarray] | None = None
     class_recovery_frequency: dict[str, np.ndarray] | None = None
+    profile: "EngineProfile | None" = None
 
     @property
     def num_episodes(self) -> int:
@@ -418,6 +424,9 @@ class TwoLevelController:
         seed: int | None = None,
         policy_rng: np.random.Generator | None = None,
         on_step: Callable[[TwoLevelStepEvent], None] | None = None,
+        uniforms: np.ndarray | None = None,
+        system_seed_sequences: Sequence[np.random.SeedSequence] | None = None,
+        profile: bool = False,
     ) -> TwoLevelResult:
         """Run one batch of ``B`` closed-loop episodes.
 
@@ -432,10 +441,23 @@ class TwoLevelController:
                 evictions and additions have been applied; the consensus
                 integration mirrors controller decisions onto a live
                 cluster through it.
+            uniforms: Pre-drawn ``(B, N, width)`` engine uniform buffer
+                overriding the seed tree — e.g. an episode slice of the
+                full batch's buffer, which is how the sharded sweeps
+                (:mod:`repro.control.parallel`) replay episodes
+                ``[lo, hi)`` of a larger run bit for bit.  Mutually
+                exclusive with ``seed``.
+            system_seed_sequences: Explicit per-episode controller seed
+                sequences overriding the seed tree's tail children (one
+                per episode); used together with ``uniforms`` by the
+                sharded sweeps.  Ignored for deterministic replication
+                strategies, matching the seed-tree convention.
+            profile: Record the engine's per-phase wall-clock time into
+                :attr:`TwoLevelResult.profile`.
         """
         env = self.env
         batch, slots = self.num_envs, self.smax
-        observation = env.reset(seed=seed)
+        observation = env.reset(seed=seed, uniforms=uniforms, profile=profile)
         system = VectorSystemController(
             f=self.f,
             k=self.k,
@@ -444,7 +466,11 @@ class TwoLevelController:
             enforce_invariant=self.enforce_invariant,
             num_episodes=batch,
             horizon=self.horizon,
-            seed_sequences=self._system_seed_sequences(seed),
+            seed_sequences=(
+                system_seed_sequences
+                if system_seed_sequences is not None
+                else self._system_seed_sequences(seed)
+            ),
         )
         active = np.zeros((batch, slots), dtype=bool)
         active[:, : self.initial_nodes] = True
@@ -598,6 +624,7 @@ class TwoLevelController:
             steps=steps,
             class_average_cost=class_average_cost,
             class_recovery_frequency=class_recovery_frequency,
+            profile=env.profile if profile else None,
         )
 
     def _activate_slots(

@@ -39,6 +39,8 @@ what keeps homogeneous results unchanged (regression-tested in
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -121,6 +123,33 @@ class SystemModel:
     def availability_indicator(self, state: int) -> float:
         """``[s >= f + 1]`` used by the availability constraint (Eq. 10b)."""
         return 1.0 if state >= self.f + 1 else 0.0
+
+    # -- canonical serialization -------------------------------------------------
+    def canonical_bytes(self) -> bytes:
+        """Deterministic byte serialization of the fitted model.
+
+        Two models whose CMDPs are numerically identical — same transition
+        kernel bit for bit, same ``f`` and ``epsilon_a`` — serialize to the
+        same bytes regardless of how they were constructed (constructor,
+        ``from_counts``, a pickling round-trip); any bitwise perturbation
+        of the kernel changes the bytes.  This is the content the policy
+        solve cache (:mod:`repro.control.policy_cache`) keys solved
+        recovery/replication policies on, so sysid refits that land on an
+        unchanged kernel can skip the LP/Lagrangian re-solve.
+
+        Subclasses whose solutions depend on more than ``(transition, f,
+        epsilon_a)`` — :class:`ClassAwareSystemModel` with its class names
+        and add costs — extend the payload.
+        """
+        transition = np.ascontiguousarray(self.transition, dtype=np.float64)
+        header = struct.pack(
+            "<3sqqd", b"sys", int(transition.shape[0]), int(self.smax), float(self.epsilon_a)
+        )
+        return header + struct.pack("<q", int(self.f)) + transition.tobytes()
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_bytes` (the cache key)."""
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
 
     # -- sampling ---------------------------------------------------------------
     def step(self, state: int, action: int, rng: np.random.Generator) -> int:
@@ -354,6 +383,25 @@ class ClassAwareSystemModel(SystemModel):
     @property
     def num_classes(self) -> int:
         return len(self.class_names)
+
+    def canonical_bytes(self) -> bytes:
+        """Class-aware canonical serialization.
+
+        Extends the base payload with the class-name tuple (in action
+        order — reordering the classes permutes the action space and is a
+        different CMDP) and the per-action add costs, so two class-aware
+        models hash equal exactly when they would produce the same
+        solution.
+        """
+        names = b"".join(
+            struct.pack("<q", len(encoded)) + encoded
+            for encoded in (name.encode("utf-8") for name in self.class_names)
+        )
+        costs = np.ascontiguousarray(self.add_costs, dtype=np.float64).tobytes()
+        return (
+            b"class-aware" + super().canonical_bytes()
+            + struct.pack("<q", len(self.class_names)) + names + costs
+        )
 
     def cost(self, state: int, action: int = 0) -> float:
         """Eq. 9 node count plus the action's class-specific add cost."""

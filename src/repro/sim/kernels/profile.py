@@ -32,6 +32,13 @@ PHASES = (
 class EngineProfile:
     """Cumulative per-phase nanoseconds of one (or several) engine runs.
 
+    Profiles are plain data and travel across process boundaries: the
+    sharded sweeps of :mod:`repro.control.parallel` fill one profile per
+    worker shard, pickle it back to the parent, and join the shards with
+    :meth:`merge`.  Every accumulated total is coerced to a built-in
+    ``int`` (timer deltas may arrive as NumPy integers), so a pickling
+    round-trip reproduces the profile exactly.
+
     Attributes:
         nanos: Phase name -> cumulative nanoseconds.
         steps: Number of engine steps accounted for.
@@ -43,7 +50,29 @@ class EngineProfile:
     backend: str = ""
 
     def add(self, phase: str, ns: int) -> None:
-        self.nanos[phase] = self.nanos.get(phase, 0) + int(ns)
+        self.nanos[phase] = int(self.nanos.get(phase, 0)) + int(ns)
+
+    @classmethod
+    def merge(cls, *profiles: "EngineProfile | None") -> "EngineProfile":
+        """Join per-shard profiles into one cumulative profile.
+
+        Sums the per-phase nanosecond totals and step counts of every
+        non-``None`` input (``None`` entries — shards run without
+        profiling — are skipped).  Non-canonical phases contributed by a
+        backend (e.g. the trellis driver) are preserved; the backend name
+        is taken from the first profile that set one.  The merge of zero
+        profiles is an empty profile.
+        """
+        merged = cls()
+        for profile in profiles:
+            if profile is None:
+                continue
+            for phase, ns in profile.nanos.items():
+                merged.add(phase, ns)
+            merged.steps += int(profile.steps)
+            if not merged.backend and profile.backend:
+                merged.backend = profile.backend
+        return merged
 
     @property
     def total_ns(self) -> int:
