@@ -26,6 +26,7 @@ from __future__ import annotations
 import time
 
 import numpy as np
+import pytest
 
 from repro.control import (
     ClosedLoopCell,
@@ -181,11 +182,70 @@ def test_attacker_intensity_sweep_mixed_fleet(benchmark, table_printer):
 
 def test_scale_attack_saturates_and_preserves_classes():
     """Intensity scaling is a pure ``p_A`` transform: classes keep their
-    identity and the scale clips at probability one."""
+    identity and the scale clips at probability one (with a warning naming
+    the clipped class)."""
     scenario = _mixed_scenario()
-    scaled = scenario.scale_attack(10.0)
+    with pytest.warns(RuntimeWarning, match="vulnerable"):
+        scaled = scenario.scale_attack(10.0)
     assert scaled.node_labels == scenario.node_labels
     assert scaled.node_params[0].p_a == 0.5  # 10 * 0.05
     assert scaled.node_params[3].p_a == 1.0  # 10 * 0.2, clipped
     assert scaled.node_params[3].delta_r == VULNERABLE.delta_r
     assert (scenario.scale_attack(0.0).initial_beliefs() == 0.0).all()
+
+
+def test_adversary_zoo_availability_curves_distinct():
+    """The PR-9 zoo produces availability curves the static attacker cannot.
+
+    Same fleet, same seed, same defender: each adversary's availability
+    profile across the intensity axis must be distinguishable from the
+    static baseline (the acceptance criterion of the adversary seam), and
+    stealth must sit strictly below it at every intensity — hidden
+    compromises defeat threshold recovery.
+    """
+    from repro.sim import BurstyAdversary, CorrelatedAdversary, StealthAdversary
+
+    model = BetaBinomialObservationModel()
+    zoo = {
+        "static": None,
+        "bursty": BurstyAdversary(),
+        "correlated": CorrelatedAdversary(calm_scale=0.5),
+        "stealth": StealthAdversary(suppression=0.8),
+    }
+    curves: dict[str, list[float]] = {}
+    for name, adversary in zoo.items():
+        curve = []
+        for intensity in (0.5, 1.0, 2.0):
+            scenario = FleetScenario.mixed(
+                [
+                    NodeClass("hardened", HARDENED, model, count=3),
+                    NodeClass("vulnerable", VULNERABLE, model, count=3),
+                ],
+                horizon=HORIZON,
+                f=1,
+                adversary=adversary,
+            ).scale_attack(intensity)
+            controller = TwoLevelController(
+                scenario,
+                num_envs=50,
+                recovery_policy=ThresholdStrategy(0.75),
+                replication_strategy=ReplicationThresholdStrategy(beta=4),
+                initial_nodes=INITIAL_NODES,
+            )
+            curve.append(float(controller.run(seed=17).availability.mean()))
+        curves[name] = curve
+
+    print("adversary availability curves (0.5x / 1x / 2x):")
+    for name, curve in curves.items():
+        print(f"  {name:>10}: " + " / ".join(f"{v:.3f}" for v in curve))
+
+    static = np.asarray(curves["static"])
+    for name in ("bursty", "correlated", "stealth"):
+        distance = float(np.abs(np.asarray(curves[name]) - static).max())
+        assert distance > 0.01, (
+            f"{name} availability curve indistinguishable from static "
+            f"baseline ({distance=:.4f})"
+        )
+    assert all(s < b for s, b in zip(curves["stealth"], static)), (
+        "alert suppression must cost availability at every intensity"
+    )

@@ -43,7 +43,7 @@ Quickstart::
 
 from . import consensus, control, core, emulation, envs, sim, solvers
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "consensus",

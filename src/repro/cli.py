@@ -1,0 +1,277 @@
+"""Command-line runner for declarative scenarios (``python -m repro``).
+
+One YAML file specifies one reproducible experiment (the
+``repro/scenario-v1`` schema of :mod:`repro.sim.scenario_io`); the runner
+executes it and emits a structured JSON result (``repro/result-v1``):
+
+.. code-block:: console
+
+    $ python -m repro run examples/scenarios/bursty_campaign.yaml
+    $ python -m repro run scenario.yaml --episodes 500 --n-jobs 4 --json out.json
+    $ python -m repro validate out.json
+
+``run`` modes (the ``run.mode`` key of the document, or ``--mode``):
+
+* ``engine`` — node-POMDP rollouts of a per-node threshold strategy on the
+  :class:`~repro.sim.BatchRecoveryEngine`, sharded across processes via
+  :func:`~repro.control.parallel.parallel_engine_sweep_table`.
+* ``closed-loop`` — the full two-level feedback loop
+  (:class:`~repro.control.TwoLevelController`: threshold recovery at the
+  node level, threshold replication at the system level), sharded via
+  :func:`~repro.control.parallel.parallel_closed_loop_table`.
+* ``emulation`` — one episode on the emulated testbed
+  (:class:`~repro.emulation.EmulationEnvironment`); homogeneous fleets
+  only, and the adversary process modulates the emulated attacker.
+
+The result schema ``repro/result-v1`` is a JSON object with ``schema``,
+``mode``, ``episodes``, ``seed``, ``n_jobs``, the serialized ``scenario``
+mapping, and a ``metrics`` mapping of metric name to ``{"mean": float,
+"ci95": float}``; :func:`validate_result` checks a parsed object against
+it (the CI ``scenario-smoke`` step runs it on every shipped example).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Mapping
+
+__all__ = ["main", "run_scenario", "validate_result", "RESULT_SCHEMA"]
+
+#: Schema identifier stamped on every emitted result document.
+RESULT_SCHEMA = "repro/result-v1"
+
+#: Run-section keys the runner understands (anything else is an error —
+#: a typo in a config file should fail loudly, not silently default).
+_RUN_KEYS = frozenset(
+    {"mode", "episodes", "seed", "n_jobs", "threshold", "beta", "k", "initial_nodes"}
+)
+_MODES = ("engine", "closed-loop", "emulation")
+
+
+def _summary_to_metrics(summary: Mapping[str, tuple]) -> dict[str, dict[str, float]]:
+    return {
+        name: {"mean": float(mean), "ci95": float(ci)}
+        for name, (mean, ci) in summary.items()
+    }
+
+
+def run_scenario(source, overrides: Mapping[str, Any] | None = None) -> dict[str, Any]:
+    """Execute one scenario document and return the ``repro/result-v1`` dict.
+
+    Args:
+        source: YAML path, YAML text, or parsed mapping (bare scenario or
+            full runner document with ``scenario``/``run`` sections).
+        overrides: Run-section overrides (the CLI flags); keys must be in
+            the run-section vocabulary.
+    """
+    from .sim.scenario_io import (
+        load_yaml_document,
+        run_section,
+        scenario_from_mapping,
+        scenario_to_mapping,
+    )
+
+    document = load_yaml_document(source)
+    scenario = scenario_from_mapping(document)
+    run = run_section(document)
+    unknown = set(run) - _RUN_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown run option(s) {sorted(unknown)}; known: {sorted(_RUN_KEYS)}"
+        )
+    if overrides:
+        run.update({k: v for k, v in overrides.items() if v is not None})
+
+    mode = str(run.get("mode", "engine"))
+    if mode not in _MODES:
+        raise ValueError(f"unknown run mode {mode!r}; known modes: {list(_MODES)}")
+    episodes = int(run.get("episodes", 100))
+    if episodes < 1:
+        raise ValueError(f"episodes must be >= 1, got {episodes}")
+    seed = run.get("seed", 0)
+    seed = None if seed is None else int(seed)
+    n_jobs = int(run.get("n_jobs", 1))
+    threshold = float(run.get("threshold", 0.75))
+
+    result: dict[str, Any] = {
+        "schema": RESULT_SCHEMA,
+        "mode": mode,
+        "episodes": episodes,
+        "seed": seed,
+        "n_jobs": n_jobs,
+        "scenario": scenario_to_mapping(scenario),
+        "metrics": {},
+    }
+
+    if mode == "engine":
+        from .core import ThresholdStrategy
+        from .control.parallel import parallel_engine_sweep_table
+
+        table = parallel_engine_sweep_table(
+            [("scenario", scenario)],
+            {"threshold": ThresholdStrategy(threshold)},
+            num_episodes=episodes,
+            seed=seed,
+            n_jobs=n_jobs,
+        )
+        engine_result = table[("scenario", "threshold")]
+        result["metrics"] = _summary_to_metrics(engine_result.summary())
+        result["threshold"] = threshold
+    elif mode == "closed-loop":
+        from .core import ReplicationThresholdStrategy, ThresholdStrategy
+        from .control.parallel import parallel_closed_loop_table
+        from .control.sweep import ClosedLoopCell
+
+        beta = int(run.get("beta", 1))
+        cell = ClosedLoopCell(
+            name="tolerance",
+            recovery=ThresholdStrategy(threshold),
+            replication=ReplicationThresholdStrategy(beta),
+        )
+        table = parallel_closed_loop_table(
+            [("scenario", scenario)],
+            [cell],
+            num_envs=episodes,
+            seed=seed,
+            k=int(run.get("k", 1)),
+            initial_nodes=run.get("initial_nodes"),
+            n_jobs=n_jobs,
+        )
+        loop_result = table[("scenario", "tolerance")]
+        result["metrics"] = _summary_to_metrics(loop_result.summary())
+        result["threshold"] = threshold
+        result["beta"] = beta
+    else:  # emulation
+        from .emulation import EmulationConfig, EmulationEnvironment, tolerance_policy
+
+        config = EmulationConfig.from_scenario(scenario)
+        environment = EmulationEnvironment(
+            config, tolerance_policy(alpha=threshold), seed=seed
+        )
+        metrics = environment.run()
+        result["metrics"] = {
+            name: {"mean": float(getattr(metrics, name)), "ci95": 0.0}
+            for name in (
+                "availability",
+                "time_to_recovery",
+                "recovery_frequency",
+                "average_nodes",
+            )
+        }
+        result["episodes"] = 1
+        result["threshold"] = threshold
+    return result
+
+
+def validate_result(document: Any) -> list[str]:
+    """Check a parsed result object against ``repro/result-v1``.
+
+    Returns a list of human-readable problems (empty = valid).
+    """
+    problems: list[str] = []
+    if not isinstance(document, Mapping):
+        return [f"result must be a JSON object, got {type(document).__name__}"]
+    if document.get("schema") != RESULT_SCHEMA:
+        problems.append(
+            f"schema must be {RESULT_SCHEMA!r}, got {document.get('schema')!r}"
+        )
+    if document.get("mode") not in _MODES:
+        problems.append(f"mode must be one of {list(_MODES)}, got {document.get('mode')!r}")
+    episodes = document.get("episodes")
+    if not isinstance(episodes, int) or isinstance(episodes, bool) or episodes < 1:
+        problems.append(f"episodes must be a positive integer, got {episodes!r}")
+    seed = document.get("seed")
+    if seed is not None and (not isinstance(seed, int) or isinstance(seed, bool)):
+        problems.append(f"seed must be an integer or null, got {seed!r}")
+    scenario = document.get("scenario")
+    if not isinstance(scenario, Mapping):
+        problems.append("scenario section missing or not an object")
+    else:
+        from .sim.scenario_io import scenario_from_mapping
+
+        try:
+            scenario_from_mapping(scenario)
+        except ValueError as exc:
+            problems.append(f"scenario section invalid: {exc}")
+    metrics = document.get("metrics")
+    if not isinstance(metrics, Mapping) or not metrics:
+        problems.append("metrics section missing or empty")
+    else:
+        for name, entry in metrics.items():
+            if not isinstance(entry, Mapping) or "mean" not in entry:
+                problems.append(f"metric {name!r} must be an object with a 'mean'")
+                continue
+            if not isinstance(entry["mean"], (int, float)) or isinstance(
+                entry["mean"], bool
+            ):
+                problems.append(f"metric {name!r} mean must be a number")
+    return problems
+
+
+# -- argument parsing --------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run declarative intrusion-tolerance scenarios.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="execute a scenario YAML file")
+    run.add_argument("scenario", help="path to a repro/scenario-v1 YAML file")
+    run.add_argument("--mode", choices=_MODES, default=None, help="override run.mode")
+    run.add_argument("--episodes", type=int, default=None, help="override run.episodes")
+    run.add_argument("--seed", type=int, default=None, help="override run.seed")
+    run.add_argument("--n-jobs", type=int, default=None, help="override run.n_jobs")
+    run.add_argument(
+        "--threshold", type=float, default=None, help="override the recovery threshold"
+    )
+    run.add_argument(
+        "--json", dest="json_path", default=None, help="also write the result JSON here"
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress the stdout result dump"
+    )
+
+    validate = commands.add_parser(
+        "validate", help="validate a result JSON against repro/result-v1"
+    )
+    validate.add_argument("result", help="path to a result JSON file")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        result = run_scenario(
+            args.scenario,
+            overrides={
+                "mode": args.mode,
+                "episodes": args.episodes,
+                "seed": args.seed,
+                "n_jobs": args.n_jobs,
+                "threshold": args.threshold,
+            },
+        )
+        text = json.dumps(result, indent=2)
+        if args.json_path:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        if not args.quiet:
+            print(text)
+        return 0
+    # validate
+    with open(args.result, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    problems = validate_result(document)
+    if problems:
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
+    print(f"ok: {args.result} conforms to {RESULT_SCHEMA}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -53,6 +53,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..sim import BatchRecoveryEngine, BatchSimulationResult, FleetScenario
+from ..sim.adversary import draw_adversary_uniforms
 from ..sim.kernels import EngineProfile
 from .two_level import TwoLevelController, TwoLevelResult
 from .vector_system import strategy_consumes_rng
@@ -313,6 +314,25 @@ def _worker_uniforms(
     return uniforms
 
 
+def _shard_adversary_uniforms(
+    engine: BatchRecoveryEngine, entropy: int, lo: int, hi: int
+) -> np.ndarray | None:
+    """Adversary uniform rows for episodes ``[lo, hi)`` of the full batch.
+
+    Rows of the adversary buffer are per-episode streams (salted
+    ``SeedSequence`` per episode, see :mod:`repro.sim.adversary`), so a
+    shard regenerates exactly its own slice of the monolithic draw.  The
+    buffers are small (``(hi - lo, horizon, K)``) and adversary-dependent,
+    so they deliberately bypass the geometry-keyed engine-uniform memo.
+    """
+    if not engine.is_dynamic:
+        return None
+    scenario = engine.scenario
+    return draw_adversary_uniforms(
+        engine.adversary, entropy, lo, hi, scenario.num_nodes, scenario.horizon
+    )
+
+
 def _run_closed_loop_shard(task: tuple[int, int, int, int]):
     scenario_index, cell_index, lo, hi = task
     spec: _ClosedLoopSpec = _WORKER["spec"]
@@ -343,6 +363,7 @@ def _run_closed_loop_shard(task: tuple[int, int, int, int]):
         uniforms=uniforms,
         system_seed_sequences=sequences,
         profile=spec.profile,
+        adversary_uniforms=_shard_adversary_uniforms(engine, spec.entropy, lo, hi),
     )
     for metric in _CLOSED_LOOP_METRICS:
         store.array((scenario_index, cell_index, metric))[lo:hi] = getattr(
@@ -368,7 +389,12 @@ def _run_engine_shard(task: tuple[int, int, int, int]):
     uniforms = _worker_uniforms(
         spec.entropy, lo, hi, scenario.num_nodes, 2 * scenario.horizon
     )
-    result = engine.run(strategy, uniforms=uniforms, profile=spec.profile or None)
+    result = engine.run(
+        strategy,
+        uniforms=uniforms,
+        profile=spec.profile or None,
+        adversary_uniforms=_shard_adversary_uniforms(engine, spec.entropy, lo, hi),
+    )
     for metric in _ENGINE_METRICS:
         store.array((scenario_index, strategy_index, metric))[lo:hi] = getattr(
             result, metric

@@ -427,6 +427,7 @@ class TwoLevelController:
         uniforms: np.ndarray | None = None,
         system_seed_sequences: Sequence[np.random.SeedSequence] | None = None,
         profile: bool = False,
+        adversary_uniforms: np.ndarray | None = None,
     ) -> TwoLevelResult:
         """Run one batch of ``B`` closed-loop episodes.
 
@@ -454,10 +455,20 @@ class TwoLevelController:
                 strategies, matching the seed-tree convention.
             profile: Record the engine's per-phase wall-clock time into
                 :attr:`TwoLevelResult.profile`.
+            adversary_uniforms: Pre-drawn ``(B, horizon, K)`` adversary
+                uniform buffer accompanying ``uniforms`` when the
+                scenario's adversary is dynamic (see
+                :mod:`repro.sim.adversary`); sliced per shard by the
+                sharded sweeps exactly like ``uniforms``.
         """
         env = self.env
         batch, slots = self.num_envs, self.smax
-        observation = env.reset(seed=seed, uniforms=uniforms, profile=profile)
+        observation = env.reset(
+            seed=seed,
+            uniforms=uniforms,
+            profile=profile,
+            adversary_uniforms=adversary_uniforms,
+        )
         system = VectorSystemController(
             f=self.f,
             k=self.k,
@@ -694,7 +705,12 @@ class TwoLevelController:
         """
         engine = self.env.engine
         batch, slots = self.num_envs, self.smax
+        if engine.is_dynamic and seed is None:
+            from ..sim.adversary import resolve_adversary_entropy
+
+            seed = resolve_adversary_entropy(None)
         uniforms = engine.draw_uniforms(seed, batch)
+        adversary_uniforms = engine.draw_adversary_uniforms(seed, batch)
         sequences = self._system_seed_sequences(seed)
 
         availability = np.zeros(batch)
@@ -719,7 +735,14 @@ class TwoLevelController:
             trace.add_classes = [[] for _ in range(batch)]
 
         for b in range(batch):
-            sim = engine.begin(uniforms=uniforms[b : b + 1])
+            sim = engine.begin(
+                uniforms=uniforms[b : b + 1],
+                adversary_uniforms=(
+                    adversary_uniforms[b : b + 1]
+                    if adversary_uniforms is not None
+                    else None
+                ),
+            )
             controller = SystemController(
                 f=self.f,
                 k=self.k,

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..consensus.minbft import ByzantineBehavior
+from ..sim.adversary import AdversaryProcess
 from .containers import ContainerImage
 
 __all__ = ["AttackPhase", "AttackState", "Attacker", "AttackerConfig"]
@@ -71,6 +72,15 @@ class AttackerConfig:
             larger values model coordinated attackers.
         behaviors: The post-compromise behaviours to choose among, matching
             Section VIII-A options (a)-(c).
+        adversary: Optional :class:`~repro.sim.adversary.AdversaryProcess`
+            modulating the attacker over time — the emulation-side half of
+            the PR-9 adversary seam.  Each time-step the process scales
+            ``start_probability`` by its compromise-pressure multiplier
+            (bursty/correlated campaigns wax and wane) and a stealth
+            adversary's alert suppression hides in-progress intrusion
+            traffic from the IDS.  ``None`` (the default) keeps the
+            time-homogeneous attacker above bit-identical to the pre-seam
+            behaviour.
     """
 
     start_probability: float = 0.2
@@ -81,6 +91,7 @@ class AttackerConfig:
         ByzantineBehavior.SILENT,
         ByzantineBehavior.ARBITRARY,
     )
+    adversary: AdversaryProcess | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.start_probability <= 1.0:
@@ -102,6 +113,60 @@ class Attacker:
         self._states: dict[object, AttackState] = {}
         self.total_intrusions_started = 0
         self.total_compromises = 0
+        # Adversary-process modulation (PR 9).  A static (or absent)
+        # adversary consumes no randomness and leaves every stream of the
+        # pre-seam attacker untouched.
+        self._adversary = self.config.adversary
+        self._time_step = 0
+        self._start_probability = self.config.start_probability
+        self._suppress_alerts = False
+        if self._adversary is not None and not self._adversary.is_static:
+            self._adversary_state = self._adversary.begin(1, 1)
+            self._adversary_rng = np.random.default_rng(
+                self._rng.integers(2**31)
+            )
+        else:
+            self._adversary_state = None
+            self._adversary_rng = None
+
+    # -- adversary modulation ------------------------------------------------------
+    def begin_step(self) -> None:
+        """Advance the adversary process by one emulation time-step.
+
+        Called by the environment at the top of each observe phase, before
+        :meth:`select_targets`.  Updates the effective intrusion start
+        probability (the pressure the adversary applies to the
+        ``start_probability`` baseline, clipped to ``[0, 1]``) and whether
+        this step's intrusion traffic is suppressed from the IDS.
+        """
+        adversary = self._adversary
+        if adversary is None or adversary.is_static:
+            return
+        width = adversary.uniforms_per_step(1)
+        uniforms = self._adversary_rng.random((1, width)) if width else None
+        baseline = np.array([self.config.start_probability])
+        pressure = np.asarray(
+            adversary.compromise_pressure(
+                self._adversary_state, self._time_step, baseline, uniforms
+            )
+        )
+        self._start_probability = float(np.clip(pressure.reshape(-1)[0], 0.0, 1.0))
+        suppress = adversary.alert_suppression(
+            self._adversary_state, self._time_step, uniforms
+        )
+        self._suppress_alerts = suppress is not None and bool(
+            np.asarray(suppress).reshape(-1)[0]
+        )
+        self._time_step += 1
+
+    def observed_intrusion_activity(self, node_id: object) -> bool:
+        """Whether the IDS sees attacker traffic against a node this step.
+
+        True intrusion progress (:attr:`AttackState.intrusion_activity`)
+        masked by the adversary's alert suppression — a stealth adversary
+        keeps compromising while the node observes background noise only.
+        """
+        return self.state_of(node_id).intrusion_activity and not self._suppress_alerts
 
     # -- per-node state ------------------------------------------------------------
     def state_of(self, node_id: object) -> AttackState:
@@ -128,7 +193,7 @@ class Attacker:
         for _ in range(max(free_slots, 0)):
             if not available:
                 break
-            if self._rng.random() >= self.config.start_probability:
+            if self._rng.random() >= self._start_probability:
                 continue
             index = int(self._rng.integers(len(available)))
             node_id, container = available.pop(index)

@@ -223,6 +223,8 @@ class EmulationConfig:
         }
         if scenario.f is not None:
             fields["f"] = scenario.f
+        if scenario.adversary is not None and "attacker" not in overrides:
+            fields["attacker"] = AttackerConfig(adversary=scenario.adversary)
         fields.update(overrides)
         return cls(**fields)
 
@@ -479,7 +481,10 @@ class EmulationEnvironment:
         self.time_step += 1
         background_clients = self.background.step()
 
-        # 1. Attacker progress and compromise events.
+        # 1. Attacker progress and compromise events.  The adversary
+        #    process (if any) first sets this step's intrusion intensity
+        #    and alert suppression.
+        self.attacker.begin_step()
         candidates = [
             (node_id, node.container)
             for node_id, node in self.nodes.items()
@@ -506,7 +511,7 @@ class EmulationEnvironment:
         for node_id, node in self.nodes.items():
             if not node.is_alive:
                 continue
-            intrusion_activity = self.attacker.state_of(node_id).intrusion_activity
+            intrusion_activity = self.attacker.observed_intrusion_activity(node_id)
             belief, observation = node.observe(intrusion_activity, background_clients)
             beliefs[node_id] = belief
             observations[node_id] = observation

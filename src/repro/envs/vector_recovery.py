@@ -118,6 +118,7 @@ class VectorRecoveryEnv:
         seed: int | None = None,
         uniforms: np.ndarray | None = None,
         profile: bool = False,
+        adversary_uniforms: np.ndarray | None = None,
     ) -> VectorObservation:
         """Start ``B`` fresh episodes from the per-episode seed tree.
 
@@ -130,7 +131,12 @@ class VectorRecoveryEnv:
         of :meth:`~repro.sim.BatchRecoveryEngine.draw_uniforms`, which is
         how the sharded sweeps of :mod:`repro.control.parallel` replay
         rows ``[lo, hi)`` of a larger batch bit for bit.  Mutually
-        exclusive with ``seed``.  ``profile=True`` attaches an
+        exclusive with ``seed``.  When the scenario carries a dynamic
+        :class:`~repro.sim.adversary.AdversaryProcess`, pass the matching
+        episode slice of
+        :meth:`~repro.sim.BatchRecoveryEngine.draw_adversary_uniforms` as
+        ``adversary_uniforms`` (the seed path draws it automatically).
+        ``profile=True`` attaches an
         :class:`~repro.sim.kernels.EngineProfile` (read it back via
         :attr:`profile`).
         """
@@ -147,6 +153,7 @@ class VectorRecoveryEnv:
                 uniforms=uniforms,
                 track_metrics=self._track_metrics,
                 profile=profile,
+                adversary_uniforms=adversary_uniforms,
             )
         else:
             self._sim = self.engine.begin(
@@ -154,6 +161,7 @@ class VectorRecoveryEnv:
                 seed=seed,
                 track_metrics=self._track_metrics,
                 profile=profile,
+                adversary_uniforms=adversary_uniforms,
             )
         return self._observation()
 
@@ -303,8 +311,14 @@ class FleetVectorEnv(VectorRecoveryEnv):
         seed: int | None = None,
         uniforms: np.ndarray | None = None,
         profile: bool = False,
+        adversary_uniforms: np.ndarray | None = None,
     ) -> VectorObservation:
-        observation = super().reset(seed, uniforms=uniforms, profile=profile)
+        observation = super().reset(
+            seed,
+            uniforms=uniforms,
+            profile=profile,
+            adversary_uniforms=adversary_uniforms,
+        )
         self._system_states = [self.expected_healthy_nodes()]
         if self._class_slots is not None:
             self._class_states = {

@@ -59,6 +59,22 @@ node-by-node path of PRs 1-6, bit-exact), and ``numba`` (optional JIT,
 Select with ``BatchRecoveryEngine(scenario, backend=...)`` or the
 ``REPRO_ENGINE_BACKEND`` environment variable.
 
+Adversary processes (PR 9)
+--------------------------
+
+Attack dynamics are a pluggable seam (:mod:`repro.sim.adversary`): a
+:class:`~repro.sim.adversary.AdversaryProcess` on the scenario yields the
+per-step ``(B, N)`` compromise pressure.  The default
+:class:`~repro.sim.adversary.StaticAdversary` is the paper's i.i.d.
+attacker and keeps the static-CDF fast path bit-exact; dynamic adversaries
+(:class:`~repro.sim.adversary.CorrelatedAdversary` campaigns,
+:class:`~repro.sim.adversary.BurstyAdversary` on/off intensity,
+:class:`~repro.sim.adversary.StealthAdversary` alert suppression) rebuild
+the transition CDFs per step from salted, episode-sliceable uniform
+streams, on every backend.  Scenarios with adversaries round-trip through
+the versioned YAML schema (``FleetScenario.from_yaml`` / ``to_yaml``) and
+run from the command line via ``python -m repro run scenario.yaml``.
+
 Quickstart::
 
     from repro.core import BetaBinomialObservationModel, NodeParameters, ThresholdStrategy
@@ -74,6 +90,16 @@ Quickstart::
 """
 
 from ..core.belief import batch_update_compromise_belief
+from .adversary import (
+    ADVERSARY_TYPES,
+    AdversaryProcess,
+    BurstyAdversary,
+    CorrelatedAdversary,
+    StaticAdversary,
+    StealthAdversary,
+    adversary_from_spec,
+    adversary_to_spec,
+)
 from .engine import BatchEpisodeState, BatchRecoveryEngine, BatchSimulationResult
 from .kernels import (
     BeliefTrellis,
@@ -92,17 +118,25 @@ from .strategies import (
 )
 
 __all__ = [
+    "ADVERSARY_TYPES",
+    "AdversaryProcess",
     "BatchEpisodeState",
     "BatchMultiThreshold",
     "BatchRecoveryEngine",
     "BatchSimulationResult",
     "BatchStrategy",
     "BeliefTrellis",
+    "BurstyAdversary",
     "CachedBeliefDynamics",
+    "CorrelatedAdversary",
     "EngineProfile",
     "FleetScenario",
     "LoopedBatchStrategy",
     "NodeClass",
+    "StaticAdversary",
+    "StealthAdversary",
+    "adversary_from_spec",
+    "adversary_to_spec",
     "as_batch_strategy",
     "available_backends",
     "batch_update_compromise_belief",

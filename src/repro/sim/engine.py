@@ -59,6 +59,11 @@ import numpy as np
 from ..core.metrics import summarize_metric_arrays
 from ..core.node_model import NodeState
 from ..core.strategies import RecoveryStrategy
+from .adversary import (
+    StaticAdversary,
+    draw_adversary_uniforms as _draw_adversary_uniforms,
+    resolve_adversary_entropy,
+)
 from .kernels import BACKENDS, EngineProfile, resolve_backend
 from .scenario import FleetScenario
 from .strategies import BatchMultiThreshold, BatchStrategy, as_batch_strategy
@@ -203,6 +208,12 @@ class BatchEpisodeState:
     observation_base: np.ndarray = field(default=None, repr=False)  # (B, N) flat bases
     belief_workspace: dict = field(default=None, repr=False)  # reusable (B,) buffers
     profile: EngineProfile | None = field(default=None, repr=False)  # opt-in timings
+    #: (B, horizon, K) pre-drawn adversary uniforms (dynamic adversaries only).
+    adversary_uniforms: np.ndarray | None = field(default=None, repr=False)
+    #: Mutable adversary state from AdversaryProcess.begin() (dynamic only).
+    adversary_state: object = field(default=None, repr=False)
+    #: (B, N) compromise pressure of the last step (dynamic only; diagnostics).
+    last_pressure: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def num_episodes(self) -> int:
@@ -273,9 +284,29 @@ class BatchRecoveryEngine:
             (self._observation_pmf[:, :2, :] > 0.0).all()
             and (self._matrices[:, :, :2, :2].sum(axis=3) > 0.0).all()
         )
+        #: The adversary process generating per-step compromise pressure;
+        #: ``None`` on the scenario means the paper's static i.i.d. attacker.
+        self.adversary = (
+            scenario.adversary if scenario.adversary is not None else StaticAdversary()
+        )
+        #: Whether the adversary requires the per-step dynamic-CDF path.  A
+        #: static adversary keeps the precompiled tables and kernel fast
+        #: paths above untouched (bit-exact with the pre-seam engine).
+        self._dynamic = not self.adversary.is_static
+        # Per-node probability columns for the dynamic per-step CDF
+        # construction (mirrors NodeTransitionModel._build_matrices).
+        self._p_c1 = np.array([p.p_c1 for p in scenario.node_params])
+        self._p_c2 = np.array([p.p_c2 for p in scenario.node_params])
+        self._p_u = np.array([p.p_u for p in scenario.node_params])
+        self._baseline_pressure = np.array([p.p_a for p in scenario.node_params])
         #: Resolved backend name and the kernel instance implementing it.
         self.backend = resolve_backend(backend)
         self._kernel = BACKENDS[self.backend](self)
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether the scenario's adversary takes the per-step dynamic path."""
+        return self._dynamic
 
     # -- randomness -------------------------------------------------------------
     def draw_uniforms(self, seed: int | None, num_episodes: int) -> np.ndarray:
@@ -312,6 +343,35 @@ class BatchRecoveryEngine:
             _UNIFORM_CACHE[key] = uniforms
         return uniforms
 
+    def draw_adversary_uniforms(
+        self, seed: int | None, num_episodes: int
+    ) -> np.ndarray | None:
+        """Pre-draw the adversary's ``(B, horizon, K)`` uniform buffer.
+
+        Episode ``b``'s row comes from the salted stream
+        ``SeedSequence([salt, seed], spawn_key=(b,))``, independent of the
+        engine streams of :meth:`draw_uniforms`; rows are per-episode, so
+        the ``[b : b + 1]`` scalar replay and the ``[lo : hi)`` shard slices
+        of :mod:`repro.control.parallel` reproduce a monolithic draw
+        exactly.  Returns ``None`` for static adversaries and for dynamic
+        adversaries that consume no randomness.
+        """
+        if not self._dynamic:
+            return None
+        if seed is None:
+            raise ValueError(
+                "a dynamic adversary needs a concrete seed to draw its "
+                "uniform streams; pass seed= (or pre-drawn adversary_uniforms=)"
+            )
+        return _draw_adversary_uniforms(
+            self.adversary,
+            int(seed),
+            0,
+            num_episodes,
+            self.scenario.num_nodes,
+            self.scenario.horizon,
+        )
+
     # -- public API -------------------------------------------------------------
     def run(
         self,
@@ -321,6 +381,7 @@ class BatchRecoveryEngine:
         uniforms: np.ndarray | None = None,
         profile: bool | EngineProfile | None = None,
         trellis: bool | None = None,
+        adversary_uniforms: np.ndarray | None = None,
     ) -> BatchSimulationResult:
         """Simulate ``num_episodes`` episodes of the whole fleet.
 
@@ -341,14 +402,30 @@ class BatchRecoveryEngine:
             trellis: Force the prefix-memoized belief trellis on or off for
                 eligible deterministic strategies; ``None`` lets the
                 backend decide.
+            adversary_uniforms: Pre-drawn ``(B, horizon, K)`` adversary
+                buffer (dynamic adversaries with pre-drawn ``uniforms``
+                require it; the seed path draws it automatically from the
+                same seed).
         """
         if uniforms is None:
             if num_episodes is None or num_episodes < 1:
                 raise ValueError("num_episodes must be >= 1")
+            if self._dynamic and seed is None:
+                # Resolve one entropy up front so the engine streams and the
+                # adversary streams come from the same (fresh) root.
+                seed = resolve_adversary_entropy(None)
             uniforms = self.draw_uniforms(seed, num_episodes)
+            if self._dynamic and adversary_uniforms is None:
+                adversary_uniforms = self.draw_adversary_uniforms(seed, num_episodes)
         batch_strategies = self._normalize_strategies(strategies)
         prof = EngineProfile(backend=self.backend) if profile is True else profile
-        result = self._simulate(batch_strategies, uniforms, profile=prof, trellis=trellis)
+        result = self._simulate(
+            batch_strategies,
+            uniforms,
+            profile=prof,
+            trellis=trellis,
+            adversary_uniforms=adversary_uniforms,
+        )
         if prof is not None:
             result = replace(result, profile=prof)
         return result
@@ -382,10 +459,21 @@ class BatchRecoveryEngine:
             raise ValueError("num_episodes must be >= 1")
         thresholds = np.atleast_2d(np.asarray(thresholds, dtype=float))
         num_candidates = thresholds.shape[0]
+        if self._dynamic and seed is None:
+            seed = resolve_adversary_entropy(None)
         base = self.draw_uniforms(seed, num_episodes)  # (M, 1, 2T)
         uniforms = np.tile(base, (num_candidates, 1, 1))  # (K*M, 1, 2T)
+        adversary_uniforms = None
+        if self._dynamic:
+            # Common random numbers for the adversary too: every candidate
+            # sees the same attack realisations.
+            adversary_base = self.draw_adversary_uniforms(seed, num_episodes)
+            if adversary_base is not None:
+                adversary_uniforms = np.tile(adversary_base, (num_candidates, 1, 1))
         strategy = BatchMultiThreshold(np.repeat(thresholds, num_episodes, axis=0))
-        result = self._simulate([strategy], uniforms)
+        result = self._simulate(
+            [strategy], uniforms, adversary_uniforms=adversary_uniforms
+        )
         costs = result.average_cost.reshape(num_candidates, num_episodes)
         return costs.mean(axis=1)
 
@@ -408,6 +496,7 @@ class BatchRecoveryEngine:
         track_metrics: bool = True,
         uniforms: np.ndarray | None = None,
         profile: bool = False,
+        adversary_uniforms: np.ndarray | None = None,
     ) -> BatchEpisodeState:
         """Initialize the per-stream state for ``num_episodes`` episodes.
 
@@ -433,6 +522,12 @@ class BatchRecoveryEngine:
             profile: When ``True``, attach an :class:`EngineProfile` to the
                 state; :meth:`step` then records per-phase wall-clock time
                 into ``sim.profile``.
+            adversary_uniforms: Pre-drawn ``(B, horizon, K)`` adversary
+                buffer (a per-episode slice of
+                :meth:`draw_adversary_uniforms` slices on the episode axis
+                just like ``uniforms``).  Required when ``uniforms`` is
+                pre-drawn and the scenario's adversary is dynamic; the
+                seed path draws it from the same seed automatically.
         """
         if uniforms is not None:
             if num_episodes is not None or seed is not None:
@@ -446,18 +541,51 @@ class BatchRecoveryEngine:
         else:
             if num_episodes is None or num_episodes < 1:
                 raise ValueError("num_episodes must be >= 1")
+            if self._dynamic and seed is None:
+                seed = resolve_adversary_entropy(None)
             uniforms = self.draw_uniforms(seed, num_episodes)
-        sim = self._begin(uniforms, track_metrics)
+            if self._dynamic and adversary_uniforms is None:
+                adversary_uniforms = self.draw_adversary_uniforms(seed, num_episodes)
+        sim = self._begin(uniforms, track_metrics, adversary_uniforms)
         if profile:
             sim.profile = EngineProfile(backend=self.backend)
         return sim
 
     def _begin(
-        self, uniforms: np.ndarray, track_metrics: bool = True
+        self,
+        uniforms: np.ndarray,
+        track_metrics: bool = True,
+        adversary_uniforms: np.ndarray | None = None,
     ) -> BatchEpisodeState:
         num_episodes, num_nodes, _ = uniforms.shape
         shape = (num_episodes, num_nodes)
         track_availability = self.scenario.f is not None
+        adversary_state = None
+        if self._dynamic:
+            width = self.adversary.uniforms_per_step(num_nodes)
+            if width > 0:
+                if adversary_uniforms is None:
+                    raise ValueError(
+                        "the scenario's adversary is dynamic: pass "
+                        "adversary_uniforms alongside pre-drawn uniforms "
+                        "(engine.draw_adversary_uniforms(seed, num_episodes))"
+                    )
+                adversary_uniforms = np.asarray(adversary_uniforms, dtype=float)
+                if (
+                    adversary_uniforms.ndim != 3
+                    or adversary_uniforms.shape[0] != num_episodes
+                    or adversary_uniforms.shape[1] < self.scenario.horizon
+                    or adversary_uniforms.shape[2] != width
+                ):
+                    raise ValueError(
+                        "adversary_uniforms must have shape (B, horizon, "
+                        f"{width}), got {adversary_uniforms.shape}"
+                    )
+            else:
+                adversary_uniforms = None
+            adversary_state = self.adversary.begin(num_episodes, num_nodes)
+        else:
+            adversary_uniforms = None
         return BatchEpisodeState(
             uniforms=uniforms,
             t=0,
@@ -487,6 +615,8 @@ class BatchRecoveryEngine:
             transition_base=np.broadcast_to(self._transition_node_base, shape),
             observation_base=np.broadcast_to(self._observation_node_base, shape),
             belief_workspace=self._kernel.make_step_workspace(num_episodes),
+            adversary_uniforms=adversary_uniforms,
+            adversary_state=adversary_state,
         )
 
     def forced_recoveries(self, sim: BatchEpisodeState) -> np.ndarray:
@@ -544,12 +674,25 @@ class BatchRecoveryEngine:
             t_mark = now
 
         # Hidden-state transition: invert the per-(node, action, state)
-        # sampling CDF on this step's transition uniform.
+        # sampling CDF on this step's transition uniform.  With a dynamic
+        # adversary the CDF rows are rebuilt per step from the adversary's
+        # compromise pressure instead of gathered from the static tables.
         u_transition = sim.uniforms_flat[sim.stream_rows + cursor]
         cursor += 1
-        transition_rows = sim.transition_base + (recover * num_states + state)
-        cdf_rows = self._transition_cdf_flat[transition_rows]  # (B, N, |S|)
-        next_state = (cdf_rows <= u_transition[..., None]).sum(axis=2)
+        if self._dynamic:
+            adversary_u = (
+                sim.adversary_uniforms[:, sim.t, :]
+                if sim.adversary_uniforms is not None
+                else None
+            )
+            next_state = self._dynamic_transition(
+                sim, recover, state, u_transition, adversary_u
+            )
+        else:
+            adversary_u = None
+            transition_rows = sim.transition_base + (recover * num_states + state)
+            cdf_rows = self._transition_cdf_flat[transition_rows]  # (B, N, |S|)
+            next_state = (cdf_rows <= u_transition[..., None]).sum(axis=2)
 
         crashed = next_state == _CRASHED
         alive = ~crashed
@@ -599,7 +742,18 @@ class BatchRecoveryEngine:
         u_observation = sim.uniforms_flat[sim.stream_rows + cursor]
         cursor += alive
         live_state = next_state * alive
-        obs_cdf_rows = self._observation_cdf_flat[sim.observation_base + live_state]
+        observed_state = live_state
+        if self._dynamic:
+            # A stealth adversary may hide a compromise from the IDS: the
+            # observation is drawn from the HEALTHY alert distribution on
+            # the *same* uniform (streams never shift), while the true
+            # hidden state and the cost/metric bookkeeping are untouched.
+            suppress = self.adversary.alert_suppression(
+                sim.adversary_state, sim.t, adversary_u
+            )
+            if suppress is not None:
+                observed_state = live_state * ~suppress
+        obs_cdf_rows = self._observation_cdf_flat[sim.observation_base + observed_state]
         observation_index = (obs_cdf_rows <= u_observation[..., None]).sum(axis=2)
         if prof is not None:
             now = perf_counter_ns()
@@ -670,16 +824,94 @@ class BatchRecoveryEngine:
             ),
         )
 
+    def _dynamic_transition(
+        self,
+        sim: BatchEpisodeState,
+        recover: np.ndarray,
+        state: np.ndarray,
+        u_transition: np.ndarray,
+        adversary_u: np.ndarray | None,
+    ) -> np.ndarray:
+        """Sample next states under the adversary's per-step pressure.
+
+        Rebuilds the per-stream transition CDF row from the pressure using
+        the exact product forms of
+        :meth:`~repro.core.node_model.NodeTransitionModel._build_matrices`
+        followed by the same cumulative-sum-and-normalize, so that when the
+        pressure equals the baseline ``p_A`` the row is **bit-identical** to
+        the precompiled static table (the parity suite asserts this via
+        ``StaticAdversary(force_dynamic=True)``).
+        """
+        pressure = self.adversary.compromise_pressure(
+            sim.adversary_state, sim.t, self._baseline_pressure, adversary_u
+        )
+        sim.last_pressure = pressure
+        compromised = state == _COMPROMISED
+        # Crash probability of the current state; live states only (crashed
+        # streams were reset to fresh healthy nodes at the end of last step).
+        crash = np.where(compromised, self._p_c2, self._p_c1)
+        survive = 1.0 - crash
+        wait_from_c = compromised & ~recover
+        # Row entries in state order (H, C, CRASHED); see Eq. 2.
+        to_healthy = np.where(
+            wait_from_c, survive * self._p_u, (1.0 - pressure) * survive
+        )
+        to_compromised = np.where(
+            wait_from_c, survive * (1.0 - self._p_u), survive * pressure
+        )
+        # Same association as cumsum([e0, e1, e2]) then /= last entry.
+        partial = to_healthy + to_compromised
+        total = partial + crash
+        c_healthy = to_healthy / total
+        c_compromised = partial / total
+        return (c_healthy <= u_transition).astype(np.int64) + (
+            c_compromised <= u_transition
+        )
+
     def _simulate(
         self,
         strategies: list[BatchStrategy],
         uniforms: np.ndarray,
         profile: EngineProfile | None = None,
         trellis: bool | None = None,
+        adversary_uniforms: np.ndarray | None = None,
     ) -> BatchSimulationResult:
+        if self._dynamic:
+            return self._simulate_dynamic(
+                strategies, uniforms, profile, adversary_uniforms
+            )
         return self._kernel.simulate(
             strategies, uniforms, profile=profile, trellis=trellis
         )
+
+    def _simulate_dynamic(
+        self,
+        strategies: list[BatchStrategy],
+        uniforms: np.ndarray,
+        profile: EngineProfile | None,
+        adversary_uniforms: np.ndarray | None,
+    ) -> BatchSimulationResult:
+        """Generic step-loop driver for dynamic adversaries.
+
+        The kernels' fused ``simulate`` fast paths (merged-CDF rank tables,
+        transition matmul tables, the belief trellis) all bake the static
+        per-node CDFs in at construction time, so dynamic adversaries route
+        through this explicit loop instead — :meth:`step` rebuilds the
+        transition CDFs per step, while belief updates still go through the
+        active kernel's ``update_beliefs`` (the defender's recursion uses
+        the nominal model on every backend).
+        """
+        sim = self._begin(uniforms, True, adversary_uniforms)
+        if profile is not None:
+            sim.profile = profile
+        recover = np.empty(sim.state.shape, dtype=bool)
+        for _ in range(self.scenario.horizon):
+            for j, strategy in enumerate(strategies):
+                recover[:, j] = strategy.action_batch(
+                    sim.belief[:, j], sim.time_since_recovery[:, j]
+                )
+            self.step(sim, recover)
+        return self.finalize(sim)
 
     def _update_beliefs(
         self,

@@ -25,6 +25,7 @@ homogeneity the engine requires.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, replace
 from typing import Sequence
 
@@ -32,6 +33,7 @@ import numpy as np
 
 from ..core.node_model import NodeParameters, NodeTransitionModel
 from ..core.observation import ObservationModel
+from .adversary import AdversaryProcess
 
 __all__ = ["NodeClass", "FleetScenario"]
 
@@ -81,6 +83,9 @@ class FleetScenario:
         node_labels: Optional per-slot class labels (slot ``j`` runs the
             container class ``node_labels[j]``), populated by
             :meth:`mixed`; ``None`` for unlabelled scenarios.
+        adversary: Optional :class:`~repro.sim.adversary.AdversaryProcess`
+            generating the per-step compromise pressure; ``None`` means the
+            paper's static i.i.d. attacker (per-node ``p_A`` every step).
     """
 
     node_params: tuple[NodeParameters, ...]
@@ -89,6 +94,7 @@ class FleetScenario:
     enforce_btr: bool = True
     f: int | None = None
     node_labels: tuple[str, ...] | None = None
+    adversary: AdversaryProcess | None = None
 
     def __post_init__(self) -> None:
         if len(self.node_params) == 0:
@@ -121,9 +127,16 @@ class FleetScenario:
         observation_model: ObservationModel,
         horizon: int = 200,
         enforce_btr: bool = True,
+        adversary: AdversaryProcess | None = None,
     ) -> "FleetScenario":
         """Scenario with one node: the batch counterpart of the scalar simulator."""
-        return cls((params,), (observation_model,), horizon=horizon, enforce_btr=enforce_btr)
+        return cls(
+            (params,),
+            (observation_model,),
+            horizon=horizon,
+            enforce_btr=enforce_btr,
+            adversary=adversary,
+        )
 
     @classmethod
     def homogeneous(
@@ -134,6 +147,7 @@ class FleetScenario:
         horizon: int = 200,
         enforce_btr: bool = True,
         f: int | None = None,
+        adversary: AdversaryProcess | None = None,
     ) -> "FleetScenario":
         """Fleet of ``num_nodes`` identical nodes."""
         if num_nodes < 1:
@@ -144,6 +158,7 @@ class FleetScenario:
             horizon=horizon,
             enforce_btr=enforce_btr,
             f=f,
+            adversary=adversary,
         )
 
     @classmethod
@@ -153,6 +168,7 @@ class FleetScenario:
         horizon: int = 200,
         enforce_btr: bool = True,
         f: int | None = None,
+        adversary: AdversaryProcess | None = None,
     ) -> "FleetScenario":
         """Mixed-container fleet from node-class templates (Table 6 style).
 
@@ -187,6 +203,7 @@ class FleetScenario:
             enforce_btr=enforce_btr,
             f=f,
             node_labels=tuple(labels),
+            adversary=adversary,
         )
 
     # -- derived scenarios -------------------------------------------------------
@@ -251,14 +268,54 @@ class FleetScenario:
         The attacker-intensity axis of the control-plane sweeps: each
         node keeps its class identity (crash rates, ``Delta_R``, ``eta``,
         observation model, label) while its compromise probability becomes
-        ``min(1, intensity * p_A)``.
+        ``min(1, intensity * p_A)``.  Nodes whose scaled probability exceeds
+        1.0 are clipped — and named in a :class:`RuntimeWarning`, because a
+        clipped sweep point no longer scales linearly with ``intensity``.
         """
         if intensity < 0.0:
             raise ValueError(f"intensity must be non-negative, got {intensity}")
+        clipped = [
+            self.node_labels[j] if self.node_labels is not None else f"node {j}"
+            for j, p in enumerate(self.node_params)
+            if intensity * p.p_a > 1.0
+        ]
+        if clipped:
+            named = ", ".join(dict.fromkeys(clipped))
+            warnings.warn(
+                f"scale_attack({intensity}) clips p_A at 1.0 for "
+                f"{len(clipped)} node slot(s): {named}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         scaled = tuple(
             p.with_updates(p_a=min(1.0, intensity * p.p_a)) for p in self.node_params
         )
         return replace(self, node_params=scaled)
+
+    # -- declarative layer -------------------------------------------------------
+    @classmethod
+    def from_yaml(cls, source) -> "FleetScenario":
+        """Build a scenario from a YAML file path, text, or parsed mapping.
+
+        Accepts either a bare scenario mapping (``schema``, ``fleet``,
+        ``horizon``, ...) or a full runner document with a ``scenario:``
+        section; see :mod:`repro.sim.scenario_io` for the schema reference.
+        """
+        from .scenario_io import scenario_from_yaml
+
+        return scenario_from_yaml(source)
+
+    def to_yaml(self, path=None) -> str:
+        """Serialize to the versioned YAML scenario schema.
+
+        Returns the YAML text; when ``path`` is given, also writes it there.
+        ``FleetScenario.from_yaml(scenario.to_yaml())`` reconstructs an
+        equivalent scenario (identical parameters, labels, adversary and
+        observation matrices).
+        """
+        from .scenario_io import scenario_to_yaml
+
+        return scenario_to_yaml(self, path)
 
     # -- derived quantities -----------------------------------------------------
     @property

@@ -167,8 +167,10 @@ class TestMixedScenarioConstruction:
         assert scaled.node_params[0].p_c1 == HARDENED.p_c1
         assert scaled.node_params[2].delta_r == VULNERABLE.delta_r
         assert scaled.f == scenario.f
-        # Scaling clips at probability one and rejects negative intensities.
-        assert scenario.scale_attack(100.0).node_params[2].p_a == 1.0
+        # Scaling clips at probability one (warning names the clipped
+        # classes, PR 9) and rejects negative intensities.
+        with pytest.warns(RuntimeWarning, match="clips p_A"):
+            assert scenario.scale_attack(100.0).node_params[2].p_a == 1.0
         with pytest.raises(ValueError):
             scenario.scale_attack(-0.5)
 

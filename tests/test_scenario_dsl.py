@@ -1,0 +1,286 @@
+"""The declarative scenario layer: YAML schema, round trips, and the CLI.
+
+Covers the ``repro/scenario-v1`` schema of :mod:`repro.sim.scenario_io`
+(round trips, validation errors), the ``python -m repro`` runner and its
+``repro/result-v1`` output (including the shipped example files, which the
+CI ``scenario-smoke`` step runs end to end), and the
+``FleetScenario.scale_attack`` clipping warning.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main, run_scenario, validate_result
+from repro.core import (
+    BetaBinomialObservationModel,
+    DiscreteObservationModel,
+    NodeParameters,
+    ThresholdStrategy,
+)
+from repro.sim import (
+    BatchRecoveryEngine,
+    BurstyAdversary,
+    CorrelatedAdversary,
+    FleetScenario,
+    NodeClass,
+    StealthAdversary,
+)
+from repro.sim.scenario_io import (
+    SCHEMA,
+    scenario_from_mapping,
+    scenario_to_mapping,
+)
+
+_EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples" / "scenarios").glob("*.yaml")
+)
+
+
+def _mixed_scenario():
+    return FleetScenario.mixed(
+        [
+            NodeClass(
+                "web",
+                NodeParameters(p_a=0.1, delta_r=9.0),
+                BetaBinomialObservationModel(),
+                count=2,
+            ),
+            NodeClass(
+                "db",
+                NodeParameters(p_a=0.05, eta=3.0),
+                BetaBinomialObservationModel(n=10, healthy_alpha=0.8),
+                count=1,
+            ),
+        ],
+        horizon=50,
+        f=1,
+        adversary=BurstyAdversary(),
+    )
+
+
+class TestYamlRoundTrip:
+    def test_labelled_round_trip(self):
+        scenario = _mixed_scenario()
+        rebuilt = FleetScenario.from_yaml(scenario.to_yaml())
+        assert rebuilt.node_params == scenario.node_params
+        assert rebuilt.node_labels == scenario.node_labels
+        assert rebuilt.adversary == scenario.adversary
+        assert rebuilt.horizon == scenario.horizon
+        assert rebuilt.f == scenario.f
+        assert rebuilt.enforce_btr == scenario.enforce_btr
+        for a, b in zip(scenario.observation_models, rebuilt.observation_models):
+            assert np.array_equal(a.matrix(), b.matrix())
+
+    def test_unlabelled_round_trip_with_inf_delta(self):
+        scenario = FleetScenario.homogeneous(
+            NodeParameters(delta_r=math.inf),
+            BetaBinomialObservationModel(),
+            3,
+            horizon=20,
+            adversary=StealthAdversary(),
+        )
+        rebuilt = FleetScenario.from_yaml(scenario.to_yaml())
+        assert rebuilt.node_params == scenario.node_params
+        assert rebuilt.node_labels is None
+        assert rebuilt.adversary == scenario.adversary
+
+    def test_discrete_observation_round_trip(self):
+        model = DiscreteObservationModel([0, 1, 2], [0.7, 0.2, 0.1], [0.1, 0.3, 0.6])
+        scenario = FleetScenario.single_node(NodeParameters(), model, horizon=10)
+        rebuilt = FleetScenario.from_yaml(scenario.to_yaml())
+        assert np.allclose(
+            rebuilt.observation_models[0].matrix(),
+            scenario.observation_models[0].matrix(),
+        )
+
+    def test_engine_parity_through_yaml(self):
+        scenario = _mixed_scenario()
+        rebuilt = FleetScenario.from_yaml(scenario.to_yaml())
+        r1 = BatchRecoveryEngine(scenario).run(
+            ThresholdStrategy(0.75), num_episodes=8, seed=3
+        )
+        r2 = BatchRecoveryEngine(rebuilt).run(
+            ThresholdStrategy(0.75), num_episodes=8, seed=3
+        )
+        assert np.array_equal(r1.average_cost, r2.average_cost)
+        assert np.array_equal(r1.num_compromises, r2.num_compromises)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "scenario.yaml"
+        scenario = _mixed_scenario()
+        scenario.to_yaml(path)
+        assert FleetScenario.from_yaml(str(path)).node_params == scenario.node_params
+
+
+class TestSchemaValidation:
+    def test_rejects_wrong_schema(self):
+        document = scenario_to_mapping(_mixed_scenario())
+        document["schema"] = "repro/scenario-v99"
+        with pytest.raises(ValueError, match="unsupported scenario schema"):
+            scenario_from_mapping(document)
+
+    def test_rejects_missing_fleet(self):
+        with pytest.raises(ValueError, match="fleet"):
+            scenario_from_mapping({"schema": SCHEMA})
+
+    def test_rejects_unknown_node_parameter(self):
+        document = scenario_to_mapping(_mixed_scenario())
+        document["fleet"]["classes"][0]["params"]["warp_factor"] = 9
+        with pytest.raises(ValueError, match="warp_factor"):
+            scenario_from_mapping(document)
+
+    def test_rejects_unknown_observation_type(self):
+        document = scenario_to_mapping(_mixed_scenario())
+        document["fleet"]["classes"][0]["observations"] = {"type": "gaussian"}
+        with pytest.raises(ValueError, match="unknown observation model type"):
+            scenario_from_mapping(document)
+
+    def test_rejects_unknown_adversary(self):
+        document = scenario_to_mapping(_mixed_scenario())
+        document["adversary"] = {"type": "quantum"}
+        with pytest.raises(ValueError, match="unknown adversary type"):
+            scenario_from_mapping(document)
+
+    def test_accepts_runner_document(self):
+        document = {
+            "scenario": scenario_to_mapping(_mixed_scenario()),
+            "run": {"mode": "engine", "episodes": 4, "seed": 0},
+        }
+        scenario = FleetScenario.from_yaml(document)
+        assert scenario.num_nodes == 3
+
+
+class TestCliRunner:
+    def test_examples_exist(self):
+        assert len(_EXAMPLES) >= 2
+        kinds = set()
+        for path in _EXAMPLES:
+            scenario = FleetScenario.from_yaml(str(path))
+            if scenario.adversary is not None:
+                kinds.add(scenario.adversary.kind)
+        # at least one scenario the per-node p_A model cannot express
+        assert kinds & {"bursty", "correlated"}
+
+    @pytest.mark.parametrize("path", _EXAMPLES, ids=lambda p: p.name)
+    def test_example_runs_and_validates(self, path):
+        result = run_scenario(str(path), overrides={"episodes": 4})
+        assert validate_result(result) == []
+        assert result["schema"] == "repro/result-v1"
+        assert "availability" in result["metrics"]
+
+    def test_cli_run_writes_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        code = main(
+            [
+                "run",
+                str(_EXAMPLES[0]),
+                "--episodes",
+                "4",
+                "--json",
+                str(out),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert validate_result(document) == []
+        assert main(["validate", str(out)]) == 0
+
+    def test_cli_validate_rejects_bad_document(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        assert main(["validate", str(bad)]) == 1
+        assert "invalid" in capsys.readouterr().err
+
+    def test_seed_reproducibility(self):
+        a = run_scenario(str(_EXAMPLES[0]), overrides={"episodes": 4, "seed": 5})
+        b = run_scenario(str(_EXAMPLES[0]), overrides={"episodes": 4, "seed": 5})
+        assert a["metrics"] == b["metrics"]
+
+    def test_n_jobs_parity(self):
+        serial = run_scenario(
+            str(_EXAMPLES[0]), overrides={"episodes": 8, "n_jobs": 1}
+        )
+        sharded = run_scenario(
+            str(_EXAMPLES[0]), overrides={"episodes": 8, "n_jobs": 2}
+        )
+        assert serial["metrics"] == sharded["metrics"]
+
+    def test_rejects_unknown_run_option(self):
+        document = {
+            "scenario": scenario_to_mapping(_mixed_scenario()),
+            "run": {"mode": "engine", "warp": 9},
+        }
+        with pytest.raises(ValueError, match="warp"):
+            run_scenario(document)
+
+    def test_rejects_unknown_mode(self):
+        document = {
+            "scenario": scenario_to_mapping(_mixed_scenario()),
+            "run": {"mode": "teleport"},
+        }
+        with pytest.raises(ValueError, match="unknown run mode"):
+            run_scenario(document)
+
+    def test_validate_result_catches_problems(self):
+        good = run_scenario(str(_EXAMPLES[0]), overrides={"episodes": 4})
+        assert validate_result(good) == []
+        assert validate_result([]) != []
+        broken = dict(good)
+        broken["metrics"] = {}
+        assert any("metrics" in p for p in validate_result(broken))
+        broken = dict(good)
+        broken["episodes"] = 0
+        assert any("episodes" in p for p in validate_result(broken))
+
+
+class TestScaleAttackWarning:
+    def test_clipping_emits_runtime_warning_naming_nodes(self):
+        scenario = FleetScenario.mixed(
+            [
+                NodeClass(
+                    "web",
+                    NodeParameters(p_a=0.3),
+                    BetaBinomialObservationModel(),
+                    count=2,
+                ),
+                NodeClass(
+                    "db",
+                    NodeParameters(p_a=0.01),
+                    BetaBinomialObservationModel(),
+                    count=1,
+                ),
+            ],
+            horizon=10,
+        )
+        with pytest.warns(RuntimeWarning, match="web") as records:
+            scaled = scenario.scale_attack(5.0)
+        assert scaled.node_params[0].p_a == 1.0
+        assert scaled.node_params[2].p_a == pytest.approx(0.05)
+        message = str(records[0].message)
+        assert "db" not in message
+        assert "2 node slot" in message
+
+    def test_unlabelled_warning_names_slots(self):
+        scenario = FleetScenario.homogeneous(
+            NodeParameters(p_a=0.6), BetaBinomialObservationModel(), 2, horizon=10
+        )
+        with pytest.warns(RuntimeWarning, match="node 0"):
+            scenario.scale_attack(2.0)
+
+    def test_no_warning_without_clipping(self):
+        scenario = FleetScenario.homogeneous(
+            NodeParameters(p_a=0.1), BetaBinomialObservationModel(), 2, horizon=10
+        )
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            scaled = scenario.scale_attack(2.0)
+        assert scaled.node_params[0].p_a == pytest.approx(0.2)

@@ -1,0 +1,16 @@
+"""Version-consistency guard: ``repro.__version__`` must match setup.cfg.
+
+The two version strings drifted twice (PR 4 and PR 8 shipped bumps to one
+but not the other); this test pins them together.
+"""
+
+import configparser
+from pathlib import Path
+
+import repro
+
+
+def test_version_matches_setup_cfg():
+    config = configparser.ConfigParser()
+    config.read(Path(__file__).resolve().parent.parent / "setup.cfg")
+    assert repro.__version__ == config["metadata"]["version"]
