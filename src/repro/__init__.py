@@ -24,6 +24,13 @@ The package is organised as:
   control over B fleets at once, the empirical ``f_S``
   system-identification loop, a PPO replication policy trained on the
   fleet environment, and the consolidated fleet-sweep API;
+* :mod:`repro.serve` -- the long-running decision service: sessions
+  register fleets (scenario-v1 documents or built controllers), stream
+  ticks and read back recovery/replication decisions, with compatible
+  fleets fused into shared batched kernel calls; exposed in-process
+  (``DecisionService``), over a socket (``python -m repro serve``,
+  speaking the ``repro/decision-v1`` NDJSON schema) and through the
+  matching ``ServiceClient``;
 * :mod:`repro.consensus` -- the substrates: reconfigurable MinBFT, clients,
   Raft, the simulated authenticated network, signatures, and the USIG;
 * :mod:`repro.emulation` -- the evaluation testbed: containers, IDS,
@@ -41,9 +48,9 @@ Quickstart::
     print(solution.strategy.thresholds, solution.estimated_cost)
 """
 
-from . import consensus, control, core, emulation, envs, sim, solvers
+from . import consensus, control, core, emulation, envs, serve, sim, solvers
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "consensus",
@@ -51,6 +58,7 @@ __all__ = [
     "core",
     "emulation",
     "envs",
+    "serve",
     "sim",
     "solvers",
     "__version__",

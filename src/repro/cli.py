@@ -9,6 +9,17 @@ executes it and emits a structured JSON result (``repro/result-v1``):
     $ python -m repro run examples/scenarios/bursty_campaign.yaml
     $ python -m repro run scenario.yaml --episodes 500 --n-jobs 4 --json out.json
     $ python -m repro validate out.json
+    $ python -m repro serve --host 127.0.0.1 --port 0
+
+``serve`` starts the long-running decision service (:mod:`repro.serve`):
+clients register scenario-v1 fleets over newline-delimited JSON
+(``repro/decision-v1``) and stream per-tick recovery/replication
+decisions; see ``docs/serving.md``.
+
+Every failure path exits non-zero with a named one-line ``error:``
+message on stderr — malformed YAML, unknown run options or adversary
+types, schema-version mismatches and unreadable files never escape as
+tracebacks (pinned in ``tests/test_scenario_dsl.py``).
 
 ``run`` modes (the ``run.mode`` key of the document, or ``--mode``):
 
@@ -238,11 +249,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "validate", help="validate a result JSON against repro/result-v1"
     )
     validate.add_argument("result", help="path to a result JSON file")
+
+    serve = commands.add_parser(
+        "serve", help="run the repro/decision-v1 decision service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind host")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (0 asks the OS; the listening line reports it)",
+    )
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _run_command(args: argparse.Namespace) -> int:
     if args.command == "run":
         result = run_scenario(
             args.scenario,
@@ -261,6 +282,10 @@ def main(argv: list[str] | None = None) -> int:
         if not args.quiet:
             print(text)
         return 0
+    if args.command == "serve":
+        from .serve import serve_forever
+
+        return serve_forever(host=args.host, port=args.port)
     # validate
     with open(args.result, "r", encoding="utf-8") as handle:
         document = json.load(handle)
@@ -271,6 +296,25 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(f"ok: {args.result} conforms to {RESULT_SCHEMA}")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: dispatch the subcommand, naming every failure.
+
+    Anticipated failures — malformed or schema-mismatched documents
+    (``ValueError``), unreadable files (``OSError``), invalid result JSON
+    (``json.JSONDecodeError``) and a missing PyYAML (``ImportError``) —
+    exit with status 2 and a one-line ``error:`` message on stderr instead
+    of a traceback.
+    """
+    args = _build_parser().parse_args(argv)
+    try:
+        return _run_command(args)
+    except (ValueError, OSError, ImportError) as error:
+        # json.JSONDecodeError subclasses ValueError; named errors from the
+        # scenario layer arrive here as plain ValueErrors.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

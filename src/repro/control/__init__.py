@@ -138,6 +138,7 @@ from .sysid import (
 from .two_level import (
     SystemTrace,
     TwoLevelController,
+    TwoLevelLoop,
     TwoLevelResult,
     TwoLevelStepEvent,
 )
@@ -162,6 +163,7 @@ __all__ = [
     "SystemIdentificationResult",
     "SystemTrace",
     "TwoLevelController",
+    "TwoLevelLoop",
     "TwoLevelResult",
     "TwoLevelStepEvent",
     "VectorSystemController",

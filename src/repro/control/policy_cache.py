@@ -32,10 +32,22 @@ Invalidation is explicit: :meth:`PolicySolveCache.invalidate` drops every
 entry of one model (or one hash), :meth:`PolicySolveCache.clear` drops
 everything; beyond that the cache is a bounded LRU.  Hit/miss/invalidation
 counters (:meth:`PolicySolveCache.stats`) make effectiveness measurable.
+
+The cache is **thread-safe**: every lookup, insertion, LRU move/eviction,
+counter update and invalidation happens under one reentrant lock, so the
+decision service (:mod:`repro.serve`) can serve policy solves for
+concurrently registering sessions from the process-wide
+:data:`DEFAULT_POLICY_CACHE`.  The lock is held *across* a miss's
+``solve()`` call, which makes misses single-flight: two threads racing on
+the same fitted model run the LP once and the loser gets a hit — never two
+concurrent solves of one kernel.  (``tests/test_parallel_sweeps.py``
+hammers the cache from many threads and asserts the counters stay
+consistent; the test fails on the unlocked implementation.)
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable
 
@@ -83,6 +95,7 @@ class PolicySolveCache:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
         self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -100,23 +113,27 @@ class PolicySolveCache:
         A ``ValueError`` raised by ``solve`` (the Lagrangian bisection's
         infeasibility signal) is cached and re-raised on subsequent hits,
         so infeasible refits stop re-running the bisection.
+
+        The lock is held across a miss's ``solve()`` call (single-flight):
+        concurrent misses on the same key run the solver exactly once.
         """
         key = fitted_model_key(model, solver, **params)
-        if key in self._entries:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            outcome = self._entries[key]
-            if isinstance(outcome, tuple) and outcome[:1] == (_INFEASIBLE,):
-                raise ValueError(outcome[1])
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                outcome = self._entries[key]
+                if isinstance(outcome, tuple) and outcome[:1] == (_INFEASIBLE,):
+                    raise ValueError(outcome[1])
+                return outcome
+            self.misses += 1
+            try:
+                outcome = solve()
+            except ValueError as error:
+                self._store(key, (_INFEASIBLE, str(error)))
+                raise
+            self._store(key, outcome)
             return outcome
-        self.misses += 1
-        try:
-            outcome = solve()
-        except ValueError as error:
-            self._store(key, (_INFEASIBLE, str(error)))
-            raise
-        self._store(key, outcome)
-        return outcome
 
     def _store(self, key: tuple, outcome: object) -> None:
         self._entries[key] = outcome
@@ -191,33 +208,38 @@ class PolicySolveCache:
         not be served anymore; returns the number of entries dropped.
         """
         content_hash = model if isinstance(model, str) else model.content_hash()
-        stale = [key for key in self._entries if key[1] == content_hash]
-        for key in stale:
-            del self._entries[key]
-        self.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._entries if key[1] == content_hash]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> int:
         """Drop every entry (counters survive); returns the number dropped."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        self.invalidations += dropped
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += dropped
+            return dropped
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def stats(self) -> dict[str, int]:
         """``hits``/``misses``/``invalidations``/``size`` snapshot."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-            "size": len(self._entries),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "size": len(self._entries),
+            }
 
 
 #: Process-wide default used by :func:`~repro.control.sysid.identify_replication_strategies`

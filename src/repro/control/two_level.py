@@ -80,6 +80,7 @@ __all__ = [
     "SystemTrace",
     "TwoLevelResult",
     "TwoLevelStepEvent",
+    "TwoLevelLoop",
     "TwoLevelController",
 ]
 
@@ -272,6 +273,255 @@ class _DecisionTrace:
     add_classes: list = field(default_factory=list)
 
 
+class TwoLevelLoop:
+    """Incremental executor of the batched two-level loop, one tick at a time.
+
+    The loop owns everything :meth:`TwoLevelController.run` accumulates
+    between engine steps — the active-slot mask, the metric accumulators,
+    the per-episode :class:`VectorSystemController` and the optional
+    decision/system traces — but **not** the engine state, which its driver
+    advances between :meth:`pre_step` and :meth:`post_step`:
+
+    * :meth:`TwoLevelController.run` drives the loop to the horizon with
+      its own :class:`~repro.envs.VectorRecoveryEnv` (one fleet batch per
+      engine call);
+    * the decision service (:mod:`repro.serve`) drives one loop per
+      connected fleet around a **shared** engine step, fusing the belief
+      updates of every session in a cohort into a single kernel call.
+
+    Both drivers execute the identical per-tick arithmetic, which is what
+    makes service decisions bit-identical to a direct
+    :meth:`TwoLevelController.run` on the same ``SeedSequence`` tree
+    (asserted in ``tests/test_decision_service.py``).
+
+    One tick is::
+
+        mask = loop.pre_step(observation)       # node level: recoveries
+        # driver advances the engine with `mask` (plus the BTR overrides)
+        event = loop.post_step(observation', costs, info)   # system level
+
+    where ``observation'`` is the post-step observation and ``info``
+    carries the step's ``crashed``/``failed_mask`` arrays.
+    """
+
+    def __init__(
+        self,
+        controller: "TwoLevelController",
+        system: VectorSystemController,
+        policy_rng: np.random.Generator | None = None,
+    ) -> None:
+        self.controller = controller
+        self.system = system
+        self.policy_rng = policy_rng
+        batch, slots = controller.num_envs, controller.smax
+        self.t = 0
+        self.active = np.zeros((batch, slots), dtype=bool)
+        self.active[:, : controller.initial_nodes] = True
+        self.available_steps = np.zeros(batch, dtype=np.int64)
+        self.node_count_sum = np.zeros(batch, dtype=np.int64)
+        self.cost_sum = np.zeros(batch)
+        self.recovery_steps = np.zeros(batch, dtype=np.int64)
+        self.active_slot_steps = np.zeros(batch, dtype=np.int64)
+        self.class_slots = controller.class_slots
+        if self.class_slots is not None:
+            self._class_cost = {label: np.zeros(batch) for label in self.class_slots}
+            self._class_recoveries = {
+                label: np.zeros(batch, dtype=np.int64) for label in self.class_slots
+            }
+            self._class_steps = {
+                label: np.zeros(batch, dtype=np.int64) for label in self.class_slots
+            }
+        self.trace = _DecisionTrace() if controller.record_decisions else None
+        self._record = controller.record_system_trace
+        self._states_t: list[np.ndarray] = []
+        self._actions_t: list[np.ndarray] = []
+        self._probs_t: list[np.ndarray] = []
+        self._forced_t: list[np.ndarray] = []
+        self._counts_t: list[np.ndarray] = []
+        self._decision_counts_t: list[np.ndarray] = []
+        self._available_t: list[np.ndarray] = []
+        self._add_classes_t: list[np.ndarray] = []
+        self._class_probs_t: list[np.ndarray] = []
+        self._executed: np.ndarray | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.t >= self.controller.horizon
+
+    def pre_step(self, observation: VectorObservation) -> np.ndarray:
+        """Node level: decide this tick's recoveries from ``observation``.
+
+        Returns the engine recover mask (granted voluntary recoveries plus
+        every standby slot) **without** the BTR overrides — the driver ORs
+        ``observation.forced`` in when it steps the engine, exactly as
+        :meth:`~repro.envs.VectorRecoveryEnv.step` does.
+        """
+        if self.done:
+            raise RuntimeError("the loop is done (horizon reached)")
+        controller = self.controller
+        active = self.active
+        forced = observation.forced
+        policy_observation = VectorObservation(
+            beliefs=observation.beliefs,
+            time_since_recovery=observation.time_since_recovery,
+            forced=forced,
+            active=active,
+        )
+        voluntary = (
+            np.asarray(controller.recovery_policy.act(policy_observation, self.policy_rng))
+            .astype(bool)
+            & active
+            & ~forced
+        )
+        granted = (
+            controller._grant_recoveries(voluntary, observation.beliefs)
+            if controller.respect_recovery_limit
+            else voluntary
+        )
+        self.active_slot_steps += active.sum(axis=1)
+        executed = (granted | forced) & active
+        self.recovery_steps += executed.sum(axis=1)
+        self._executed = executed
+        # Standby slots recover every step, staying fresh for activation.
+        return granted | ~active
+
+    def post_step(
+        self,
+        observation: VectorObservation,
+        costs: np.ndarray,
+        info: dict,
+        on_step: Callable[[TwoLevelStepEvent], None] | None = None,
+    ) -> TwoLevelStepEvent:
+        """System level: account the step and take the replication decision.
+
+        ``observation``/``costs``/``info`` are the engine step's outputs
+        (post-step beliefs, per-slot costs, ``crashed``/``failed_mask``).
+        Returns the step's :class:`TwoLevelStepEvent` — the per-tick
+        decision record the service hands back to its clients.
+        """
+        controller = self.controller
+        active = self.active
+        executed = self._executed
+        if executed is None:
+            raise RuntimeError("post_step called before pre_step")
+        self._executed = None
+        active_costs = costs * active
+        self.cost_sum += active_costs.sum(axis=1)
+        if self.class_slots is not None:
+            for label, slots in self.class_slots.items():
+                self._class_steps[label] += active[:, slots].sum(axis=1)
+                self._class_recoveries[label] += executed[:, slots].sum(axis=1)
+                self._class_cost[label] += active_costs[:, slots].sum(axis=1)
+
+        crashed = info["crashed"]
+        decision = self.system.step(
+            observation.beliefs,
+            reporting=active & ~crashed,
+            registered=active,
+            node_counts=active.sum(axis=1),
+        )
+        active = active & ~crashed
+        activated = controller._activate_slots(
+            active, decision.add_node, decision.add_class
+        )
+        self.active = active
+
+        node_counts = active.sum(axis=1)
+        self.node_count_sum += node_counts
+        step_available = (
+            (info["failed_mask"] & active).sum(axis=1) <= controller.f
+        ) & (node_counts >= 2 * controller.f + 1)
+        self.available_steps += step_available
+
+        event = TwoLevelStepEvent(
+            t=self.t,
+            executed_recoveries=executed,
+            crashed=crashed,
+            failed=info["failed_mask"],
+            decision=decision,
+            activated=activated,
+            active=active,
+            available=step_available,
+        )
+        if on_step is not None:
+            on_step(event)
+
+        if self.trace is not None:
+            self.trace.states.append(decision.state)
+            self.trace.adds.append(decision.add_node)
+            self.trace.emergencies.append(decision.emergency_add)
+            self.trace.evictions.append(decision.evicted.sum(axis=1))
+            self.trace.add_classes.append(
+                decision.add_class
+                if decision.add_class is not None
+                else np.full(controller.num_envs, -1, dtype=np.int64)
+            )
+        if self._record:
+            self._states_t.append(decision.state)
+            self._actions_t.append(decision.add_node)
+            self._probs_t.append(decision.add_probability)
+            self._forced_t.append(decision.emergency_add | decision.capped)
+            self._counts_t.append(node_counts)
+            self._decision_counts_t.append(decision.node_count_after_eviction)
+            self._available_t.append(step_available)
+            if decision.add_class is not None:
+                self._add_classes_t.append(decision.add_class)
+                self._class_probs_t.append(decision.action_probabilities)
+        self.t += 1
+        return event
+
+    def build_system_trace(self) -> SystemTrace | None:
+        """The recorded :class:`SystemTrace` (``None`` unless recording)."""
+        if not self._record or not self._states_t:
+            return None
+        return SystemTrace(
+            states=np.stack(self._states_t),
+            actions=np.stack(self._actions_t),
+            add_probabilities=np.stack(self._probs_t),
+            forced=np.stack(self._forced_t),
+            node_counts=np.stack(self._counts_t),
+            decision_counts=np.stack(self._decision_counts_t),
+            available=np.stack(self._available_t),
+            add_classes=(
+                np.stack(self._add_classes_t) if self._add_classes_t else None
+            ),
+            action_probabilities=(
+                np.stack(self._class_probs_t) if self._class_probs_t else None
+            ),
+        )
+
+    def result(self, profile: "EngineProfile | None" = None) -> TwoLevelResult:
+        """Aggregate the accumulators into a :class:`TwoLevelResult`."""
+        controller = self.controller
+        steps = max(controller.horizon, 1)
+        slot_steps = np.maximum(self.active_slot_steps, 1)
+        class_average_cost = class_recovery_frequency = None
+        if self.class_slots is not None:
+            class_average_cost = {
+                label: self._class_cost[label]
+                / np.maximum(self._class_steps[label], 1)
+                for label in self.class_slots
+            }
+            class_recovery_frequency = {
+                label: self._class_recoveries[label]
+                / np.maximum(self._class_steps[label], 1)
+                for label in self.class_slots
+            }
+        return TwoLevelResult(
+            availability=self.available_steps / steps,
+            average_nodes=self.node_count_sum / steps,
+            average_cost=self.cost_sum / slot_steps,
+            recovery_frequency=self.recovery_steps / slot_steps,
+            additions=self.system.total_additions.copy(),
+            emergency_additions=self.system.emergency_additions.copy(),
+            evictions=self.system.total_evictions.copy(),
+            steps=steps,
+            class_average_cost=class_average_cost,
+            class_recovery_frequency=class_recovery_frequency,
+            profile=profile,
+        )
+
+
 class TwoLevelController:
     """Batched closed-loop controller coupling both feedback levels.
 
@@ -462,20 +712,49 @@ class TwoLevelController:
                 sharded sweeps exactly like ``uniforms``.
         """
         env = self.env
-        batch, slots = self.num_envs, self.smax
         observation = env.reset(
             seed=seed,
             uniforms=uniforms,
             profile=profile,
             adversary_uniforms=adversary_uniforms,
         )
+        loop = self.begin_loop(
+            seed=seed,
+            policy_rng=policy_rng,
+            system_seed_sequences=system_seed_sequences,
+        )
+        for _ in range(self.horizon):
+            mask = loop.pre_step(observation)
+            observation, costs, _, info = env.step(mask)
+            loop.post_step(observation, costs, info, on_step)
+
+        self.last_decision_trace = loop.trace
+        if self.record_system_trace:
+            self.system_trace = loop.build_system_trace()
+        return loop.result(profile=env.profile if profile else None)
+
+    def begin_loop(
+        self,
+        seed: int | None = None,
+        policy_rng: np.random.Generator | None = None,
+        system_seed_sequences: Sequence[np.random.SeedSequence] | None = None,
+    ) -> TwoLevelLoop:
+        """Create the incremental per-tick executor of this controller's loop.
+
+        :meth:`run` drives the returned :class:`TwoLevelLoop` to the
+        horizon around its own environment; the decision service drives it
+        one tick at a time around a fused engine step shared with other
+        sessions.  The system-controller seed sequences follow the same
+        convention as :meth:`run` (tail children of the shared episode seed
+        tree unless given explicitly).
+        """
         system = VectorSystemController(
             f=self.f,
             k=self.k,
             strategy=self.replication_strategy,
-            smax=slots,
+            smax=self.smax,
             enforce_invariant=self.enforce_invariant,
-            num_episodes=batch,
+            num_episodes=self.num_envs,
             horizon=self.horizon,
             seed_sequences=(
                 system_seed_sequences
@@ -483,160 +762,7 @@ class TwoLevelController:
                 else self._system_seed_sequences(seed)
             ),
         )
-        active = np.zeros((batch, slots), dtype=bool)
-        active[:, : self.initial_nodes] = True
-
-        available_steps = np.zeros(batch, dtype=np.int64)
-        node_count_sum = np.zeros(batch, dtype=np.int64)
-        cost_sum = np.zeros(batch)
-        recovery_steps = np.zeros(batch, dtype=np.int64)
-        active_slot_steps = np.zeros(batch, dtype=np.int64)
-        class_slots = self.class_slots
-        if class_slots is not None:
-            class_cost = {label: np.zeros(batch) for label in class_slots}
-            class_recoveries = {
-                label: np.zeros(batch, dtype=np.int64) for label in class_slots
-            }
-            class_steps = {
-                label: np.zeros(batch, dtype=np.int64) for label in class_slots
-            }
-        trace = _DecisionTrace() if self.record_decisions else None
-        record = self.record_system_trace
-        states_t: list[np.ndarray] = []
-        actions_t: list[np.ndarray] = []
-        probs_t: list[np.ndarray] = []
-        forced_t: list[np.ndarray] = []
-        counts_t: list[np.ndarray] = []
-        decision_counts_t: list[np.ndarray] = []
-        available_t: list[np.ndarray] = []
-        add_classes_t: list[np.ndarray] = []
-        class_probs_t: list[np.ndarray] = []
-
-        for step in range(self.horizon):
-            forced = observation.forced
-            policy_observation = VectorObservation(
-                beliefs=observation.beliefs,
-                time_since_recovery=observation.time_since_recovery,
-                forced=forced,
-                active=active,
-            )
-            voluntary = (
-                np.asarray(self.recovery_policy.act(policy_observation, policy_rng))
-                .astype(bool)
-                & active
-                & ~forced
-            )
-            granted = (
-                self._grant_recoveries(voluntary, observation.beliefs)
-                if self.respect_recovery_limit
-                else voluntary
-            )
-            active_slot_steps += active.sum(axis=1)
-            executed = (granted | forced) & active
-            recovery_steps += executed.sum(axis=1)
-            # Standby slots recover every step, staying fresh for activation.
-            observation, costs, _, info = env.step(granted | ~active)
-            active_costs = costs * active
-            cost_sum += active_costs.sum(axis=1)
-            if class_slots is not None:
-                for label, slots in class_slots.items():
-                    class_steps[label] += active[:, slots].sum(axis=1)
-                    class_recoveries[label] += executed[:, slots].sum(axis=1)
-                    class_cost[label] += active_costs[:, slots].sum(axis=1)
-
-            crashed = info["crashed"]
-            decision = system.step(
-                observation.beliefs,
-                reporting=active & ~crashed,
-                registered=active,
-                node_counts=active.sum(axis=1),
-            )
-            active = active & ~crashed
-            activated = self._activate_slots(active, decision.add_node, decision.add_class)
-
-            node_counts = active.sum(axis=1)
-            node_count_sum += node_counts
-            step_available = ((info["failed_mask"] & active).sum(axis=1) <= self.f) & (
-                node_counts >= 2 * self.f + 1
-            )
-            available_steps += step_available
-
-            if on_step is not None:
-                on_step(
-                    TwoLevelStepEvent(
-                        t=step,
-                        executed_recoveries=executed,
-                        crashed=crashed,
-                        failed=info["failed_mask"],
-                        decision=decision,
-                        activated=activated,
-                        active=active,
-                        available=step_available,
-                    )
-                )
-
-            if trace is not None:
-                trace.states.append(decision.state)
-                trace.adds.append(decision.add_node)
-                trace.emergencies.append(decision.emergency_add)
-                trace.evictions.append(decision.evicted.sum(axis=1))
-                trace.add_classes.append(
-                    decision.add_class
-                    if decision.add_class is not None
-                    else np.full(batch, -1, dtype=np.int64)
-                )
-            if record:
-                states_t.append(decision.state)
-                actions_t.append(decision.add_node)
-                probs_t.append(decision.add_probability)
-                forced_t.append(decision.emergency_add | decision.capped)
-                counts_t.append(node_counts)
-                decision_counts_t.append(decision.node_count_after_eviction)
-                available_t.append(step_available)
-                if decision.add_class is not None:
-                    add_classes_t.append(decision.add_class)
-                    class_probs_t.append(decision.action_probabilities)
-
-        self.last_decision_trace = trace
-        if record:
-            self.system_trace = SystemTrace(
-                states=np.stack(states_t),
-                actions=np.stack(actions_t),
-                add_probabilities=np.stack(probs_t),
-                forced=np.stack(forced_t),
-                node_counts=np.stack(counts_t),
-                decision_counts=np.stack(decision_counts_t),
-                available=np.stack(available_t),
-                add_classes=np.stack(add_classes_t) if add_classes_t else None,
-                action_probabilities=(
-                    np.stack(class_probs_t) if class_probs_t else None
-                ),
-            )
-        steps = max(self.horizon, 1)
-        slot_steps = np.maximum(active_slot_steps, 1)
-        class_average_cost = class_recovery_frequency = None
-        if class_slots is not None:
-            class_average_cost = {
-                label: class_cost[label] / np.maximum(class_steps[label], 1)
-                for label in class_slots
-            }
-            class_recovery_frequency = {
-                label: class_recoveries[label] / np.maximum(class_steps[label], 1)
-                for label in class_slots
-            }
-        return TwoLevelResult(
-            availability=available_steps / steps,
-            average_nodes=node_count_sum / steps,
-            average_cost=cost_sum / slot_steps,
-            recovery_frequency=recovery_steps / slot_steps,
-            additions=system.total_additions.copy(),
-            emergency_additions=system.emergency_additions.copy(),
-            evictions=system.total_evictions.copy(),
-            steps=steps,
-            class_average_cost=class_average_cost,
-            class_recovery_frequency=class_recovery_frequency,
-            profile=env.profile if profile else None,
-        )
+        return TwoLevelLoop(self, system, policy_rng)
 
     def _activate_slots(
         self,

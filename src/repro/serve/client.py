@@ -1,0 +1,113 @@
+"""Socket client of the decision service (``repro/decision-v1``).
+
+:class:`ServiceClient` wraps one TCP connection to a
+:class:`~repro.serve.DecisionServer` behind typed request helpers: each
+call writes one JSON line and reads one JSON response line, raising
+:class:`~repro.serve.protocol.ServiceError` with the server's named error
+on ``ok: false``.  The tests and the soak benchmark drive the service
+through it::
+
+    with ServiceClient("127.0.0.1", port) as client:
+        session = client.register(document, episodes=50, seed=3)["session"]
+        events = client.tick(session, count=horizon)
+        result = client.result(session)
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Mapping
+
+from .protocol import DECISION_SCHEMA, ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One NDJSON connection to a running decision server.
+
+    Args:
+        host: Server host.
+        port: Server port (the server's ``listening`` announcement carries
+            the resolved one when it bound port 0).
+        timeout: Socket timeout in seconds for connect and each response.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("r", encoding="utf-8")
+
+    # -- transport ----------------------------------------------------------------
+    def request(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Send one request object; return the ``ok: true`` response.
+
+        Raises :class:`ServiceError` carrying the server's named error on
+        an ``ok: false`` response, and ``ConnectionError`` if the server
+        hangs up mid-exchange.
+        """
+        message = {"schema": DECISION_SCHEMA, **payload}
+        self._socket.sendall((json.dumps(message) + "\n").encode("utf-8"))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("the decision server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(
+                error.get("name", "internal-error"),
+                error.get("message", "unspecified server error"),
+            )
+        return response
+
+    # -- typed helpers ------------------------------------------------------------
+    def register(
+        self, scenario: Mapping[str, Any] | str, **overrides: Any
+    ) -> dict[str, Any]:
+        """Register a scenario-v1 document; returns the register payload.
+
+        ``scenario`` is a scenario-v1 mapping or the YAML text of one
+        (sent verbatim; the server parses it).  Keyword arguments become
+        run-section overrides (``episodes=``, ``seed=``, ``threshold=``,
+        ...), exactly like the CLI flags.
+        """
+        document = scenario if isinstance(scenario, str) else dict(scenario)
+        request: dict[str, Any] = {"op": "register", "scenario": document}
+        if overrides:
+            request["overrides"] = overrides
+        return self.request(request)
+
+    def tick(self, session: str, count: int = 1) -> list[dict[str, Any]]:
+        """Advance ``count`` ticks; returns the decision events."""
+        return self.request({"op": "tick", "session": session, "count": count})[
+            "events"
+        ]
+
+    def result(self, session: str) -> dict[str, Any]:
+        """The finished session's result payload (metrics + per-episode arrays)."""
+        return self.request({"op": "result", "session": session})["result"]
+
+    def close_session(self, session: str) -> None:
+        """Detach one session server-side."""
+        self.request({"op": "close", "session": session})
+
+    def stats(self) -> dict[str, Any]:
+        """Server-side service counters."""
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (after answering)."""
+        self.request({"op": "shutdown"})
+
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

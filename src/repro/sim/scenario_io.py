@@ -329,7 +329,12 @@ def _load_document(source) -> Mapping[str, Any]:
     ):
         with open(source, "r", encoding="utf-8") as handle:
             text = handle.read()
-    document = yaml.safe_load(text)
+    try:
+        document = yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        # Surface parse failures as the named ValueError the CLI's error
+        # paths catch, instead of a backend-specific exception type.
+        raise ValueError(f"malformed scenario YAML: {exc}") from exc
     if not isinstance(document, Mapping):
         raise ValueError(
             "scenario YAML must parse to a mapping, got "

@@ -23,6 +23,9 @@ for bit** under a fixed seed.  This suite pins that contract down —
 from __future__ import annotations
 
 import pickle
+import sys
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -466,6 +469,98 @@ class TestPolicySolveCache:
         assert len(cache) == 2  # the first entry was evicted
         assert cache.clear() == 2
         assert len(cache) == 0
+
+    def test_concurrent_stampede_is_single_flight(self):
+        """Regression test for the unlocked cache: the lock is held across a
+        miss's ``solve()``, so a thread stampede on one fitted model runs
+        the solver exactly once and everyone else hits.  The unlocked
+        implementation lets every racer pass the check-then-act lookup
+        before the first solve stores, so misses pile up and the solver
+        runs concurrently with itself."""
+        model = _model_from_counts(np.ones((2, 4, 4)) + np.eye(4))
+        cache = PolicySolveCache()
+        threads = 8
+        in_solver = {"now": 0, "peak": 0, "calls": 0}
+        gauge = threading.Lock()
+        start = threading.Barrier(threads)
+        errors: list[Exception] = []
+
+        def solve() -> object:
+            with gauge:
+                in_solver["now"] += 1
+                in_solver["calls"] += 1
+                in_solver["peak"] = max(in_solver["peak"], in_solver["now"])
+            time.sleep(0.02)  # widen the check-then-act window
+            with gauge:
+                in_solver["now"] -= 1
+            return object()
+
+        def stampede() -> None:
+            try:
+                start.wait()
+                cache.get_or_solve(model, "s", solve)
+            except Exception as error:  # pragma: no cover - only on races
+                errors.append(error)
+
+        workers = [threading.Thread(target=stampede) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        assert errors == []
+        assert in_solver["calls"] == 1  # single-flight: the LP ran once
+        assert in_solver["peak"] == 1  # never two concurrent solves
+        assert cache.misses == 1 and cache.hits == threads - 1
+        assert len(cache) == 1
+
+    def test_concurrent_hammering_keeps_counters_consistent(self):
+        """Threads racing on lookup, insert and LRU eviction must never
+        lose a counter increment or corrupt the entry dict: ``maxsize`` is
+        kept below the model pool so every round churns the LRU, and the
+        switch interval is shrunk to force interleaving inside the
+        read-modify-write counter updates."""
+        models = [
+            _model_from_counts(np.ones((2, 4, 4)) + k * np.eye(4)) for k in range(6)
+        ]
+        keys = [fitted_model_key(model, "s") for model in models]
+        cache = PolicySolveCache(maxsize=3)
+        threads, rounds = 8, 300
+        errors: list[Exception] = []
+        start = threading.Barrier(threads)
+
+        def hammer(worker: int) -> None:
+            try:
+                start.wait()
+                for call in range(rounds):
+                    model = models[(worker + call) % len(models)]
+                    outcome = cache.get_or_solve(model, "s", object)
+                    assert outcome is not None
+                    if call % 50 == 0:
+                        cache.stats()
+                        len(cache)
+                        keys[worker % len(keys)] in cache
+            except Exception as error:  # pragma: no cover - only on races
+                errors.append(error)
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            workers = [
+                threading.Thread(target=hammer, args=(w,)) for w in range(threads)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+
+        assert errors == []
+        assert cache.hits + cache.misses == threads * rounds
+        assert len(cache) <= cache.maxsize
+        stats = cache.stats()
+        assert stats["hits"] == cache.hits and stats["misses"] == cache.misses
 
     def test_sysid_refit_on_unchanged_kernel_is_all_hits(self, observation_model):
         scenario = FleetScenario.homogeneous(

@@ -15,6 +15,7 @@ from pathlib import Path
 
 import numpy as np
 import pytest
+import yaml
 
 from repro.cli import main, run_scenario, validate_result
 from repro.core import (
@@ -26,7 +27,6 @@ from repro.core import (
 from repro.sim import (
     BatchRecoveryEngine,
     BurstyAdversary,
-    CorrelatedAdversary,
     FleetScenario,
     NodeClass,
     StealthAdversary,
@@ -284,3 +284,88 @@ class TestScaleAttackWarning:
             warnings.simplefilter("error")
             scaled = scenario.scale_attack(2.0)
         assert scaled.node_params[0].p_a == pytest.approx(0.2)
+
+
+class TestCliErrorPaths:
+    """Every anticipated CLI failure exits 2 with a named one-line error.
+
+    The contract (pinned here, documented in ``repro.cli``): malformed
+    documents, unknown names and unreadable files produce ``error: ...``
+    on stderr and exit status 2 — never a traceback.
+    """
+
+    def _run(self, capsys, *argv):
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.err
+        assert "Traceback" not in captured.out
+        return code, captured.err
+
+    def _scenario_mapping(self):
+        return scenario_to_mapping(_mixed_scenario())
+
+    def test_malformed_yaml_is_named(self, tmp_path, capsys):
+        bad = tmp_path / "broken.yaml"
+        bad.write_text("schema: [unclosed\n  fleet: {", encoding="utf-8")
+        code, err = self._run(capsys, "run", str(bad))
+        assert code == 2
+        assert err.startswith("error:")
+        assert "malformed scenario YAML" in err
+
+    def test_schema_version_mismatch_is_named(self, tmp_path, capsys):
+        mapping = self._scenario_mapping()
+        mapping["schema"] = "repro/scenario-v99"
+        doc = tmp_path / "future.yaml"
+        doc.write_text(yaml.safe_dump(mapping), encoding="utf-8")
+        code, err = self._run(capsys, "run", str(doc))
+        assert code == 2
+        assert err.startswith("error:")
+        assert SCHEMA in err  # names the supported version
+
+    def test_unknown_adversary_type_is_named(self, tmp_path, capsys):
+        mapping = self._scenario_mapping()
+        mapping["adversary"] = {"type": "quantum"}
+        doc = tmp_path / "adversary.yaml"
+        doc.write_text(yaml.safe_dump(mapping), encoding="utf-8")
+        code, err = self._run(capsys, "run", str(doc))
+        assert code == 2
+        assert err.startswith("error:")
+        assert "quantum" in err
+
+    def test_unknown_run_mode_is_named(self, tmp_path, capsys):
+        doc = tmp_path / "mode.yaml"
+        doc.write_text(
+            yaml.safe_dump(
+                {"scenario": self._scenario_mapping(), "run": {"mode": "warp"}}
+            ),
+            encoding="utf-8",
+        )
+        code, err = self._run(capsys, "run", str(doc))
+        assert code == 2
+        assert err.startswith("error:")
+        assert "unknown run mode" in err
+
+    def test_unknown_run_option_is_named(self, tmp_path, capsys):
+        doc = tmp_path / "option.yaml"
+        doc.write_text(
+            yaml.safe_dump(
+                {"scenario": self._scenario_mapping(), "run": {"turbo": True}}
+            ),
+            encoding="utf-8",
+        )
+        code, err = self._run(capsys, "run", str(doc))
+        assert code == 2
+        assert err.startswith("error:")
+        assert "turbo" in err
+
+    def test_missing_file_is_named(self, tmp_path, capsys):
+        code, err = self._run(capsys, "run", str(tmp_path / "nope.yaml"))
+        assert code == 2
+        assert err.startswith("error:")
+
+    def test_invalid_result_json_is_named(self, tmp_path, capsys):
+        bad = tmp_path / "result.json"
+        bad.write_text("{not json", encoding="utf-8")
+        code, err = self._run(capsys, "validate", str(bad))
+        assert code == 2
+        assert err.startswith("error:")

@@ -1,0 +1,152 @@
+"""Golden-file regression net over the scenario zoo.
+
+Every ``examples/scenarios/*.yaml`` is executed at a pinned seed with a
+small, fixed episode budget and compared numerically against a committed
+``repro/result-v1`` golden under ``tests/goldens/``.  The suite pins the
+*numbers*, not just the shape: any change to the engine, the adversary
+processes, the belief kernels or the controller stack that shifts a
+metric shows up as a diff here.
+
+Regenerating after an intentional behaviour change::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_scenario_goldens.py
+
+which rewrites every golden in place (and fails the run so the refreshed
+files are reviewed and committed deliberately, never silently).
+
+Floats are compared with a tight relative tolerance rather than exact
+equality so goldens survive benign cross-platform libm differences while
+still catching real behaviour changes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import RESULT_SCHEMA, run_scenario, validate_result
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCENARIO_DIR = REPO_ROOT / "examples" / "scenarios"
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+
+#: The pinned run-section overrides every golden is generated with.  Small
+#: enough to keep the whole suite around a second; fixed so the stream of
+#: SeedSequence children (and therefore every metric) is reproducible.
+GOLDEN_OVERRIDES = {"episodes": 20, "seed": 0, "n_jobs": 1}
+
+#: Relative tolerance for float comparison.  Tight enough that any real
+#: behaviour change (different decisions, different event counts) trips
+#: it; loose enough to absorb non-associative float summation differences
+#: across BLAS/libm builds.
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+SCENARIOS = sorted(SCENARIO_DIR.glob("*.yaml"))
+
+REGEN = os.environ.get("REPRO_REGEN_GOLDENS") == "1"
+
+
+def _golden_path(scenario_path: Path) -> Path:
+    return GOLDEN_DIR / f"{scenario_path.stem}.json"
+
+
+def _diff(expected, actual, path: str, problems: list[str]) -> None:
+    """Recursively collect mismatches between golden and fresh result."""
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            where = f"{path}.{key}" if path else str(key)
+            if key not in expected:
+                problems.append(f"{where}: unexpected new key")
+            elif key not in actual:
+                problems.append(f"{where}: missing from fresh result")
+            else:
+                _diff(expected[key], actual[key], where, problems)
+        return
+    if isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            problems.append(
+                f"{path}: length {len(actual)} != golden {len(expected)}"
+            )
+            return
+        for index, (e, a) in enumerate(zip(expected, actual)):
+            _diff(e, a, f"{path}[{index}]", problems)
+        return
+    if isinstance(expected, bool) or isinstance(actual, bool):
+        if expected is not actual:
+            problems.append(f"{path}: {actual!r} != golden {expected!r}")
+        return
+    if isinstance(expected, (int, float)) and isinstance(actual, (int, float)):
+        if not math.isclose(expected, actual, rel_tol=REL_TOL, abs_tol=ABS_TOL):
+            problems.append(f"{path}: {actual!r} != golden {expected!r}")
+        return
+    if expected != actual:
+        problems.append(f"{path}: {actual!r} != golden {expected!r}")
+
+
+def test_scenario_zoo_is_nonempty():
+    assert SCENARIOS, f"no example scenarios found under {SCENARIO_DIR}"
+
+
+def test_every_scenario_has_a_golden():
+    missing = [p.name for p in SCENARIOS if not _golden_path(p).exists()]
+    assert not missing, (
+        f"scenarios without goldens: {missing}; generate with "
+        "REPRO_REGEN_GOLDENS=1"
+    )
+
+
+def test_no_orphaned_goldens():
+    stems = {p.stem for p in SCENARIOS}
+    orphans = [p.name for p in GOLDEN_DIR.glob("*.json") if p.stem not in stems]
+    assert not orphans, f"goldens without a matching scenario: {orphans}"
+
+
+@pytest.mark.parametrize("scenario_path", SCENARIOS, ids=lambda p: p.stem)
+def test_scenario_matches_golden(scenario_path: Path):
+    result = run_scenario(scenario_path, overrides=GOLDEN_OVERRIDES)
+    assert result["schema"] == RESULT_SCHEMA
+    assert validate_result(result) == []
+
+    golden_path = _golden_path(scenario_path)
+    if REGEN:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        pytest.fail(
+            f"regenerated {golden_path.relative_to(REPO_ROOT)}; review and "
+            "commit it, then rerun without REPRO_REGEN_GOLDENS"
+        )
+
+    if not golden_path.exists():
+        pytest.fail(
+            f"missing golden {golden_path.relative_to(REPO_ROOT)}; generate "
+            "with REPRO_REGEN_GOLDENS=1"
+        )
+    golden = json.loads(golden_path.read_text(encoding="utf-8"))
+
+    # The golden pins the exact run configuration it was made with — a
+    # drifted override set would silently compare different experiments.
+    assert golden["episodes"] == GOLDEN_OVERRIDES["episodes"]
+    assert golden["seed"] == GOLDEN_OVERRIDES["seed"]
+
+    problems: list[str] = []
+    _diff(golden, result, "", problems)
+    assert not problems, (
+        "result drifted from golden "
+        f"{golden_path.relative_to(REPO_ROOT)}:\n  " + "\n  ".join(problems)
+    )
+
+
+def test_goldens_are_valid_result_documents():
+    for scenario_path in SCENARIOS:
+        golden_path = _golden_path(scenario_path)
+        if not golden_path.exists():
+            pytest.skip("goldens not generated yet")
+        golden = json.loads(golden_path.read_text(encoding="utf-8"))
+        assert validate_result(golden) == [], golden_path.name
